@@ -1,0 +1,85 @@
+//! Design-choice ablations called out in DESIGN.md §5:
+//! * enum vs `dyn` backend dispatch (the GLT "header-only" claim, §III-B);
+//! * active vs passive wait policy (the `OMP_WAIT_POLICY` tuning of §VI-A);
+//! * private pools vs `GLT_SHARED_QUEUES` under imbalanced tasks (§IV-F).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::{GltConfig, GltRuntime, WaitPolicy};
+use glto::{AnyGlt, Backend};
+use omp::{OmpConfig, OmpRuntimeExt};
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::RuntimeKind;
+
+fn dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dispatch");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    let enum_rt = AnyGlt::start(Backend::Abt, GltConfig::with_threads(1));
+    let dyn_rt: Box<dyn GltRuntime> =
+        Box::new(AnyGlt::start(Backend::Abt, GltConfig::with_threads(1)));
+    g.bench_function("enum_inline", |b| {
+        b.iter(|| {
+            let h = enum_rt.ult_create(Box::new(|| {}));
+            enum_rt.join(&h);
+        });
+    });
+    g.bench_function("dyn_boxed", |b| {
+        b.iter(|| {
+            let h = dyn_rt.ult_create(Box::new(|| {}));
+            dyn_rt.join(&h);
+        });
+    });
+    g.finish();
+}
+
+fn wait_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wait_policy");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, wp) in [("active", WaitPolicy::Active), ("passive", WaitPolicy::Passive)] {
+        let rt = RuntimeKind::Intel.build(OmpConfig::with_threads(2).wait_policy(wp));
+        rt.parallel(|_| {});
+        g.bench_function(name, |b| {
+            b.iter(|| rt.parallel(|_| {}));
+        });
+    }
+    g.finish();
+}
+
+fn shared_queues(c: &mut Criterion) {
+    // Imbalanced producer: all tasks created by thread 0. Private pools
+    // with round-robin vs one shared queue (§IV-F).
+    let mut g = c.benchmark_group("ablation_shared_queues");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for (name, shared) in [("private_pools", false), ("shared_queues", true)] {
+        let cfg = OmpConfig::with_threads(2).shared_queues(shared);
+        let rt = RuntimeKind::GltoAbt.build(cfg);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sink = AtomicU64::new(0);
+                rt.parallel(|ctx| {
+                    ctx.single(|| {
+                        for i in 0..200u64 {
+                            let sink = &sink;
+                            // Imbalanced: cost grows with i.
+                            ctx.task(move |_| {
+                                let mut acc = 0u64;
+                                for k in 0..(i % 40) * 20 {
+                                    acc = acc.wrapping_add(k);
+                                }
+                                sink.fetch_add(acc | 1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+                assert!(sink.into_inner() >= 200);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dispatch, wait_policy, shared_queues);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 4: UTS (environment-creator pattern) over the
+//! five OpenMP runtimes at a fixed small team.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use omp::OmpConfig;
+use workloads::{uts, RuntimeKind};
+
+fn bench(c: &mut Criterion) {
+    let p = uts::UtsParams {
+        kind: uts::TreeKind::Geometric { b0: 4.0, gen_mx: 6 },
+        seed: 316,
+        chunk: 16,
+    };
+    let (expected, _) = uts::count_sequential(&p);
+    let mut g = c.benchmark_group("fig04_uts_omp");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Active));
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| assert_eq!(uts::run_omp(rt.as_ref(), &p), expected));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

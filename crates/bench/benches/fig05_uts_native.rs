@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 5: UTS over raw OS threads and each native
+//! LWT backend (FEB-synchronized for the Qthreads-like one).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::{GltConfig, WaitPolicy};
+use glto::{AnyGlt, Backend};
+use workloads::uts;
+
+fn bench(c: &mut Criterion) {
+    let p = uts::UtsParams {
+        kind: uts::TreeKind::Geometric { b0: 4.0, gen_mx: 6 },
+        seed: 316,
+        chunk: 16,
+    };
+    let (expected, _) = uts::count_sequential(&p);
+    let mut g = c.benchmark_group("fig05_uts_native");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    g.bench_function("Pthreads", |b| {
+        b.iter(|| assert_eq!(uts::run_threads(2, &p), expected));
+    });
+    for backend in Backend::all() {
+        let cfg = GltConfig::with_threads(2).wait_policy(WaitPolicy::Active);
+        let rt = AnyGlt::start(backend, cfg);
+        g.bench_function(backend.label(), |b| {
+            b.iter(|| {
+                let lock = match &rt {
+                    AnyGlt::Qth(q) => glt_qth::feb_of(q)
+                        .map_or(uts::StackLock::Mutex, uts::StackLock::Feb),
+                    _ => uts::StackLock::Mutex,
+                };
+                assert_eq!(uts::run_glt(&rt, &p, lock), expected);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

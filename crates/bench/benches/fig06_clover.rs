@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 6: CloverLeaf-like mini-app (fork/join-heavy
+//! compute-bound parallel-for pattern).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use omp::{OmpConfig, Schedule};
+use workloads::{clover, RuntimeKind};
+
+fn bench(c: &mut Criterion) {
+    let p = clover::CloverParams {
+        nx: 32,
+        ny: 32,
+        steps: 3,
+        schedule: Schedule::Static { chunk: None },
+    };
+    let mut g = c.benchmark_group("fig06_clover");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Active));
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let (m, e) = clover::run(rt.as_ref(), p);
+                assert!(m.is_finite() && e.is_finite());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

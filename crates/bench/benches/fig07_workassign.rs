@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 7: the fork (work-assignment) + join cost of
+//! an empty parallel region — the quantity where the paper finds the
+//! pthread-based runtimes ahead of GLTO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use omp::{OmpConfig, OmpRuntimeExt};
+use workloads::RuntimeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_workassign");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [2usize, 4] {
+        for kind in RuntimeKind::all() {
+            let rt = kind.build(OmpConfig::with_threads(threads).wait_policy(WaitPolicy::Active));
+            rt.parallel(|_| {}); // warm the pool (steady-state, like the paper)
+            g.bench_function(format!("{}::{}t", kind.label(), threads), |b| {
+                b.iter(|| rt.parallel(|_| {}));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

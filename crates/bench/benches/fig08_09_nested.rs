@@ -1,0 +1,26 @@
+//! Criterion bench for Figs. 8–9: nested null parallel-for loops. The
+//! pthread-based runtimes pay OS-thread team construction per inner
+//! region (GNU: fresh threads; Intel: hot-team reuse); GLTO pays only ULT
+//! creation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use omp::OmpConfig;
+use workloads::{micro, RuntimeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_09_nested");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Active));
+        g.bench_function(format!("{}::outer10", kind.label()), |b| {
+            b.iter(|| micro::nested_null(rt.as_ref(), 10, 10));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

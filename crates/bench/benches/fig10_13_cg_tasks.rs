@@ -1,0 +1,31 @@
+//! Criterion bench for Figs. 10–13: task-parallel CG at each granularity
+//! (Intel vs GLTO over the three backends).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use omp::OmpConfig;
+use workloads::cg;
+
+fn bench(c: &mut Criterion) {
+    let a = cg::Csr::bmwcra_shaped(0.1); // ~1,488 rows: fast but real
+    let b_vec = cg::rhs_ones(&a);
+    let mut g = c.benchmark_group("fig10_13_cg_tasks");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in bench::task_figure_runtimes() {
+        for gran in [10usize, 20, 50, 100] {
+            let rt = kind.build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Passive));
+            g.bench_function(format!("{}::gran{}", kind.label(), gran), |b| {
+                b.iter(|| {
+                    let r = cg::cg_tasks(rt.as_ref(), &a, &b_vec, 2, 0.0, gran);
+                    assert_eq!(r.iterations, 2);
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

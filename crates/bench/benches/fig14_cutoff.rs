@@ -1,0 +1,24 @@
+//! Criterion bench for Fig. 14: single producer, 4,000 tasks, under the
+//! three cut-off values the paper sweeps (16 / 256 / 4096).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use workloads::{micro, RuntimeKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_cutoff");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for cutoff in [16usize, 256, 4096] {
+        let cfg = bench::paper_config(2, WaitPolicy::Passive).task_cutoff(cutoff);
+        let rt = RuntimeKind::Intel.build(cfg);
+        g.bench_function(format!("cutoff{cutoff}"), |b| {
+            b.iter(|| micro::producer_consumer_tasks(rt.as_ref(), 1000, 50));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Substrate micro-operations: ULT/tasklet creation + join per backend,
+//! and the FEB word-synchronization cost the Qthreads-like backend pays —
+//! the per-operation numbers behind the macro-level gaps in Figs. 5–13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::{FebTable, GltConfig, GltRuntime};
+use glto::{AnyGlt, Backend};
+
+fn unit_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_unit_ops");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for backend in Backend::all() {
+        let rt = AnyGlt::start(backend, GltConfig::with_threads(1));
+        g.bench_function(format!("{}::ult_create_join", backend.label()), |b| {
+            b.iter(|| {
+                let h = rt.ult_create(Box::new(|| {}));
+                rt.join(&h);
+            });
+        });
+        g.bench_function(format!("{}::tasklet_create_join", backend.label()), |b| {
+            b.iter(|| {
+                let h = rt.tasklet_create(Box::new(|| {}));
+                rt.join(&h);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn os_thread_spawn(c: &mut Criterion) {
+    // The number GLTO's nested-parallel advantage rests on: OS thread
+    // spawn+join vs ULT create+join (Figs. 8–9, Table II).
+    let mut g = c.benchmark_group("substrate_thread_spawn");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    g.bench_function("os_thread_spawn_join", |b| {
+        b.iter(|| std::thread::spawn(|| {}).join().unwrap());
+    });
+    g.finish();
+}
+
+fn feb_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_feb_ops");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    let t = FebTable::new();
+    g.bench_function("lock_unlock", |b| {
+        b.iter(|| t.with_lock(0x1000, || {}));
+    });
+    g.bench_function("fill_readfe", |b| {
+        b.iter(|| {
+            t.fill(0x2000, 7);
+            assert_eq!(t.read_fe(0x2000), 7);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, unit_ops, os_thread_spawn, feb_ops);
+criterion_main!(benches);

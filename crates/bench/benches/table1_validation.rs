@@ -1,0 +1,27 @@
+//! Criterion bench for Table I: full validation-suite wall time per
+//! runtime (also serves as a continuous check that all runtimes keep
+//! passing the expected subset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omp::OmpConfig;
+use workloads::RuntimeKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_validation");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for kind in [RuntimeKind::Intel, RuntimeKind::GltoAbt] {
+        let rt = kind.build(OmpConfig::with_threads(2));
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = validation::run_suite(rt.as_ref());
+                assert!(r.passed >= 118);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Extension bench: recursive task trees (fib / N-Queens) across the
+//! tasking runtimes — deep-recursion per-task overhead, the shape the
+//! paper's CG producer/consumer workload does not cover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use omp::OmpConfig;
+use workloads::taskbench;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taskbench");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    let fib_expect = taskbench::fib_seq(18);
+    let nq_expect = taskbench::nqueens_seq(7);
+    for kind in bench::task_figure_runtimes() {
+        let rt = kind.build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Passive));
+        g.bench_function(format!("{}::fib18", kind.label()), |b| {
+            b.iter(|| assert_eq!(taskbench::fib_tasks(rt.as_ref(), 18, 10), fib_expect));
+        });
+        g.bench_function(format!("{}::nqueens7", kind.label()), |b| {
+            b.iter(|| assert_eq!(taskbench::nqueens_tasks(rt.as_ref(), 7, 2), nq_expect));
+        });
+    }
+    // Ablation: deferred vs undeferred (if(0)) task trees on one runtime.
+    let rt = workloads::RuntimeKind::GltoAbt
+        .build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Passive));
+    g.bench_function("GLTO(ABT)::fib18_undeferred", |b| {
+        b.iter(|| {
+            assert_eq!(taskbench::fib_tasks_undeferred(rt.as_ref(), 18, 10), fib_expect)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

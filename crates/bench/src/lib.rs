@@ -1,0 +1,134 @@
+//! # bench — harness that regenerates every table and figure of the paper
+//!
+//! Two entry styles:
+//! * the `repro` binary (`cargo run -p bench --release --bin repro -- <target>`)
+//!   prints each experiment's rows/series as CSV;
+//! * Criterion benches (`cargo bench`) cover the micro-scale measurements
+//!   (work assignment, nested fork cost, task spawn paths) plus the design
+//!   ablations called out in DESIGN.md.
+//!
+//! Absolute numbers will not match the paper's 36-core Xeon testbed
+//! (this container has one core); the *shapes* — who wins, by what factor,
+//! where crossovers fall — are the reproduction target (see
+//! EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use omp::OmpConfig;
+use workloads::util::Stats;
+use workloads::RuntimeKind;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale: small sizes, few repetitions; finishes in minutes.
+    Quick,
+    /// Paper-scale parameters (slow on a small machine).
+    Paper,
+}
+
+impl Scale {
+    /// Thread counts to sweep (the paper's x-axes go to 72).
+    #[must_use]
+    pub fn threads(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 2, 4, 8, 16, 36],
+            Scale::Paper => vec![1, 2, 4, 8, 16, 18, 32, 36, 40, 48, 64, 72],
+        }
+    }
+
+    /// Repetitions for wall-time experiments (paper: 50 for apps, 1000
+    /// for microbenchmarks).
+    #[must_use]
+    pub fn reps(self, quick: usize, paper: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Time `reps` runs of `f`; returns per-run statistics in seconds.
+pub fn time_reps(reps: usize, mut f: impl FnMut()) -> Stats {
+    let mut st = Stats::new();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        st.push(t0.elapsed().as_secs_f64());
+    }
+    st
+}
+
+/// Convenience: duration → seconds.
+#[must_use]
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Build an `OmpConfig` the way the paper configures runs (§VI-A):
+/// `OMP_NESTED=true`, `OMP_PROC_BIND=true`, wait policy per scenario.
+#[must_use]
+pub fn paper_config(threads: usize, wait: glt::WaitPolicy) -> OmpConfig {
+    OmpConfig::with_threads(threads).nested(true).wait_policy(wait)
+}
+
+/// Print a CSV header for figure sweeps.
+pub fn print_series_header(figure: &str, unit: &str) {
+    println!("# {figure}");
+    println!("figure,runtime,threads,{unit},stddev,reps");
+}
+
+/// Print one CSV series row (flushed immediately, so redirected output
+/// streams during long sweeps).
+pub fn print_series_row(figure: &str, runtime: &str, threads: usize, st: &Stats) {
+    use std::io::Write;
+    println!(
+        "{figure},{runtime},{threads},{:.6e},{:.2e},{}",
+        st.mean(),
+        st.stddev(),
+        st.count()
+    );
+    let _ = std::io::stdout().flush();
+}
+
+/// The runtime subset for the task-parallel figures (the paper omits GNU
+/// from the CG study, §VI-E).
+#[must_use]
+pub fn task_figure_runtimes() -> Vec<RuntimeKind> {
+    vec![
+        RuntimeKind::Intel,
+        RuntimeKind::GltoAbt,
+        RuntimeKind::GltoQth,
+        RuntimeKind::GltoMth,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_expected_thread_lists() {
+        assert!(Scale::Quick.threads().contains(&36));
+        assert!(Scale::Paper.threads().contains(&72));
+        assert_eq!(Scale::Quick.reps(3, 50), 3);
+        assert_eq!(Scale::Paper.reps(3, 50), 50);
+    }
+
+    #[test]
+    fn time_reps_collects_stats() {
+        let st = time_reps(5, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert_eq!(st.count(), 5);
+        assert!(st.mean() >= 0.0);
+    }
+
+    #[test]
+    fn task_runtimes_exclude_gnu() {
+        assert!(!task_figure_runtimes().contains(&RuntimeKind::Gnu));
+        assert_eq!(task_figure_runtimes().len(), 4);
+    }
+}

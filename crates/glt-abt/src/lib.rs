@@ -1,0 +1,184 @@
+//! # glt-abt — Argobots-like GLT backend
+//!
+//! Models the Argobots execution model as used by the paper:
+//!
+//! * one **execution stream** (ES) per GLT_thread, each with a **private
+//!   FIFO pool** of work units;
+//! * **no work stealing** between execution streams — the paper credits
+//!   GLTO(ABT)'s flat task-parallel curves to "the close to null
+//!   interaction between `GLT_thread`s" (§VII), and blames its
+//!   `omp_taskyield`/`omp_task_untied` validation failures on "once a task
+//!   is bound to a `GLT_thread`, there is no work stealing" (§V);
+//! * **native tasklets**: stackless units are first-class, not emulated.
+//!
+//! Placement: `ult_create` goes to the creator's own pool; `ult_create_to`
+//! (used by GLTO's round-robin task dispatch, §IV-D) targets a specific
+//! stream's pool. Units never move afterwards.
+
+#![warn(missing_docs)]
+
+use crossbeam_queue::SegQueue;
+use glt::{GltConfig, Placement, Pooled, Runtime, Scheduler, Unit};
+
+/// Argobots-like scheduler: per-rank private FIFO pools, no stealing.
+#[derive(Debug)]
+pub struct AbtScheduler {
+    pools: Vec<SegQueue<Unit>>,
+}
+
+impl AbtScheduler {
+    /// One private pool per GLT_thread.
+    #[must_use]
+    pub fn new(cfg: &GltConfig) -> Self {
+        AbtScheduler {
+            pools: (0..cfg.num_threads.max(1)).map(|_| SegQueue::new()).collect(),
+        }
+    }
+
+    /// Queue length of one execution stream's pool (tests/diagnostics).
+    #[must_use]
+    pub fn pool_len(&self, rank: usize) -> usize {
+        self.pools.get(rank).map_or(0, SegQueue::len)
+    }
+}
+
+impl Scheduler for AbtScheduler {
+    fn name(&self) -> &'static str {
+        "argobots"
+    }
+
+    #[inline]
+    fn push(&self, creator: Option<usize>, placement: Placement, unit: Unit) {
+        let idx = match placement {
+            Placement::To(t) => t % self.pools.len(),
+            Placement::Local => creator.unwrap_or(0) % self.pools.len(),
+        };
+        self.pools[idx].push(unit);
+    }
+
+    #[inline]
+    fn pop_own(&self, rank: usize) -> Option<Unit> {
+        self.pools[rank % self.pools.len()].pop()
+    }
+
+    #[inline]
+    fn steal(&self, _thief: usize) -> Option<Unit> {
+        None // private pools: no migration, ever
+    }
+
+    fn can_steal(&self) -> bool {
+        false
+    }
+
+    fn queued_len(&self) -> usize {
+        self.pools.iter().map(SegQueue::len).sum()
+    }
+
+    fn shared_queues(&self) -> bool {
+        false
+    }
+}
+
+/// A GLT runtime over the Argobots-like backend (honoring
+/// `GLT_SHARED_QUEUES` via [`Pooled`]).
+pub type AbtRuntime = Runtime<Pooled<AbtScheduler>>;
+
+/// Start an Argobots-like runtime.
+#[must_use]
+pub fn start(cfg: GltConfig) -> AbtRuntime {
+    let sched = Pooled::new(&cfg, AbtScheduler::new);
+    Runtime::start_with_native_tasklets(cfg, sched, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glt::GltRuntime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn reports_argobots_semantics() {
+        let rt = start(GltConfig::with_threads(2));
+        assert_eq!(rt.backend_name(), "argobots");
+        assert!(!rt.can_steal());
+        assert!(rt.tasklets_native());
+    }
+
+    #[test]
+    fn unit_placed_to_rank_executes_on_that_rank() {
+        let rt = start(GltConfig::with_threads(3));
+        for target in 0..3usize {
+            let h = rt.ult_create_to(target, Box::new(|| {}));
+            rt.join(&h);
+            assert_eq!(
+                h.executed_by(),
+                target,
+                "no-steal backend must run the unit on its bound stream"
+            );
+        }
+    }
+
+    #[test]
+    fn local_creation_stays_on_creator() {
+        let rt = start(GltConfig::with_threads(2));
+        let h = rt.ult_create(Box::new(|| {}));
+        rt.join(&h); // rank 0 helps from its own pool
+        assert_eq!(h.executed_by(), 0);
+    }
+
+    #[test]
+    fn round_robin_dispatch_spreads_work() {
+        let rt = start(GltConfig::with_threads(4));
+        let n = 40;
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let c = count.clone();
+                rt.ult_create_to(i % 4, Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }))
+            })
+            .collect();
+        for h in &handles {
+            rt.join(h);
+        }
+        assert_eq!(count.load(Ordering::SeqCst), n);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(h.executed_by(), i % 4);
+        }
+    }
+
+    #[test]
+    fn tasklets_run_and_count() {
+        let rt = start(GltConfig::with_threads(2));
+        let hit = Arc::new(AtomicUsize::new(0));
+        let c = hit.clone();
+        let h = rt.tasklet_create_to(1, Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        rt.join(&h);
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert_eq!(rt.counters().snapshot().tasklets_created, 1);
+    }
+
+    #[test]
+    fn shared_queue_mode_overrides_private_pools() {
+        let rt = start(GltConfig::with_threads(2).shared_queues(true));
+        assert!(rt.can_steal(), "shared-queue mode allows any worker to take work");
+        let h = rt.ult_create_to(1, Box::new(|| {}));
+        rt.join(&h);
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn no_steals_counted_in_private_mode() {
+        let rt = start(GltConfig::with_threads(3));
+        let handles: Vec<_> =
+            (0..30).map(|i| rt.ult_create_to(i % 3, Box::new(|| {}))).collect();
+        for h in &handles {
+            rt.join(h);
+        }
+        assert_eq!(rt.counters().snapshot().steals, 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! # glt-mth — MassiveThreads-like GLT backend
+//!
+//! Models the MassiveThreads execution model as the paper uses it:
+//!
+//! * **work-first (child-first) scheduling**: a worker picks up its *newest*
+//!   local work first (LIFO own-end pops of a Chase–Lev deque), which is
+//!   MassiveThreads' practical depth-first bias;
+//! * **random work stealing on by default**: idle workers steal from the
+//!   FIFO end of a random victim's deque — the behaviour behind
+//!   GLTO(MTH)'s extra variance in CloverLeaf ("because of the internal
+//!   work-stealing mechanism", §VI-C) and its passing the `omp_task_untied`
+//!   validation test (tasks migrate before starting, §V);
+//! * the **primary worker's work is stealable** too — the §IV-G quirk that
+//!   forced the paper to forbid the GLTO master thread from yielding; the
+//!   `glto` crate reproduces that policy on top of this backend.
+//!
+//! Remote placement (`ult_create_to`) uses per-worker injector queues,
+//! since a Chase–Lev deque only accepts pushes from its owner.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_deque::{Steal, Stealer, Worker as Deque};
+use crossbeam_queue::SegQueue;
+use glt::{GltConfig, Placement, Pooled, Runtime, Scheduler, Unit};
+use parking_lot::Mutex;
+
+/// MassiveThreads-like scheduler: work-first deques + random stealing.
+pub struct MthScheduler {
+    /// Owner-side deques. Guarded by a mutex because the GLT `Scheduler`
+    /// interface is called through a shared reference; the lock is
+    /// uncontended in steady state (only the owner pushes/pops its deque —
+    /// thieves go through `stealers`).
+    deques: Vec<Mutex<Deque<Unit>>>,
+    stealers: Vec<Stealer<Unit>>,
+    /// Remote-placement inboxes (`ult_create_to`).
+    inboxes: Vec<SegQueue<Unit>>,
+    /// Cheap splittable state for random victim selection.
+    rng: AtomicU64,
+}
+
+impl std::fmt::Debug for MthScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MthScheduler").field("workers", &self.deques.len()).finish()
+    }
+}
+
+impl MthScheduler {
+    /// One work-first deque + inbox per GLT_thread.
+    #[must_use]
+    pub fn new(cfg: &GltConfig) -> Self {
+        let n = cfg.num_threads.max(1);
+        let deques: Vec<_> = (0..n).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        MthScheduler {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            stealers,
+            inboxes: (0..n).map(|_| SegQueue::new()).collect(),
+            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_rand(&self) -> u64 {
+        // SplitMix64 step on a shared atomic: adequate for victim choice.
+        let x = self.rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Scheduler for MthScheduler {
+    fn name(&self) -> &'static str {
+        "massivethreads"
+    }
+
+    fn push(&self, creator: Option<usize>, placement: Placement, unit: Unit) {
+        let n = self.deques.len();
+        match placement {
+            Placement::To(t) => self.inboxes[t % n].push(unit),
+            Placement::Local => match creator {
+                // Owner push: newest-first end of the work-first deque.
+                Some(r) => self.deques[r % n].lock().push(unit),
+                None => self.inboxes[0].push(unit),
+            },
+        }
+    }
+
+    fn pop_own(&self, rank: usize) -> Option<Unit> {
+        let n = self.deques.len();
+        let r = rank % n;
+        // Work-first: newest local work beats everything else.
+        if let Some(u) = self.deques[r].lock().pop() {
+            return Some(u);
+        }
+        self.inboxes[r].pop()
+    }
+
+    fn steal(&self, thief: usize) -> Option<Unit> {
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        // Random victim, up to 2n probes (MassiveThreads probes random
+        // victims until it finds work or gives up for this round).
+        for _ in 0..(2 * n) {
+            let v = (self.next_rand() as usize) % n;
+            if v == thief % n {
+                continue;
+            }
+            loop {
+                match self.stealers[v].steal() {
+                    Steal::Success(u) => return Some(u),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+            if let Some(u) = self.inboxes[v].pop() {
+                return Some(u);
+            }
+        }
+        None
+    }
+
+    fn can_steal(&self) -> bool {
+        true
+    }
+
+    fn queued_len(&self) -> usize {
+        self.stealers.iter().map(Stealer::len).sum::<usize>()
+            + self.inboxes.iter().map(SegQueue::len).sum::<usize>()
+    }
+
+    fn shared_queues(&self) -> bool {
+        false
+    }
+}
+
+/// A GLT runtime over the MassiveThreads-like backend.
+pub type MthRuntime = Runtime<Pooled<MthScheduler>>;
+
+/// Start a MassiveThreads-like runtime.
+#[must_use]
+pub fn start(cfg: GltConfig) -> MthRuntime {
+    let sched = Pooled::new(&cfg, MthScheduler::new);
+    Runtime::start(cfg, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glt::GltRuntime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn reports_massivethreads_semantics() {
+        let rt = start(GltConfig::with_threads(2));
+        assert_eq!(rt.backend_name(), "massivethreads");
+        assert!(rt.can_steal());
+        assert!(!rt.tasklets_native());
+    }
+
+    #[test]
+    fn lifo_own_pop_is_work_first() {
+        let rt = start(GltConfig::with_threads(1));
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..4 {
+            let log = log.clone();
+            rt.ult_create(Box::new(move || log.lock().push(i)));
+        }
+        // Join the *first* unit: rank 0 helps itself, popping LIFO.
+        let probe = {
+            let log = log.clone();
+            rt.ult_create(Box::new(move || log.lock().push(99)))
+        };
+        rt.join(&probe);
+        let seen = log.lock().clone();
+        assert_eq!(seen[0], 99, "newest unit must run first (child-first)");
+    }
+
+    #[test]
+    fn work_can_migrate_across_workers() {
+        let rt = start(GltConfig::with_threads(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let c = count.clone();
+                rt.ult_create(Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    // A little work so thieves have time to engage.
+                    std::hint::black_box((0..50).sum::<u64>());
+                }))
+            })
+            .collect();
+        for h in &handles {
+            rt.join(h);
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 200);
+        // All units were created by rank 0; with stealing enabled at least
+        // one should normally migrate. We assert the mechanism is *wired*
+        // (executed ranks recorded), not a scheduling race.
+        let ranks: std::collections::HashSet<_> =
+            handles.iter().map(glt::UltHandle::executed_by).collect();
+        assert!(!ranks.is_empty());
+    }
+
+    #[test]
+    fn remote_placement_lands_in_inbox_and_runs() {
+        let rt = start(GltConfig::with_threads(3));
+        let h = rt.ult_create_to(2, Box::new(|| {}));
+        rt.join(&h);
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn primary_work_is_stealable() {
+        // §IV-G: mth may steal the main thread's work. Push work from rank
+        // 0 and verify other workers are allowed to take it (steal() from
+        // another rank returns it).
+        let sched = MthScheduler::new(&GltConfig::with_threads(2));
+        let unit = Unit(glt::UnitState::new(glt::UnitKind::Ult, 0, Box::new(|| {})));
+        sched.push(Some(0), Placement::Local, unit);
+        assert!(sched.steal(1).is_some(), "rank 1 must be able to steal rank 0's work");
+    }
+
+    #[test]
+    fn steal_gives_up_on_empty_system() {
+        let sched = MthScheduler::new(&GltConfig::with_threads(4));
+        assert!(sched.steal(0).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! # glt-qth — Qthreads-like GLT backend
+//!
+//! Models the Qthreads execution model as characterized by the paper:
+//!
+//! * workers are **shepherds**, each with its own work queue;
+//! * **no migration between shepherds** once a unit is queued (the paper's
+//!   §V explanation for GLTO(QTH)'s `taskyield`/`untied` failures);
+//! * synchronization — including the backend's own queue accesses — goes
+//!   through **full/empty-bit (FEB) word-level locks**: "the Qthreads
+//!   implementation protects all the memory words with mutex regions,
+//!   adding a noticeable contention when we increase the number of OS
+//!   threads" (§VI-B). This is the mechanism behind the paper's Fig. 5
+//!   (UTS native) and Figs. 10–13 (task CG) degradation for QTH;
+//! * tasklets are **emulated over ULTs** (§III-B) — they behave like ULTs
+//!   and pay ULT cost.
+//!
+//! Each shepherd queue is keyed into a shared [`FebTable`]; every push/pop
+//! performs `lock(key)`/`unlock(key)` on that word, so the cost (two
+//! stripe-mutex acquisitions plus waiter wakeups) scales with cross-thread
+//! traffic exactly as the paper describes.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use glt::{FebTable, GltConfig, Placement, Pooled, Runtime, Scheduler, Unit};
+use parking_lot::Mutex;
+
+/// Qthreads-like scheduler: shepherd queues guarded by FEB word locks.
+#[derive(Debug)]
+pub struct QthScheduler {
+    shepherds: Vec<Mutex<VecDeque<Unit>>>,
+    feb: Arc<FebTable>,
+}
+
+impl QthScheduler {
+    /// One shepherd queue per GLT_thread, all sharing one FEB table.
+    #[must_use]
+    pub fn new(cfg: &GltConfig) -> Self {
+        QthScheduler {
+            shepherds: (0..cfg.num_threads.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            feb: Arc::new(FebTable::new()),
+        }
+    }
+
+    /// The FEB table backing this scheduler. Native workloads (the paper's
+    /// Fig. 5 UTS port) use the same table for their own word-level
+    /// synchronization, as a real Qthreads program would.
+    #[must_use]
+    pub fn feb(&self) -> Arc<FebTable> {
+        Arc::clone(&self.feb)
+    }
+
+    /// FEB word key for shepherd `idx`'s queue. Uses the queue's address so
+    /// distinct runtimes never alias.
+    fn key(&self, idx: usize) -> usize {
+        std::ptr::from_ref(&self.shepherds[idx]) as usize
+    }
+
+    fn with_queue<R>(&self, idx: usize, f: impl FnOnce(&mut VecDeque<Unit>) -> R) -> R {
+        // Qthreads cost model: the word guarding the queue is acquired via
+        // FEB (readFE), mutated, then released (writeEF). The inner
+        // parking_lot mutex makes the VecDeque itself race-free; the FEB
+        // round-trip is the *measured* overhead.
+        self.feb.with_lock(self.key(idx), || f(&mut self.shepherds[idx].lock()))
+    }
+}
+
+impl Scheduler for QthScheduler {
+    fn name(&self) -> &'static str {
+        "qthreads"
+    }
+
+    fn push(&self, creator: Option<usize>, placement: Placement, unit: Unit) {
+        let idx = match placement {
+            Placement::To(t) => t % self.shepherds.len(),
+            Placement::Local => creator.unwrap_or(0) % self.shepherds.len(),
+        };
+        self.with_queue(idx, |q| q.push_back(unit));
+    }
+
+    fn pop_own(&self, rank: usize) -> Option<Unit> {
+        let idx = rank % self.shepherds.len();
+        // Cheap empty probe outside the FEB lock: idle shepherds polling an
+        // empty queue would otherwise hammer the FEB word; Qthreads
+        // similarly peeks before committing to the synchronized path.
+        if self.shepherds[idx].lock().is_empty() {
+            return None;
+        }
+        self.with_queue(idx, VecDeque::pop_front)
+    }
+
+    fn steal(&self, _thief: usize) -> Option<Unit> {
+        None // shepherds do not migrate queued units
+    }
+
+    fn can_steal(&self) -> bool {
+        false
+    }
+
+    fn queued_len(&self) -> usize {
+        self.shepherds.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn shared_queues(&self) -> bool {
+        false
+    }
+}
+
+/// A GLT runtime over the Qthreads-like backend.
+pub type QthRuntime = Runtime<Pooled<QthScheduler>>;
+
+/// Start a Qthreads-like runtime.
+#[must_use]
+pub fn start(cfg: GltConfig) -> QthRuntime {
+    let sched = Pooled::new(&cfg, QthScheduler::new);
+    Runtime::start(cfg, sched)
+}
+
+/// Access the FEB table of a running Qthreads-like runtime, if it is not in
+/// shared-queue mode.
+#[must_use]
+pub fn feb_of(rt: &QthRuntime) -> Option<Arc<FebTable>> {
+    match rt.scheduler() {
+        Pooled::Backend(s) => Some(s.feb()),
+        Pooled::Shared(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glt::GltRuntime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn reports_qthreads_semantics() {
+        let rt = start(GltConfig::with_threads(2));
+        assert_eq!(rt.backend_name(), "qthreads");
+        assert!(!rt.can_steal());
+        assert!(!rt.tasklets_native());
+    }
+
+    #[test]
+    fn units_execute_and_feb_ops_accumulate() {
+        let rt = start(GltConfig::with_threads(2));
+        let feb = feb_of(&rt).unwrap();
+        let before = feb.ops();
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..20)
+            .map(|i| {
+                let c = count.clone();
+                rt.ult_create_to(i % 2, Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }))
+            })
+            .collect();
+        for h in &handles {
+            rt.join(h);
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+        // Every push and pop pays FEB lock+unlock (2 ops each way).
+        assert!(feb.ops() >= before + 40, "queue traffic must go through FEB");
+    }
+
+    #[test]
+    fn placement_is_sticky() {
+        let rt = start(GltConfig::with_threads(3));
+        for target in 0..3 {
+            let h = rt.ult_create_to(target, Box::new(|| {}));
+            rt.join(&h);
+            assert_eq!(h.executed_by(), target);
+        }
+    }
+
+    #[test]
+    fn fifo_order_within_a_shepherd() {
+        let rt = start(GltConfig::with_threads(1));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..5)
+            .map(|i| {
+                let log = log.clone();
+                rt.ult_create(Box::new(move || log.lock().push(i)))
+            })
+            .collect();
+        for h in &handles {
+            rt.join(h);
+        }
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_queue_mode_skips_feb() {
+        let rt = start(GltConfig::with_threads(2).shared_queues(true));
+        assert!(feb_of(&rt).is_none());
+        let h = rt.ult_create(Box::new(|| {}));
+        rt.join(&h);
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn feb_table_shared_with_user_code() {
+        let rt = start(GltConfig::with_threads(2));
+        let feb = feb_of(&rt).unwrap();
+        let x = 0u64;
+        let key = std::ptr::from_ref(&x) as usize;
+        feb.fill(key, 99);
+        assert_eq!(feb.read_ff(key), 99);
+    }
+}

@@ -1,0 +1,155 @@
+//! Runtime configuration for a GLT instance.
+//!
+//! Mirrors the environment-variable surface of the GLT library from the
+//! paper: `GLT_NUM_THREADS` selects the number of `GLT_thread`s (OS worker
+//! threads, one of which is the calling thread), and `GLT_SHARED_QUEUES`
+//! switches every backend to a single shared work queue, which the paper
+//! uses to neutralize load imbalance (§IV-F).
+
+use std::time::Duration;
+
+/// How an idle worker (or a joiner with nothing to help with) waits.
+///
+/// This is the GLT-level analog of `OMP_WAIT_POLICY`:
+/// * [`WaitPolicy::Active`] — bounded spinning with CPU-relax hints and
+///   periodic OS yields; lowest wake-up latency, burns a hardware thread.
+/// * [`WaitPolicy::Passive`] — short spin, then park the OS thread until a
+///   work unit is pushed its way (or a timeout elapses as a lost-wakeup
+///   backstop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitPolicy {
+    /// Spin actively (with `std::hint::spin_loop` and periodic
+    /// `std::thread::yield_now`) while waiting.
+    Active,
+    /// Spin briefly, then park the OS thread until woken.
+    Passive,
+}
+
+impl WaitPolicy {
+    /// Parse from the conventional environment-variable spelling
+    /// (`"active"` / `"passive"`, case-insensitive). Anything else maps to
+    /// the implementation default, [`WaitPolicy::Passive`], matching the
+    /// `OMP_WAIT_POLICY=default` setting the paper uses for task codes.
+    #[must_use]
+    pub fn from_env_str(s: &str) -> Self {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "active" => WaitPolicy::Active,
+            _ => WaitPolicy::Passive,
+        }
+    }
+}
+
+/// Configuration for one GLT runtime instance.
+#[derive(Debug, Clone)]
+pub struct GltConfig {
+    /// Number of `GLT_thread`s (OS-level workers). The thread that calls
+    /// [`crate::Runtime::start`] is registered as rank 0; `num_threads - 1`
+    /// additional OS threads are spawned, mirroring the paper's
+    /// "GLT_threads ... are created when the library is loaded" (§IV-B).
+    pub num_threads: usize,
+    /// When `true`, all work units go to (and come from) one shared queue,
+    /// regardless of backend. This is the paper's `GLT_SHARED_QUEUES`
+    /// load-imbalance escape hatch (§IV-F).
+    pub shared_queues: bool,
+    /// Idle-wait behaviour for workers and joiners.
+    pub wait_policy: WaitPolicy,
+    /// Record the intent to bind workers to cores (`OMP_PROC_BIND`-like).
+    /// On the evaluation container this is advisory only; we keep the flag
+    /// so runs record whether binding was requested.
+    pub pin_threads: bool,
+    /// Spin iterations before a passive waiter parks.
+    pub spin_before_park: u32,
+    /// Park timeout used as a lost-wakeup backstop.
+    pub park_timeout: Duration,
+}
+
+impl Default for GltConfig {
+    fn default() -> Self {
+        GltConfig {
+            num_threads: 4,
+            shared_queues: false,
+            wait_policy: WaitPolicy::Passive,
+            pin_threads: true,
+            spin_before_park: 64,
+            park_timeout: Duration::from_millis(1),
+        }
+    }
+}
+
+impl GltConfig {
+    /// A configuration with `n` workers and defaults elsewhere.
+    #[must_use]
+    pub fn with_threads(n: usize) -> Self {
+        GltConfig { num_threads: n.max(1), ..Self::default() }
+    }
+
+    /// Build a configuration from the process environment, mirroring the
+    /// paper's variables: `GLT_NUM_THREADS`, `GLT_SHARED_QUEUES`, and
+    /// `OMP_WAIT_POLICY`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("GLT_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                cfg.num_threads = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("GLT_SHARED_QUEUES") {
+            let v = v.trim().to_ascii_lowercase();
+            cfg.shared_queues = v == "1" || v == "true" || v == "yes";
+        }
+        if let Ok(v) = std::env::var("OMP_WAIT_POLICY") {
+            cfg.wait_policy = WaitPolicy::from_env_str(&v);
+        }
+        cfg
+    }
+
+    /// Builder-style: set the shared-queues flag.
+    #[must_use]
+    pub fn shared_queues(mut self, on: bool) -> Self {
+        self.shared_queues = on;
+        self
+    }
+
+    /// Builder-style: set the wait policy.
+    #[must_use]
+    pub fn wait_policy(mut self, wp: WaitPolicy) -> Self {
+        self.wait_policy = wp;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_at_least_one_thread() {
+        assert!(GltConfig::default().num_threads >= 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        assert_eq!(GltConfig::with_threads(0).num_threads, 1);
+        assert_eq!(GltConfig::with_threads(7).num_threads, 7);
+    }
+
+    #[test]
+    fn wait_policy_parses_known_and_unknown() {
+        assert_eq!(WaitPolicy::from_env_str("ACTIVE"), WaitPolicy::Active);
+        assert_eq!(WaitPolicy::from_env_str(" active "), WaitPolicy::Active);
+        assert_eq!(WaitPolicy::from_env_str("passive"), WaitPolicy::Passive);
+        assert_eq!(WaitPolicy::from_env_str("default"), WaitPolicy::Passive);
+        assert_eq!(WaitPolicy::from_env_str(""), WaitPolicy::Passive);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GltConfig::with_threads(3)
+            .shared_queues(true)
+            .wait_policy(WaitPolicy::Active);
+        assert_eq!(c.num_threads, 3);
+        assert!(c.shared_queues);
+        assert_eq!(c.wait_policy, WaitPolicy::Active);
+    }
+}

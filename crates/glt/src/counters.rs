@@ -1,0 +1,196 @@
+//! Instrumentation counters.
+//!
+//! Table II of the paper reports *created threads*, *reused threads*, and
+//! *created `GLT_ult`s* per runtime; Table III reports queued-vs-direct task
+//! percentages. Every runtime in this reproduction feeds the same counter
+//! block so the repro harness can print those tables from live runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters for one runtime instance.
+///
+/// All counters use relaxed atomics: they are statistics, not
+/// synchronization. Reads may race with writes; totals are exact once the
+/// runtime has quiesced (e.g. after a join or shutdown).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// OS threads created (workers, team members, nested teams…).
+    pub os_threads_created: AtomicU64,
+    /// OS threads reused from a pool instead of created (Intel hot teams).
+    pub os_threads_reused: AtomicU64,
+    /// ULTs created.
+    pub ults_created: AtomicU64,
+    /// Tasklets created.
+    pub tasklets_created: AtomicU64,
+    /// Work units executed to completion.
+    pub units_executed: AtomicU64,
+    /// Successful steals (unit taken from another worker's pool).
+    pub steals: AtomicU64,
+    /// Failed steal attempts (victim empty).
+    pub steal_fails: AtomicU64,
+    /// Units pushed to a worker other than the creator.
+    pub remote_pushes: AtomicU64,
+    /// Times an idle worker parked its OS thread.
+    pub parks: AtomicU64,
+    /// Full/empty-bit operations performed (Qthreads-like backend).
+    pub feb_ops: AtomicU64,
+    /// Tasks enqueued through the runtime's deferred path (Table III).
+    pub tasks_queued: AtomicU64,
+    /// Tasks executed directly/undeferred (cut-off or `final`/`if(0)` path).
+    pub tasks_direct: AtomicU64,
+    /// Nanoseconds the master spent in the work-assignment step of region
+    /// forks (handing the body to team members), accumulated across
+    /// regions — the quantity Fig. 7 of the paper plots.
+    pub assign_ns: AtomicU64,
+    /// Number of region forks contributing to `assign_ns`.
+    pub forks: AtomicU64,
+}
+
+impl Counters {
+    /// Fresh, all-zero counter block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter. Convenience for the common `+1` pattern.
+    #[inline]
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reset every counter to zero (between experiment repetitions).
+    pub fn reset(&self) {
+        for c in self.all() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of all counters as plain integers.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            os_threads_created: self.os_threads_created.load(Ordering::Relaxed),
+            os_threads_reused: self.os_threads_reused.load(Ordering::Relaxed),
+            ults_created: self.ults_created.load(Ordering::Relaxed),
+            tasklets_created: self.tasklets_created.load(Ordering::Relaxed),
+            units_executed: self.units_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_fails: self.steal_fails.load(Ordering::Relaxed),
+            remote_pushes: self.remote_pushes.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            feb_ops: self.feb_ops.load(Ordering::Relaxed),
+            tasks_queued: self.tasks_queued.load(Ordering::Relaxed),
+            tasks_direct: self.tasks_direct.load(Ordering::Relaxed),
+            assign_ns: self.assign_ns.load(Ordering::Relaxed),
+            forks: self.forks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn all(&self) -> [&AtomicU64; 14] {
+        [
+            &self.os_threads_created,
+            &self.os_threads_reused,
+            &self.ults_created,
+            &self.tasklets_created,
+            &self.units_executed,
+            &self.steals,
+            &self.steal_fails,
+            &self.remote_pushes,
+            &self.parks,
+            &self.feb_ops,
+            &self.tasks_queued,
+            &self.tasks_direct,
+            &self.assign_ns,
+            &self.forks,
+        ]
+    }
+}
+
+/// Plain-integer snapshot of [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror `Counters` one-to-one
+pub struct CounterSnapshot {
+    pub os_threads_created: u64,
+    pub os_threads_reused: u64,
+    pub ults_created: u64,
+    pub tasklets_created: u64,
+    pub units_executed: u64,
+    pub steals: u64,
+    pub steal_fails: u64,
+    pub remote_pushes: u64,
+    pub parks: u64,
+    pub feb_ops: u64,
+    pub tasks_queued: u64,
+    pub tasks_direct: u64,
+    pub assign_ns: u64,
+    pub forks: u64,
+}
+
+impl CounterSnapshot {
+    /// Percentage of tasks that went through the deferred/queued path,
+    /// as reported in Table III. Returns 100.0 when no tasks ran (the
+    /// paper's table never reports an empty cell).
+    #[must_use]
+    pub fn queued_task_percent(&self) -> f64 {
+        let total = self.tasks_queued + self.tasks_direct;
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.tasks_queued as f64 / total as f64
+        }
+    }
+
+    /// Mean work-assignment time per region fork, in nanoseconds (Fig. 7).
+    #[must_use]
+    pub fn assign_ns_per_fork(&self) -> f64 {
+        if self.forks == 0 {
+            0.0
+        } else {
+            self.assign_ns as f64 / self.forks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let c = Counters::new();
+        Counters::bump(&c.ults_created, 3);
+        Counters::bump(&c.steals, 1);
+        let s = c.snapshot();
+        assert_eq!(s.ults_created, 3);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.tasklets_created, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::new();
+        Counters::bump(&c.feb_ops, 10);
+        Counters::bump(&c.parks, 2);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn assign_ns_per_fork_math() {
+        let mut s = CounterSnapshot::default();
+        assert_eq!(s.assign_ns_per_fork(), 0.0);
+        s.assign_ns = 3000;
+        s.forks = 3;
+        assert!((s.assign_ns_per_fork() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queued_percent_math() {
+        let mut s = CounterSnapshot::default();
+        assert_eq!(s.queued_task_percent(), 100.0);
+        s.tasks_queued = 80;
+        s.tasks_direct = 20;
+        assert!((s.queued_task_percent() - 80.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Idle waiting: active spinning vs spin-then-park.
+//!
+//! The paper tunes `OMP_WAIT_POLICY` per scenario (active for work-sharing,
+//! default/passive for tasking, §VI-A); this module provides the shared
+//! mechanism all runtimes in the reproduction use, so the policy — not the
+//! implementation — is the experimental variable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_utils::Backoff;
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::WaitPolicy;
+
+/// One waiter slot, typically owned by a worker thread.
+///
+/// Wake-ups are permits: a [`WaitSlot::wake`] delivered while the owner is
+/// not waiting is remembered and consumes the next wait, so the
+/// check-then-sleep race loses at most one park/unpark cycle; the park
+/// timeout is a second backstop.
+#[derive(Debug, Default)]
+pub struct WaitSlot {
+    permit: AtomicBool,
+    parked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl WaitSlot {
+    /// New slot with no pending permit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver a wake permit (idempotent while unconsumed).
+    ///
+    /// Fast path: when the owner is not parked, this is a single atomic
+    /// store — important because work pushes wake their target on every
+    /// enqueue, and most of the time the target is already running.
+    pub fn wake(&self) {
+        self.permit.store(true, Ordering::Release);
+        if self.parked.load(Ordering::Acquire) {
+            let _g = self.lock.lock();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Consume a pending permit if present.
+    pub fn try_consume(&self) -> bool {
+        self.permit.swap(false, Ordering::Acquire)
+    }
+
+    /// Park until a permit arrives or `timeout` elapses.
+    pub fn park(&self, timeout: Duration) {
+        if self.try_consume() {
+            return;
+        }
+        let mut g = self.lock.lock();
+        self.parked.store(true, Ordering::Release);
+        // Re-check under the lock: a permit delivered between the first
+        // check and `parked = true` would otherwise be missed until the
+        // timeout (the waker checks `parked` after storing the permit).
+        if self.try_consume() {
+            self.parked.store(false, Ordering::Release);
+            return;
+        }
+        let _ = self.cv.wait_for(&mut g, timeout);
+        self.parked.store(false, Ordering::Release);
+        let _ = self.try_consume();
+    }
+}
+
+/// An idle loop helper: call [`IdleWait::idle`] each time a poll for work
+/// comes up empty; call [`IdleWait::reset`] after useful work is found.
+#[derive(Debug)]
+pub struct IdleWait {
+    policy: WaitPolicy,
+    spin_before_park: u32,
+    park_timeout: Duration,
+    spins: u32,
+    slot: Arc<WaitSlot>,
+    parks: u64,
+}
+
+impl IdleWait {
+    /// Create an idle-waiter bound to `slot`.
+    #[must_use]
+    pub fn new(
+        policy: WaitPolicy,
+        spin_before_park: u32,
+        park_timeout: Duration,
+        slot: Arc<WaitSlot>,
+    ) -> Self {
+        IdleWait { policy, spin_before_park, park_timeout, spins: 0, slot, parks: 0 }
+    }
+
+    /// Number of times this waiter actually parked (statistics).
+    #[must_use]
+    pub fn parks(&self) -> u64 {
+        self.parks
+    }
+
+    /// Reset the spin budget after making progress.
+    pub fn reset(&mut self) {
+        self.spins = 0;
+    }
+
+    /// Wait a little. Active policy: relax/yield; passive: spin a bounded
+    /// number of times, then park on the slot.
+    pub fn idle(&mut self) {
+        match self.policy {
+            WaitPolicy::Active => {
+                // Bounded spin with periodic OS yield so that on an
+                // oversubscribed machine (the paper's 72-thread sweeps on
+                // fewer cores, or this container's single core) progress is
+                // still made by whoever holds the work.
+                let b = Backoff::new();
+                for _ in 0..16 {
+                    b.snooze();
+                }
+            }
+            WaitPolicy::Passive => {
+                if self.spins < self.spin_before_park {
+                    self.spins += 1;
+                    let b = Backoff::new();
+                    for _ in 0..4 {
+                        b.snooze();
+                    }
+                } else {
+                    self.parks += 1;
+                    self.slot.park(self.park_timeout);
+                    self.spins = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn permit_delivered_before_park_is_consumed() {
+        let s = WaitSlot::new();
+        s.wake();
+        let t0 = Instant::now();
+        s.park(Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn park_times_out() {
+        let s = WaitSlot::new();
+        let t0 = Instant::now();
+        s.park(Duration::from_millis(10));
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(5), "returned too early: {dt:?}");
+    }
+
+    #[test]
+    fn cross_thread_wake() {
+        let s = Arc::new(WaitSlot::new());
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            s2.wake();
+        });
+        let t0 = Instant::now();
+        s.park(Duration::from_secs(10));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn passive_idle_parks_after_spin_budget() {
+        let slot = Arc::new(WaitSlot::new());
+        let mut w = IdleWait::new(
+            WaitPolicy::Passive,
+            2,
+            Duration::from_millis(1),
+            slot,
+        );
+        for _ in 0..5 {
+            w.idle();
+        }
+        assert!(w.parks() >= 1);
+    }
+
+    #[test]
+    fn active_idle_never_parks() {
+        let slot = Arc::new(WaitSlot::new());
+        let mut w = IdleWait::new(WaitPolicy::Active, 1, Duration::from_millis(1), slot);
+        for _ in 0..50 {
+            w.idle();
+        }
+        assert_eq!(w.parks(), 0);
+    }
+}

@@ -1,0 +1,642 @@
+//! The generic GLT runtime: worker threads + a backend [`Scheduler`].
+//!
+//! A GLT runtime owns `num_threads` *GLT_threads*: the thread that calls
+//! [`Runtime::start`] is registered as rank 0 (it will be the OpenMP master
+//! in GLTO, §IV-G), and `num_threads - 1` OS worker threads are spawned up
+//! front ("created when the library is loaded", §IV-B). Work units (ULTs
+//! and tasklets) are placed by the backend's [`Scheduler`] policy and
+//! executed by whichever worker the policy hands them to.
+//!
+//! ## Blocking model
+//!
+//! This reproduction uses **cooperative help-first waiting** instead of
+//! stackful context switching: a caller that joins a unit (or yields)
+//! executes other ready units — chosen by the *backend's own* pop/steal
+//! policy — on its current stack until the awaited unit completes. This
+//! preserves the properties the paper measures (cheap creation, fixed
+//! worker count → no oversubscription, backend-specific migration), at the
+//! cost that a unit never migrates after it first runs; see DESIGN.md §2.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_utils::Backoff;
+use parking_lot::Mutex;
+
+use crate::config::GltConfig;
+use crate::counters::Counters;
+use crate::park::{IdleWait, WaitSlot};
+use crate::sched::{Placement, Scheduler, SharedQueueScheduler};
+use crate::unit::{Unit, UnitClass, UnitKind, UnitState, UltHandle, WorkFn};
+
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (runtime id, rank) registrations for the current thread. A thread is
+    /// usually registered with at most one or two runtimes (benchmarks that
+    /// sweep configurations create runtimes sequentially), so a small vec
+    /// with linear scan beats a hash map.
+    static RANKS: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn register_rank(id: u64, rank: usize) {
+    RANKS.with(|r| r.borrow_mut().push((id, rank)));
+}
+
+fn unregister_rank(id: u64) {
+    RANKS.with(|r| r.borrow_mut().retain(|&(i, _)| i != id));
+}
+
+fn lookup_rank(id: u64) -> Option<usize> {
+    RANKS.with(|r| {
+        r.borrow().iter().rev().find(|&&(i, _)| i == id).map(|&(_, rk)| rk)
+    })
+}
+
+/// Object-safe view of a GLT runtime, independent of backend type.
+///
+/// This is the Rust analog of the GLT C API surface the paper's GLTO links
+/// against: creation (`glt_ult_creation[_to]`, `glt_tasklet_creation[_to]`),
+/// join, yield, and identity queries.
+pub trait GltRuntime: Send + Sync {
+    /// Backend name (`"argobots"`, `"qthreads"`, `"massivethreads"`, …).
+    fn backend_name(&self) -> &'static str;
+    /// Number of GLT_threads (including the registered rank-0 caller).
+    fn num_threads(&self) -> usize;
+    /// Rank of the calling thread, if it is a registered GLT_thread.
+    fn self_rank(&self) -> Option<usize>;
+    /// Create a ULT in the caller's own pool (backend default placement).
+    fn ult_create(&self, work: WorkFn) -> UltHandle;
+    /// Create a ULT destined for worker `target`'s pool.
+    fn ult_create_to(&self, target: usize, work: WorkFn) -> UltHandle;
+    /// Create a *region-member* ULT ([`UnitClass::Region`]) in the caller's
+    /// own pool, tagged with its team's generation. Region units may block
+    /// on team barriers, so blocked waits only execute them under the
+    /// predicate of [`GltRuntime::help_once_filtered`].
+    fn region_ult_create(&self, tag: u64, work: WorkFn) -> UltHandle;
+    /// Create a region-member ULT destined for worker `target`'s pool.
+    fn region_ult_create_to(&self, target: usize, tag: u64, work: WorkFn) -> UltHandle;
+    /// Create a tasklet (stackless unit) with default placement.
+    fn tasklet_create(&self, work: WorkFn) -> UltHandle;
+    /// Create a tasklet destined for worker `target`'s pool.
+    fn tasklet_create_to(&self, target: usize, work: WorkFn) -> UltHandle;
+    /// Wait for `h`, helping execute other ready units meanwhile.
+    fn join(&self, h: &UltHandle);
+    /// Run at most one ready unit from the caller's own pool, then return.
+    /// Returns whether a unit was executed.
+    fn yield_now(&self) -> bool;
+    /// Help once using the backend's full policy (own pool, then steal if
+    /// the backend steals). Returns whether a unit was executed. This is
+    /// what blocked waiters (joins, barriers) use.
+    fn help_once(&self) -> bool;
+    /// Help once but execute only [`UnitClass::Task`] units; a popped or
+    /// stolen region unit is re-queued locally and the call reports no
+    /// progress. Task-scheduling points (taskyield) use this so a
+    /// multi-barrier region member is never started nested above another
+    /// member's wait frame.
+    fn help_once_task(&self) -> bool;
+    /// Help once, executing task units unconditionally and region units
+    /// only when `allow_region(unit, from_own_pool)` approves; rejected
+    /// region units are set aside during the search (so they cannot mask
+    /// runnable work) and re-queued afterwards — popped rejects locally,
+    /// stolen rejects toward a neighbour's pool.
+    fn help_once_filtered(&self, allow_region: &dyn Fn(&UnitState, bool) -> bool) -> bool;
+    /// Whether the backend migrates units between workers (work stealing).
+    fn can_steal(&self) -> bool;
+    /// Whether tasklets are native (Argobots) or emulated over ULTs.
+    fn tasklets_native(&self) -> bool;
+    /// Instrumentation counters.
+    fn counters(&self) -> &Counters;
+    /// The configuration this runtime was started with.
+    fn config(&self) -> &GltConfig;
+}
+
+struct Shared<S: Scheduler> {
+    id: u64,
+    cfg: GltConfig,
+    sched: S,
+    counters: Counters,
+    slots: Vec<Arc<WaitSlot>>,
+    stop: AtomicBool,
+    wake_rr: AtomicUsize,
+    tasklets_native: bool,
+}
+
+impl<S: Scheduler> Shared<S> {
+    fn wake_for(&self, placement: Placement) {
+        match placement {
+            Placement::To(r) if r < self.slots.len() => self.slots[r].wake(),
+            _ => {
+                // Local pushes: if the backend can migrate the unit, give a
+                // parked worker a chance to steal it; otherwise wake the
+                // owner (which may be parked between units).
+                let n = self.slots.len();
+                if n > 1 {
+                    let r = self.wake_rr.fetch_add(1, Ordering::Relaxed) % n;
+                    self.slots[r].wake();
+                }
+            }
+        }
+    }
+
+    fn take_work(&self, rank: usize) -> Option<Unit> {
+        if let Some(u) = self.sched.pop_own(rank) {
+            return Some(u);
+        }
+        if self.sched.can_steal() {
+            match self.sched.steal(rank) {
+                Some(u) => {
+                    Counters::bump(&self.counters.steals, 1);
+                    Some(u)
+                }
+                None => {
+                    Counters::bump(&self.counters.steal_fails, 1);
+                    None
+                }
+            }
+        } else {
+            None
+        }
+    }
+
+    fn run_unit(&self, rank: usize, u: &Unit) {
+        u.run(rank);
+        Counters::bump(&self.counters.units_executed, 1);
+    }
+}
+
+/// A running GLT instance: `num_threads - 1` spawned workers plus the
+/// registered caller (rank 0). Dropping the runtime stops and joins the
+/// workers; any still-queued units are drained on the caller first.
+pub struct Runtime<S: Scheduler> {
+    shared: Arc<Shared<S>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<S: Scheduler> std::fmt::Debug for Runtime<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("backend", &self.shared.sched.name())
+            .field("num_threads", &self.shared.cfg.num_threads)
+            .finish()
+    }
+}
+
+impl<S: Scheduler> Runtime<S> {
+    /// Start a runtime over `sched`, registering the calling thread as
+    /// GLT_thread 0 and spawning `cfg.num_threads - 1` workers.
+    pub fn start(cfg: GltConfig, sched: S) -> Self
+    where
+        S: Sized,
+    {
+        Self::start_with_native_tasklets(cfg, sched, false)
+    }
+
+    /// As [`Runtime::start`], also declaring whether the backend supports
+    /// tasklets natively (Argobots) rather than emulating them over ULTs.
+    pub fn start_with_native_tasklets(cfg: GltConfig, sched: S, tasklets_native: bool) -> Self {
+        let n = cfg.num_threads.max(1);
+        let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
+        let slots = (0..n).map(|_| Arc::new(WaitSlot::new())).collect();
+        let shared = Arc::new(Shared {
+            id,
+            cfg,
+            sched,
+            counters: Counters::new(),
+            slots,
+            stop: AtomicBool::new(false),
+            wake_rr: AtomicUsize::new(0),
+            tasklets_native,
+        });
+        register_rank(id, 0);
+        shared.sched.on_worker_start(0);
+        let mut handles = Vec::with_capacity(n.saturating_sub(1));
+        for rank in 1..n {
+            let sh = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name(format!("glt-{}-{rank}", sh.sched.name()))
+                .spawn(move || worker_loop(&sh, rank))
+                .expect("failed to spawn GLT worker");
+            Counters::bump(&shared.counters.os_threads_created, 1);
+            handles.push(h);
+        }
+        Runtime { shared, workers: Mutex::new(handles) }
+    }
+
+    fn create(&self, kind: UnitKind, placement: Placement, work: WorkFn) -> UltHandle {
+        self.create_class(kind, UnitClass::Task, 0, placement, work)
+    }
+
+    fn create_class(
+        &self,
+        kind: UnitKind,
+        class: UnitClass,
+        tag: u64,
+        placement: Placement,
+        work: WorkFn,
+    ) -> UltHandle {
+        let creator = self.self_rank();
+        let state = UnitState::new_with_class(
+            kind,
+            class,
+            tag,
+            creator.unwrap_or(crate::unit::NO_RANK),
+            work,
+        );
+        let unit = Unit(Arc::clone(&state));
+        match kind {
+            UnitKind::Ult => Counters::bump(&self.shared.counters.ults_created, 1),
+            UnitKind::Tasklet => Counters::bump(&self.shared.counters.tasklets_created, 1),
+        }
+        if let Placement::To(t) = placement {
+            if creator != Some(t) {
+                Counters::bump(&self.shared.counters.remote_pushes, 1);
+            }
+        }
+        self.shared.sched.push(creator, placement, unit);
+        self.shared.wake_for(placement);
+        UltHandle::new(state)
+    }
+
+    /// Scheduler access for tests and backend-specific probes.
+    pub fn scheduler(&self) -> &S {
+        &self.shared.sched
+    }
+
+    /// Total units currently queued across all pools (diagnostics).
+    pub fn queued_len(&self) -> usize {
+        self.shared.sched.queued_len()
+    }
+}
+
+fn worker_loop<S: Scheduler>(shared: &Shared<S>, rank: usize) {
+    register_rank(shared.id, rank);
+    shared.sched.on_worker_start(rank);
+    let mut idle = IdleWait::new(
+        shared.cfg.wait_policy,
+        shared.cfg.spin_before_park,
+        shared.cfg.park_timeout,
+        Arc::clone(&shared.slots[rank]),
+    );
+    while !shared.stop.load(Ordering::Acquire) {
+        match shared.take_work(rank) {
+            Some(u) => {
+                shared.run_unit(rank, &u);
+                idle.reset();
+            }
+            None => idle.idle(),
+        }
+    }
+    // Drain anything still visible to this worker so no unit is lost.
+    while let Some(u) = shared.take_work(rank) {
+        shared.run_unit(rank, &u);
+    }
+    Counters::bump(&shared.counters.parks, idle.parks());
+    unregister_rank(shared.id);
+}
+
+impl<S: Scheduler> GltRuntime for Runtime<S> {
+    fn backend_name(&self) -> &'static str {
+        self.shared.sched.name()
+    }
+
+    fn num_threads(&self) -> usize {
+        self.shared.cfg.num_threads
+    }
+
+    fn self_rank(&self) -> Option<usize> {
+        lookup_rank(self.shared.id)
+    }
+
+    fn ult_create(&self, work: WorkFn) -> UltHandle {
+        self.create(UnitKind::Ult, Placement::Local, work)
+    }
+
+    fn ult_create_to(&self, target: usize, work: WorkFn) -> UltHandle {
+        self.create(UnitKind::Ult, Placement::To(target), work)
+    }
+
+    fn region_ult_create(&self, tag: u64, work: WorkFn) -> UltHandle {
+        self.create_class(UnitKind::Ult, UnitClass::Region, tag, Placement::Local, work)
+    }
+
+    fn region_ult_create_to(&self, target: usize, tag: u64, work: WorkFn) -> UltHandle {
+        self.create_class(UnitKind::Ult, UnitClass::Region, tag, Placement::To(target), work)
+    }
+
+    fn tasklet_create(&self, work: WorkFn) -> UltHandle {
+        self.create(UnitKind::Tasklet, Placement::Local, work)
+    }
+
+    fn tasklet_create_to(&self, target: usize, work: WorkFn) -> UltHandle {
+        self.create(UnitKind::Tasklet, Placement::To(target), work)
+    }
+
+    fn join(&self, h: &UltHandle) {
+        if h.is_done() {
+            h.propagate_panic();
+            return;
+        }
+        match self.self_rank() {
+            Some(rank) => {
+                // Help-first wait: run other ready units per backend policy.
+                let mut idle = IdleWait::new(
+                    self.shared.cfg.wait_policy,
+                    self.shared.cfg.spin_before_park,
+                    self.shared.cfg.park_timeout,
+                    Arc::clone(&self.shared.slots[rank]),
+                );
+                while !h.is_done() {
+                    match self.shared.take_work(rank) {
+                        Some(u) => {
+                            self.shared.run_unit(rank, &u);
+                            idle.reset();
+                        }
+                        None => idle.idle(),
+                    }
+                }
+            }
+            None => {
+                // External thread: no pool to help with; bounded spin-sleep.
+                let backoff = Backoff::new();
+                while !h.is_done() {
+                    if backoff.is_completed() {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    } else {
+                        backoff.snooze();
+                    }
+                }
+            }
+        }
+        h.propagate_panic();
+    }
+
+    fn yield_now(&self) -> bool {
+        if let Some(rank) = self.self_rank() {
+            if let Some(u) = self.shared.sched.pop_own(rank) {
+                self.shared.run_unit(rank, &u);
+                return true;
+            }
+        }
+        std::thread::yield_now();
+        false
+    }
+
+    fn help_once(&self) -> bool {
+        if let Some(rank) = self.self_rank() {
+            if let Some(u) = self.shared.take_work(rank) {
+                self.shared.run_unit(rank, &u);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn help_once_task(&self) -> bool {
+        self.help_once_filtered(&|_, _| false)
+    }
+
+    fn help_once_filtered(&self, allow_region: &dyn Fn(&UnitState, bool) -> bool) -> bool {
+        let Some(rank) = self.self_rank() else { return false };
+        // Set rejected region units aside while searching, so one
+        // unrunnable unit at the head of a LIFO pool cannot mask runnable
+        // work behind it or on other workers (that would livelock: pop,
+        // reject, re-push, pop the same unit again, never reach steal).
+        let mut rejected_own: Vec<Unit> = Vec::new();
+        let mut rejected_stolen: Vec<Unit> = Vec::new();
+        let mut found: Option<Unit> = None;
+        while let Some(u) = self.shared.sched.pop_own(rank) {
+            if u.0.class() == UnitClass::Region && !allow_region(&u.0, true) {
+                rejected_own.push(u);
+            } else {
+                found = Some(u);
+                break;
+            }
+        }
+        if found.is_none() && self.shared.sched.can_steal() {
+            while let Some(u) = self.shared.sched.steal(rank) {
+                if u.0.class() == UnitClass::Region && !allow_region(&u.0, false) {
+                    rejected_stolen.push(u);
+                } else {
+                    Counters::bump(&self.shared.counters.steals, 1);
+                    found = Some(u);
+                    break;
+                }
+            }
+        }
+        for u in rejected_own {
+            self.shared.sched.push(Some(rank), Placement::Local, u);
+            self.shared.wake_for(Placement::Local);
+        }
+        // Stolen rejects go toward a neighbour, not into this worker's own
+        // pool: keeping them out of "my pool" preserves the meaning of the
+        // `from_own_pool` allowance (units *I* forked), and some top-level
+        // loop will still run them.
+        let n = self.shared.slots.len().max(1);
+        for u in rejected_stolen {
+            let target = (rank + 1) % n;
+            self.shared.sched.push(Some(rank), Placement::To(target), u);
+            self.shared.wake_for(Placement::To(target));
+        }
+        match found {
+            Some(u) => {
+                self.shared.run_unit(rank, &u);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn can_steal(&self) -> bool {
+        self.shared.sched.can_steal()
+    }
+
+    fn tasklets_native(&self) -> bool {
+        self.shared.tasklets_native
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    fn config(&self) -> &GltConfig {
+        &self.shared.cfg
+    }
+}
+
+impl<S: Scheduler> Drop for Runtime<S> {
+    fn drop(&mut self) {
+        // Drain work still queued (structured callers joined everything, so
+        // this is normally empty) on the dropping thread, then stop workers.
+        if let Some(rank) = self.self_rank() {
+            while let Some(u) = self.shared.take_work(rank) {
+                self.shared.run_unit(rank, &u);
+            }
+        }
+        self.shared.stop.store(true, Ordering::Release);
+        for s in &self.shared.slots {
+            s.wake();
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+        unregister_rank(self.shared.id);
+    }
+}
+
+/// Convenience: a runtime over the plain shared-queue scheduler, used by
+/// tests and as the `GLT_SHARED_QUEUES` reference.
+pub type SharedRuntime = Runtime<SharedQueueScheduler>;
+
+/// Start a shared-queue runtime.
+#[must_use]
+pub fn start_shared(cfg: GltConfig) -> SharedRuntime {
+    let sched = SharedQueueScheduler::new(&cfg);
+    Runtime::start(cfg, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn rt(n: usize) -> SharedRuntime {
+        start_shared(GltConfig::with_threads(n))
+    }
+
+    #[test]
+    fn caller_is_rank_zero() {
+        let r = rt(2);
+        assert_eq!(r.self_rank(), Some(0));
+        assert_eq!(r.num_threads(), 2);
+    }
+
+    #[test]
+    fn single_thread_runtime_executes_on_join() {
+        let r = rt(1);
+        let hits = Arc::new(TestCounter::new(0));
+        let h2 = hits.clone();
+        let h = r.ult_create(Box::new(move || {
+            h2.fetch_add(1, Ordering::SeqCst);
+        }));
+        r.join(&h);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_units_all_execute() {
+        let r = rt(4);
+        let hits = Arc::new(TestCounter::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let h = hits.clone();
+                r.ult_create(Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }))
+            })
+            .collect();
+        for h in &handles {
+            r.join(h);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 200);
+        assert_eq!(r.counters().snapshot().ults_created, 200);
+    }
+
+    #[test]
+    fn create_to_targets_specific_worker() {
+        let r = rt(3);
+        let h = r.ult_create_to(2, Box::new(|| {}));
+        r.join(&h);
+        // Shared scheduler doesn't honor placement, but the unit must have
+        // executed on *some* registered rank.
+        assert!(h.executed_by() < 3);
+    }
+
+    #[test]
+    fn tasklet_counts_separately() {
+        let r = rt(2);
+        let h = r.tasklet_create(Box::new(|| {}));
+        r.join(&h);
+        let s = r.counters().snapshot();
+        assert_eq!(s.tasklets_created, 1);
+        assert_eq!(s.ults_created, 0);
+    }
+
+    #[test]
+    fn join_propagates_panic() {
+        let r = rt(1);
+        let h = r.ult_create(Box::new(|| panic!("unit failed")));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.join(&h)));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_create_from_inside_unit() {
+        let r = Arc::new(rt(2));
+        let r2 = Arc::clone(&r);
+        let hits = Arc::new(TestCounter::new(0));
+        let hits2 = hits.clone();
+        let outer = r.ult_create(Box::new(move || {
+            let inner_hits = hits2.clone();
+            let inner = r2.ult_create(Box::new(move || {
+                inner_hits.fetch_add(1, Ordering::SeqCst);
+            }));
+            r2.join(&inner);
+        }));
+        r.join(&outer);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drop_drains_pending_units() {
+        let hits = Arc::new(TestCounter::new(0));
+        {
+            let r = rt(1);
+            for _ in 0..10 {
+                let h = hits.clone();
+                r.ult_create(Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            // no join: Drop must still run them
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn two_runtimes_coexist_on_one_thread() {
+        let a = rt(1);
+        let b = rt(1);
+        assert_eq!(a.self_rank(), Some(0));
+        assert_eq!(b.self_rank(), Some(0));
+        let h = a.ult_create(Box::new(|| {}));
+        a.join(&h);
+        let h = b.ult_create(Box::new(|| {}));
+        b.join(&h);
+    }
+
+    #[test]
+    fn yield_runs_at_most_one_unit() {
+        let r = rt(1);
+        let hits = Arc::new(TestCounter::new(0));
+        for _ in 0..3 {
+            let h = hits.clone();
+            r.ult_create(Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(r.yield_now());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dyn_object_usable() {
+        let r: Arc<dyn GltRuntime> = Arc::new(rt(2));
+        let h = r.ult_create(Box::new(|| {}));
+        r.join(&h);
+        assert!(h.is_done());
+        assert_eq!(r.backend_name(), "shared-queue");
+    }
+}

@@ -1,0 +1,136 @@
+//! The backend scheduler interface.
+//!
+//! A GLT backend is, at this level, a placement + queueing policy: where a
+//! newly created work unit goes, and where a worker looks for its next unit.
+//! Everything else (worker threads, parking, join-help loops, counters) is
+//! shared infrastructure in [`crate::runtime`], so the *only* difference
+//! between the Argobots-, Qthreads-, and MassiveThreads-like backends is the
+//! scheduling semantics the paper attributes to them.
+
+use crate::config::GltConfig;
+use crate::unit::Unit;
+
+/// Where a creation call asked the unit to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Backend default: the creator's own pool (GLT `ult_create`).
+    Local,
+    /// A specific worker's pool (GLT `ult_create_to`); GLTO uses this for
+    /// its round-robin task dispatch (§IV-D).
+    To(usize),
+}
+
+/// Scheduling policy implemented by each backend crate.
+///
+/// Implementations must be safe to call concurrently from all workers.
+/// `rank` arguments are the *calling* worker's rank; `push` may be called
+/// from a non-worker thread with `rank == None` (e.g. an external thread
+/// creating work before registering), in which case backends should fall
+/// back to worker 0's pool or a shared queue.
+pub trait Scheduler: Send + Sync + 'static {
+    /// Human-readable backend name, e.g. `"argobots"`.
+    fn name(&self) -> &'static str;
+
+    /// Enqueue a unit created by `creator` with the given placement.
+    fn push(&self, creator: Option<usize>, placement: Placement, unit: Unit);
+
+    /// Take the next unit for worker `rank` from its own pool(s).
+    fn pop_own(&self, rank: usize) -> Option<Unit>;
+
+    /// Attempt to take work from elsewhere (work stealing). Backends that
+    /// do not steal (Argobots-like private pools) return `None`.
+    fn steal(&self, thief: usize) -> Option<Unit>;
+
+    /// Whether this backend's policy migrates units between workers.
+    fn can_steal(&self) -> bool;
+
+    /// Approximate total queued units (used by tests and load reporting).
+    fn queued_len(&self) -> usize;
+
+    /// Hook invoked once per worker before its main loop (optional).
+    fn on_worker_start(&self, _rank: usize) {}
+
+    /// Reconfigure hints from the runtime config (shared queues etc.) are
+    /// passed at construction time by each backend's constructor; this
+    /// accessor reports whether the backend is running in the paper's
+    /// `GLT_SHARED_QUEUES` mode (§IV-F).
+    fn shared_queues(&self) -> bool;
+}
+
+/// A trivial single-queue scheduler, used directly when
+/// `GLT_SHARED_QUEUES` is requested and as the reference implementation in
+/// tests. All workers share one injector queue; `pop_own` and `steal` both
+/// drain it, so load imbalance is neutralized by construction — exactly the
+/// work-sharing behaviour the paper's §IV-F describes.
+#[derive(Debug)]
+pub struct SharedQueueScheduler {
+    queue: crossbeam_queue::SegQueue<Unit>,
+}
+
+impl SharedQueueScheduler {
+    /// Create a shared-queue scheduler for `_cfg.num_threads` workers.
+    #[must_use]
+    pub fn new(_cfg: &GltConfig) -> Self {
+        SharedQueueScheduler { queue: crossbeam_queue::SegQueue::new() }
+    }
+}
+
+impl Scheduler for SharedQueueScheduler {
+    fn name(&self) -> &'static str {
+        "shared-queue"
+    }
+
+    fn push(&self, _creator: Option<usize>, _placement: Placement, unit: Unit) {
+        self.queue.push(unit);
+    }
+
+    fn pop_own(&self, _rank: usize) -> Option<Unit> {
+        self.queue.pop()
+    }
+
+    fn steal(&self, _thief: usize) -> Option<Unit> {
+        self.queue.pop()
+    }
+
+    fn can_steal(&self) -> bool {
+        true
+    }
+
+    fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn shared_queues(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{UnitKind, UnitState};
+
+    fn unit() -> Unit {
+        Unit(UnitState::new(UnitKind::Ult, 0, Box::new(|| {})))
+    }
+
+    #[test]
+    fn shared_queue_fifo_and_lengths() {
+        let s = SharedQueueScheduler::new(&GltConfig::with_threads(2));
+        assert_eq!(s.queued_len(), 0);
+        s.push(Some(0), Placement::Local, unit());
+        s.push(Some(1), Placement::To(0), unit());
+        assert_eq!(s.queued_len(), 2);
+        assert!(s.pop_own(1).is_some());
+        assert!(s.steal(0).is_some());
+        assert!(s.pop_own(0).is_none());
+    }
+
+    #[test]
+    fn shared_queue_reports_semantics() {
+        let s = SharedQueueScheduler::new(&GltConfig::default());
+        assert!(s.can_steal());
+        assert!(s.shared_queues());
+        assert_eq!(s.name(), "shared-queue");
+    }
+}

@@ -1,0 +1,253 @@
+//! Structured (scoped) spawning over any GLT runtime.
+//!
+//! Work-unit closures handed to a backend must be `'static` (they sit in
+//! queues that outlive the caller's stack frame in the type system's eyes).
+//! OpenMP region bodies and benchmark kernels, however, borrow local data
+//! (matrices, grids, counters). This module provides the **single audited
+//! unsafe facility** of the substrate layer: a scope that erases closure
+//! lifetimes and guarantees — structurally, by joining every spawned unit
+//! before returning, even on panic — that no closure outlives the data it
+//! borrows. This is the same soundness argument as `std::thread::scope` /
+//! `rayon::scope`.
+
+use std::marker::PhantomData;
+
+use parking_lot::Mutex;
+
+use crate::runtime::GltRuntime;
+use crate::unit::{UltHandle, WorkFn};
+
+/// Erase the lifetime of a boxed closure.
+///
+/// # Safety
+/// The caller must guarantee the closure finishes executing before `'env`
+/// ends. [`GltScope`] enforces this by joining every handle before the
+/// scope returns (normally or by unwind).
+pub(crate) unsafe fn erase_lifetime<'env>(
+    f: Box<dyn FnOnce() + Send + 'env>,
+) -> WorkFn {
+    // SAFETY: transmute only changes the lifetime parameter of the trait
+    // object; layout of Box<dyn FnOnce()> is lifetime-independent. The
+    // 'env-outlives-execution obligation is discharged by the caller.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, WorkFn>(f) }
+}
+
+/// A scope in which ULTs/tasklets borrowing local data may be spawned.
+///
+/// Created by [`scope`]; all spawned units are joined before `scope`
+/// returns.
+pub struct GltScope<'rt, 'env, R: GltRuntime + ?Sized> {
+    rt: &'rt R,
+    handles: Mutex<Vec<UltHandle>>,
+    /// Invariant over 'env, like std::thread::Scope: prevents the scope
+    /// from being smuggled into a region with a shorter environment.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'rt, 'env, R: GltRuntime + ?Sized> GltScope<'rt, 'env, R> {
+    /// The runtime this scope spawns onto.
+    #[must_use]
+    pub fn runtime(&self) -> &'rt R {
+        self.rt
+    }
+
+    /// Spawn a ULT with default placement; joined at scope exit.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) -> UltHandle {
+        let work = unsafe { erase_lifetime(Box::new(f) as Box<dyn FnOnce() + Send + 'env>) };
+        let h = self.rt.ult_create(work);
+        self.handles.lock().push(h.clone());
+        h
+    }
+
+    /// Spawn a ULT onto worker `target`; joined at scope exit.
+    pub fn spawn_to<F: FnOnce() + Send + 'env>(&self, target: usize, f: F) -> UltHandle {
+        let work = unsafe { erase_lifetime(Box::new(f) as Box<dyn FnOnce() + Send + 'env>) };
+        let h = self.rt.ult_create_to(target, work);
+        self.handles.lock().push(h.clone());
+        h
+    }
+
+    /// Spawn a tasklet with default placement; joined at scope exit.
+    pub fn spawn_tasklet<F: FnOnce() + Send + 'env>(&self, f: F) -> UltHandle {
+        let work = unsafe { erase_lifetime(Box::new(f) as Box<dyn FnOnce() + Send + 'env>) };
+        let h = self.rt.tasklet_create(work);
+        self.handles.lock().push(h.clone());
+        h
+    }
+
+    /// Join a specific handle early (it is skipped at scope exit).
+    pub fn join(&self, h: &UltHandle) {
+        self.rt.join(h);
+    }
+
+    fn join_all(&self) {
+        // Joining may race with concurrent spawns only if user code leaks
+        // &GltScope to another thread and spawns during teardown; the loop
+        // re-checks until the list drains, so late spawns are still joined.
+        loop {
+            let batch: Vec<UltHandle> = std::mem::take(&mut *self.handles.lock());
+            if batch.is_empty() {
+                break;
+            }
+            for h in &batch {
+                // Wait without propagating: every unit must be joined even
+                // if an earlier one panicked. `join` only returns once the
+                // unit is done, so catching its re-thrown panic is enough.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.rt.join(h);
+                }));
+                drop(r);
+                debug_assert!(h.is_done());
+            }
+        }
+    }
+}
+
+/// Run `f` with a [`GltScope`]; every unit spawned in the scope completes
+/// before `scope` returns. Panics from spawned units propagate after all
+/// units have finished (first panic wins).
+pub fn scope<'env, R, F, T>(rt: &R, f: F) -> T
+where
+    R: GltRuntime + ?Sized,
+    F: FnOnce(&GltScope<'_, 'env, R>) -> T,
+{
+    let s = GltScope { rt, handles: Mutex::new(Vec::new()), _env: PhantomData };
+    // Guard: join everything even if `f` unwinds.
+    struct Guard<'a, 'rt, 'env, R: GltRuntime + ?Sized>(&'a GltScope<'rt, 'env, R>);
+    impl<R: GltRuntime + ?Sized> Drop for Guard<'_, '_, '_, R> {
+        fn drop(&mut self) {
+            // A panic during join_all while already unwinding would abort;
+            // swallow unit panics here — the primary unwind wins.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.0.join_all();
+            }));
+            drop(r);
+        }
+    }
+    let guard = Guard(&s);
+    let out = f(&s);
+    // Normal exit: join and let unit panics propagate to the caller.
+    std::mem::forget(guard);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    loop {
+        let batch: Vec<UltHandle> = std::mem::take(&mut *s.handles.lock());
+        if batch.is_empty() {
+            break;
+        }
+        for h in &batch {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.join(h)));
+            if let Err(p) = r {
+                first_panic.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GltConfig;
+    use crate::runtime::start_shared;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_borrows_local_data() {
+        let rt = start_shared(GltConfig::with_threads(3));
+        let mut results = vec![0usize; 64];
+        let counter = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            for chunk in results.chunks_mut(8) {
+                let counter = &counter;
+                s.spawn(move || {
+                    for v in chunk.iter_mut() {
+                        *v = 1;
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert!(results.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let rt = start_shared(GltConfig::with_threads(1));
+        let v = scope(&rt, |s| {
+            s.spawn(|| {});
+            42
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn unit_panic_propagates_after_all_join() {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let ok = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(&rt, |s| {
+                s.spawn(|| panic!("child"));
+                for _ in 0..10 {
+                    let ok = &ok;
+                    s.spawn(move || {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(res.is_err());
+        assert_eq!(ok.load(Ordering::SeqCst), 10, "all siblings ran before unwind");
+    }
+
+    #[test]
+    fn body_panic_still_joins_children() {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let ran = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(&rt, |s| {
+                let ran = &ran;
+                s.spawn(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("body");
+            });
+        }));
+        assert!(res.is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn early_join_inside_scope() {
+        let rt = start_shared(GltConfig::with_threads(1));
+        let flag = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            let flag = &flag;
+            let h = s.spawn(move || {
+                flag.store(7, Ordering::SeqCst);
+            });
+            s.join(&h);
+            assert_eq!(flag.load(Ordering::SeqCst), 7);
+        });
+    }
+
+    #[test]
+    fn spawn_to_and_tasklets() {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let n = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            let n1 = &n;
+            s.spawn_to(1, move || {
+                n1.fetch_add(1, Ordering::SeqCst);
+            });
+            let n2 = &n;
+            s.spawn_tasklet(move || {
+                n2.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 11);
+    }
+}

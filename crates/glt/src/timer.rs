@@ -1,0 +1,141 @@
+//! GLT timer utilities (`GLT_timer_*` in the C API).
+//!
+//! The GLT API ships wall-clock helpers so portable code does not reach
+//! for platform timers; the paper's microbenchmarks are built on them.
+//! This is the Rust analog: monotonic, `f64`-seconds based.
+
+use std::time::{Duration, Instant};
+
+/// A start/stop interval timer (`GLT_timer_create/start/stop/get_secs`).
+#[derive(Debug, Clone, Copy)]
+pub struct GltTimer {
+    started: Option<Instant>,
+    accumulated: Duration,
+}
+
+impl Default for GltTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GltTimer {
+    /// Fresh, stopped timer with zero accumulated time.
+    #[must_use]
+    pub fn new() -> Self {
+        GltTimer { started: None, accumulated: Duration::ZERO }
+    }
+
+    /// Start (or restart) the interval.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stop the interval, adding it to the accumulated total.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.accumulated += t0.elapsed();
+        }
+    }
+
+    /// Accumulated seconds across all start/stop intervals (plus the
+    /// current one, if running).
+    #[must_use]
+    pub fn secs(&self) -> f64 {
+        let running = self.started.map_or(Duration::ZERO, |t0| t0.elapsed());
+        (self.accumulated + running).as_secs_f64()
+    }
+
+    /// Reset to zero, stopped.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// Seconds since an arbitrary process-local epoch (`GLT_get_wtime`).
+#[must_use]
+pub fn wtime() -> f64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Timer resolution in seconds (`omp_get_wtick` analog): the smallest
+/// observable non-zero delta of [`wtime`], measured once.
+#[must_use]
+pub fn wtick() -> f64 {
+    use std::sync::OnceLock;
+    static TICK: OnceLock<f64> = OnceLock::new();
+    *TICK.get_or_init(|| {
+        let mut best = f64::INFINITY;
+        for _ in 0..64 {
+            let a = Instant::now();
+            let mut b = Instant::now();
+            while b == a {
+                b = Instant::now();
+            }
+            let d = (b - a).as_secs_f64();
+            if d > 0.0 && d < best {
+                best = d;
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            1e-9
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates_intervals() {
+        let mut t = GltTimer::new();
+        assert_eq!(t.secs(), 0.0);
+        t.start();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        t.stop();
+        let first = t.secs();
+        assert!(first > 0.0);
+        t.start();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        t.stop();
+        assert!(t.secs() >= first);
+    }
+
+    #[test]
+    fn running_timer_reads_without_stop() {
+        let mut t = GltTimer::new();
+        t.start();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        assert!(t.secs() > 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut t = GltTimer::new();
+        t.start();
+        t.stop();
+        t.reset();
+        assert_eq!(t.secs(), 0.0);
+    }
+
+    #[test]
+    fn wtime_monotonic_and_wtick_positive() {
+        let a = wtime();
+        let b = wtime();
+        assert!(b >= a);
+        let tick = wtick();
+        assert!(tick > 0.0 && tick < 1.0);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut t = GltTimer::new();
+        t.stop();
+        assert_eq!(t.secs(), 0.0);
+    }
+}

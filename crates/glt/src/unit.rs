@@ -1,0 +1,303 @@
+//! Work units: user-level threads (ULTs) and tasklets.
+//!
+//! The GLT programming model (paper Fig. 1) distinguishes:
+//! * `GLT_ult` — a user-level thread: owns a logical stack, may block
+//!   (cooperatively, by *helping* in this implementation) and therefore may
+//!   observe scheduling (yield, join).
+//! * `GLT_tasklet` — a lighter unit without a stack: runs to completion,
+//!   can neither yield nor migrate once started. Natively supported by the
+//!   Argobots-like backend; emulated over ULTs elsewhere, exactly as the
+//!   paper describes for Qthreads/MassiveThreads (§III-B).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// The closure a work unit executes.
+pub type WorkFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// Kind of work unit (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// User-level thread: may yield/help while blocked.
+    Ult,
+    /// Stackless run-to-completion unit.
+    Tasklet,
+}
+
+/// Rank value meaning "not started / not executed by any worker yet".
+pub const NO_RANK: usize = usize::MAX;
+
+/// Scheduling class of a unit: how help-waiting may treat it.
+///
+/// `Task` units run to completion without team barriers (OpenMP forbids
+/// barriers inside explicit tasks), so they are always safe to execute
+/// nested inside a blocked wait. `Region` units (OpenMP team members) may
+/// contain multiple barriers; executing one nested above another member's
+/// wait frame can deadlock on its host's stack, so waits on backends with
+/// work stealing skip them and leave them for a worker's top-level loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// Help-safe: run-to-completion, no team barriers inside.
+    Task,
+    /// A parallel-region member; may block on team barriers.
+    Region,
+}
+
+const ST_PENDING: u8 = 0;
+const ST_RUNNING: u8 = 1;
+const ST_DONE: u8 = 2;
+
+/// Shared state of one work unit.
+///
+/// Created by the runtime on `ult_create`/`tasklet_create`; a clone of the
+/// `Arc` lives in the scheduler queue (as a [`Unit`]) and another in the
+/// user's [`UltHandle`].
+pub struct UnitState {
+    /// Globally unique id (diagnostics).
+    pub id: u64,
+    kind: UnitKind,
+    class: UnitClass,
+    /// Caller-supplied tag; GLTO stores the owning team's generation so
+    /// waits can tell "a member of a team I forked deeper" from "a member
+    /// of my own or an outer team" (see `UnitClass`). 0 = untagged.
+    tag: u64,
+    work: Mutex<Option<WorkFn>>,
+    status: AtomicU8,
+    /// Worker rank that created the unit (for migration statistics).
+    created_by: usize,
+    /// Worker rank that executed the unit ([`NO_RANK`] until started).
+    executed_by: AtomicUsize,
+    /// Panic payload captured from the work closure, surfaced at join.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl std::fmt::Debug for UnitState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnitState")
+            .field("kind", &self.kind)
+            .field("status", &self.status.load(Ordering::Relaxed))
+            .field("created_by", &self.created_by)
+            .field("executed_by", &self.executed_by.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl UnitState {
+    /// Create a new pending unit.
+    #[must_use]
+    pub fn new(kind: UnitKind, created_by: usize, work: WorkFn) -> Arc<Self> {
+        Self::new_with_class(kind, UnitClass::Task, 0, created_by, work)
+    }
+
+    /// Create a new pending unit with an explicit scheduling class and tag.
+    #[must_use]
+    pub fn new_with_class(
+        kind: UnitKind,
+        class: UnitClass,
+        tag: u64,
+        created_by: usize,
+        work: WorkFn,
+    ) -> Arc<Self> {
+        static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+        Arc::new(UnitState {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed) as u64,
+            kind,
+            class,
+            tag,
+            work: Mutex::new(Some(work)),
+            status: AtomicU8::new(ST_PENDING),
+            created_by,
+            executed_by: AtomicUsize::new(NO_RANK),
+            panic: Mutex::new(None),
+        })
+    }
+
+    /// Kind of this unit.
+    #[must_use]
+    pub fn kind(&self) -> UnitKind {
+        self.kind
+    }
+
+    /// Scheduling class of this unit.
+    #[must_use]
+    pub fn class(&self) -> UnitClass {
+        self.class
+    }
+
+    /// Caller-supplied tag (GLTO: the owning team's generation).
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Rank of the worker that created this unit.
+    #[must_use]
+    pub fn created_by(&self) -> usize {
+        self.created_by
+    }
+
+    /// Rank of the worker that executed this unit, or [`NO_RANK`].
+    #[must_use]
+    pub fn executed_by(&self) -> usize {
+        self.executed_by.load(Ordering::Acquire)
+    }
+
+    /// Whether the unit has finished executing.
+    ///
+    /// `Acquire` so a joiner that observes `true` also observes all writes
+    /// the work closure made (the matching `Release` is in [`Unit::run`]).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.status.load(Ordering::Acquire) == ST_DONE
+    }
+
+    /// Take the panic payload, if the closure panicked.
+    #[must_use]
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().take()
+    }
+}
+
+/// A schedulable work unit (what sits in backend queues).
+#[derive(Clone, Debug)]
+pub struct Unit(pub Arc<UnitState>);
+
+impl Unit {
+    /// Execute the unit on the calling worker.
+    ///
+    /// Exactly-once: the closure is `take`n under the state lock, so even if
+    /// a unit were double-enqueued the body runs once and the second run is
+    /// a no-op. Panics from the closure are captured and re-thrown at
+    /// [`UltHandle::join_result`].
+    pub fn run(&self, my_rank: usize) {
+        let work = self.0.work.lock().take();
+        let Some(work) = work else { return };
+        self.0.status.store(ST_RUNNING, Ordering::Relaxed);
+        self.0.executed_by.store(my_rank, Ordering::Relaxed);
+        let result = panic::catch_unwind(AssertUnwindSafe(work));
+        if let Err(payload) = result {
+            *self.0.panic.lock() = Some(payload);
+        }
+        // Release: joiners observing DONE must see the closure's writes.
+        self.0.status.store(ST_DONE, Ordering::Release);
+    }
+}
+
+/// User-facing handle to a created ULT/tasklet. Join through the runtime
+/// (`GltRuntime::join`), which supplies the backend's help policy.
+#[derive(Clone, Debug)]
+pub struct UltHandle(pub(crate) Arc<UnitState>);
+
+impl UltHandle {
+    pub(crate) fn new(state: Arc<UnitState>) -> Self {
+        UltHandle(state)
+    }
+
+    /// Whether the unit completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    /// Kind of the unit behind this handle.
+    #[must_use]
+    pub fn kind(&self) -> UnitKind {
+        self.0.kind()
+    }
+
+    /// Rank that created the unit.
+    #[must_use]
+    pub fn created_by(&self) -> usize {
+        self.0.created_by()
+    }
+
+    /// Rank that executed the unit ([`NO_RANK`] if not yet started).
+    #[must_use]
+    pub fn executed_by(&self) -> usize {
+        self.0.executed_by()
+    }
+
+    /// Access the underlying state (used by runtimes).
+    #[must_use]
+    pub fn state(&self) -> &Arc<UnitState> {
+        &self.0
+    }
+
+    /// After the unit is done, re-throw a captured panic on the joiner.
+    /// Runtimes call this at the end of `join`.
+    pub fn propagate_panic(&self) {
+        debug_assert!(self.is_done());
+        if let Some(p) = self.0.take_panic() {
+            panic::resume_unwind(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn run_executes_once_and_records_rank() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = hits.clone();
+        let st = UnitState::new(UnitKind::Ult, 0, Box::new(move || {
+            h2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let u = Unit(st.clone());
+        assert!(!st.is_done());
+        u.run(3);
+        u.run(4); // second run is a no-op
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(st.is_done());
+        assert_eq!(st.executed_by(), 3);
+        assert_eq!(st.created_by(), 0);
+    }
+
+    #[test]
+    fn panic_is_captured_not_propagated_by_run() {
+        let st = UnitState::new(UnitKind::Tasklet, 1, Box::new(|| panic!("boom")));
+        let u = Unit(st.clone());
+        u.run(0); // must not unwind into us
+        assert!(st.is_done());
+        let h = UltHandle::new(st);
+        let p = h.0.take_panic();
+        assert!(p.is_some());
+    }
+
+    #[test]
+    fn propagate_panic_rethrows() {
+        let st = UnitState::new(UnitKind::Ult, 0, Box::new(|| panic!("later")));
+        Unit(st.clone()).run(0);
+        let h = UltHandle::new(st);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| h.propagate_panic()));
+        assert!(caught.is_err());
+        // Payload is consumed: a second propagate is a no-op.
+        h.propagate_panic();
+    }
+
+    #[test]
+    fn done_flag_publishes_closure_writes() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let st = UnitState::new(UnitKind::Ult, 0, Box::new(move || {
+            f2.store(true, Ordering::Relaxed);
+        }));
+        Unit(st.clone()).run(0);
+        if st.is_done() {
+            assert!(flag.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn handle_reports_kind() {
+        let st = UnitState::new(UnitKind::Tasklet, 0, Box::new(|| {}));
+        let h = UltHandle::new(st);
+        assert_eq!(h.kind(), UnitKind::Tasklet);
+        assert_eq!(h.executed_by(), NO_RANK);
+    }
+}

@@ -1,0 +1,358 @@
+//! # glto — GLTO: an OpenMP runtime over Generic Lightweight Threads
+//!
+//! The primary contribution of *GLTO: On the Adequacy of Lightweight
+//! Thread Approaches for OpenMP Implementations* (Castelló et al., ICPP
+//! 2017), rebuilt in Rust: an OpenMP runtime whose threads, work-sharing
+//! chunks, and tasks are all **lightweight work units** scheduled in user
+//! space by a GLT backend, instead of kernel-level pthreads.
+//!
+//! Design map (paper § → module):
+//!
+//! * §IV-B GLT_threads created up front, master = GLT_thread 0 →
+//!   [`GltoRuntime::new`];
+//! * §IV-C work-sharing: ULT per team member, master joins →
+//!   `team::GltoTeam::run_region`;
+//! * §IV-D tasks: ULT per task, round-robin dispatch from single/master
+//!   regions → `team::GltoTeam::spawn_task`;
+//! * §IV-E nested parallelism without oversubscription → ULTs on existing
+//!   GLT_threads;
+//! * §IV-F load imbalance → `GLT_SHARED_QUEUES` (`OmpConfig::shared_queues`);
+//! * §IV-G MassiveThreads master-yield restriction →
+//!   [`GltoRuntime::master_yield_forbidden`].
+//!
+//! ```
+//! use glto::{Backend, GltoRuntime};
+//! use omp::{OmpConfig, OmpRuntimeExt, Schedule};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let rt = GltoRuntime::new(Backend::Abt, OmpConfig::with_threads(2));
+//! let sum = AtomicU64::new(0);
+//! rt.parallel(|ctx| {
+//!     ctx.for_each(0..100, Schedule::Static { chunk: None }, |i| {
+//!         sum.fetch_add(i, Ordering::Relaxed);
+//!     });
+//! });
+//! assert_eq!(sum.into_inner(), 4950);
+//! ```
+
+#![warn(missing_docs)]
+
+mod backend;
+mod runtime;
+mod team;
+
+pub use backend::{AnyGlt, Backend};
+pub use runtime::GltoRuntime;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt, Schedule, TaskFlags};
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn rt(b: Backend, n: usize) -> Arc<GltoRuntime> {
+        GltoRuntime::new(b, OmpConfig::with_threads(n))
+    }
+
+    #[test]
+    fn all_backends_run_regions_with_full_teams() {
+        for b in Backend::all() {
+            let r = rt(b, 4);
+            let tids = parking_lot::Mutex::new(HashSet::new());
+            r.parallel(|ctx| {
+                assert_eq!(ctx.num_threads(), 4);
+                tids.lock().insert(ctx.thread_num());
+            });
+            assert_eq!(tids.lock().len(), 4, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn region_creates_n_minus_one_ults() {
+        let r = rt(Backend::Abt, 4);
+        r.counters().reset();
+        r.parallel(|_| {});
+        let s = r.counters().snapshot();
+        assert_eq!(s.ults_created, 3, "one ULT per non-master member (§IV-C)");
+        assert_eq!(s.forks, 1);
+    }
+
+    #[test]
+    fn for_each_and_reduction_all_backends() {
+        for b in Backend::all() {
+            let r = rt(b, 3);
+            let out = parking_lot::Mutex::new(0u64);
+            r.parallel(|ctx| {
+                let s = ctx.for_reduce(
+                    0..500,
+                    Schedule::Dynamic { chunk: 16 },
+                    0u64,
+                    |i, acc| *acc += i,
+                    |a, b| a + b,
+                );
+                ctx.master(|| *out.lock() = s);
+            });
+            assert_eq!(*out.lock(), 499 * 500 / 2, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn tasks_from_single_are_round_robin_dispatched() {
+        let r = rt(Backend::Abt, 4);
+        r.counters().reset();
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..40 {
+                    let done = &done;
+                    ctx.task(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 40);
+        let s = r.counters().snapshot();
+        assert_eq!(s.tasks_queued, 40, "GLTO defers every task as a ULT");
+        // Round-robin spreads across GLT_threads: with no stealing (ABT),
+        // remote pushes prove distribution beyond the creator.
+        assert!(s.remote_pushes >= 20, "round-robin dispatch must spread tasks");
+    }
+
+    #[test]
+    fn tasks_outside_single_stay_local() {
+        let r = rt(Backend::Abt, 4);
+        r.counters().reset();
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            for _ in 0..5 {
+                let done = &done;
+                ctx.task(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+        // Local creation: the only remote pushes are the region-fork ULTs,
+        // which are counted separately as ults_created (3 of those are
+        // remote).
+        let s = r.counters().snapshot();
+        assert_eq!(s.remote_pushes, 3, "task ULTs must stay on their creators");
+    }
+
+    #[test]
+    fn nested_regions_create_ults_not_threads() {
+        let r = rt(Backend::Abt, 3);
+        r.counters().reset();
+        let inner_counts = parking_lot::Mutex::new(Vec::new());
+        r.parallel(|ctx| {
+            ctx.parallel(|inner| {
+                if inner.thread_num() == 0 {
+                    inner_counts.lock().push(inner.num_threads());
+                }
+            });
+        });
+        assert_eq!(*inner_counts.lock(), vec![3, 3, 3]);
+        let s = r.counters().snapshot();
+        assert_eq!(s.os_threads_created, 0, "no OS threads after startup (§IV-E)");
+        // 2 outer ULTs + 3 inner regions × 2 ULTs = 8.
+        assert_eq!(s.ults_created, 8);
+    }
+
+    #[test]
+    fn final_tasks_execute_directly() {
+        let r = rt(Backend::Qth, 2);
+        r.counters().reset();
+        assert!(r.honors_final());
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.master(|| {
+                let done = &done;
+                ctx.task_with(TaskFlags { final_clause: true, ..TaskFlags::default() }, move |c| {
+                    assert!(c.in_final());
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        let s = r.counters().snapshot();
+        assert_eq!(s.tasks_direct, 1);
+        assert_eq!(s.tasks_queued, 0);
+    }
+
+    #[test]
+    fn shared_queues_mode_runs_correctly() {
+        let r = GltoRuntime::new(Backend::Abt, OmpConfig::with_threads(3).shared_queues(true));
+        let sum = AtomicU64::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for i in 0..30u64 {
+                    let sum = &sum;
+                    ctx.task(move |_| {
+                        sum.fetch_add(i, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 29 * 30 / 2);
+    }
+
+    #[test]
+    fn mth_master_yield_quirk_flag() {
+        assert!(rt(Backend::Mth, 2).master_yield_forbidden());
+        assert!(!rt(Backend::Abt, 2).master_yield_forbidden());
+        assert!(!rt(Backend::Qth, 2).master_yield_forbidden());
+        // Degenerate single-thread runtime: nobody can steal, so the
+        // restriction must not apply (it would deadlock every wait).
+        assert!(!rt(Backend::Mth, 1).master_yield_forbidden());
+    }
+
+    #[test]
+    fn mth_single_thread_tasks_and_waits_complete() {
+        // Regression: GLTO(MTH) with one GLT_thread used to deadlock at
+        // taskwait (master forbidden from helping, no thief available).
+        let r = rt(Backend::Mth, 1);
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..10 {
+                    let done = &done;
+                    ctx.task(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                ctx.taskwait();
+            });
+            ctx.barrier();
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn mth_nested_still_completes() {
+        // Even with the master forbidden from helping, nested regions must
+        // complete (workers steal the master's inner ULTs).
+        let r = rt(Backend::Mth, 3);
+        let hits = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.parallel(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn sections_and_critical_all_backends() {
+        for b in Backend::all() {
+            let r = rt(b, 2);
+            let n = AtomicUsize::new(0);
+            r.parallel(|ctx| {
+                ctx.sections(vec![
+                    Box::new(|| {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    Box::new(|| {
+                        n.fetch_add(10, Ordering::SeqCst);
+                    }),
+                    Box::new(|| {
+                        n.fetch_add(100, Ordering::SeqCst);
+                    }),
+                ]);
+                ctx.critical("acc", || {
+                    n.fetch_add(1000, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(n.load(Ordering::SeqCst), 2111, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn three_level_nesting_with_mixed_sizes() {
+        for b in Backend::all() {
+            let r = rt(b, 3);
+            let leaves = AtomicUsize::new(0);
+            r.parallel_n(Some(2), |c1| {
+                c1.parallel_n(Some(3), |c2| {
+                    c2.parallel_n(Some(2), |_| {
+                        leaves.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            });
+            assert_eq!(leaves.load(Ordering::SeqCst), 12, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn barrier_inside_nested_region_completes() {
+        // One mid-region barrier (the for_each's implicit one) in an inner
+        // body — the nesting-policy case behind the fixed deadlocks (see
+        // the team.rs module docs).
+        for b in Backend::all() {
+            let r = rt(b, 2);
+            let hits = AtomicUsize::new(0);
+            r.parallel(|ctx| {
+                ctx.parallel(|inner| {
+                    inner.for_each(0..8, Schedule::Static { chunk: None }, |_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 16, "backend {b:?}");
+        }
+    }
+
+    /// Known limitation of the help-first (run-to-completion) model: an
+    /// inner-region body with **two or more** barriers, where inner
+    /// members execute nested on the creating worker's stack, can
+    /// deadlock — the nested member blocks at the second barrier above
+    /// the host frame it needs (DESIGN.md §5, EXPERIMENTS.md divergences).
+    /// Kept as a documented, ignored regression marker; real GLTO avoids
+    /// it with stackful ULT context switches.
+    #[test]
+    #[ignore = "documented help-first limitation: multi-barrier nested bodies"]
+    fn multi_barrier_nested_bodies_are_unsupported() {
+        let r = rt(Backend::Abt, 2);
+        let hits = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.parallel(|inner| {
+                inner.barrier();
+                inner.barrier(); // second barrier: would deadlock nested
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn tasks_inside_nested_regions() {
+        for b in Backend::all() {
+            let r = rt(b, 2);
+            let done = AtomicUsize::new(0);
+            r.parallel(|ctx| {
+                ctx.parallel(|inner| {
+                    inner.single(|| {
+                        for _ in 0..6 {
+                            let done = &done;
+                            inner.task(move |_| {
+                                done.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            });
+            assert_eq!(done.load(Ordering::SeqCst), 12, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn num_threads_clause_overrides_icv() {
+        let r = rt(Backend::Abt, 4);
+        r.parallel_n(Some(2), |ctx| {
+            assert_eq!(ctx.num_threads(), 2);
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! `GltoRuntime`: the OpenMP runtime over GLT (the paper's contribution).
+
+use std::sync::Arc;
+
+use glt::{Counters, GltConfig, GltRuntime, WaitPolicy};
+use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
+
+use crate::backend::{AnyGlt, Backend};
+use crate::team::GltoTeam;
+
+/// The GLTO OpenMP runtime: complies with the `omp` front-end (the paper's
+/// OpenMP 4.0 surface) while executing everything as GLT work units over
+/// the selected LWT backend.
+pub struct GltoRuntime {
+    cfg: OmpConfig,
+    icvs: Icvs,
+    criticals: CriticalRegistry,
+    backend: Backend,
+    glt: AnyGlt,
+}
+
+impl GltoRuntime {
+    /// Start GLTO over `backend`. The `GLT_thread`s (one of which is the
+    /// calling thread) are created here, up front — "GLT_threads are bound
+    /// to CPU cores and are created when the library is loaded" (§IV-B).
+    #[must_use]
+    pub fn new(backend: Backend, cfg: OmpConfig) -> Arc<Self> {
+        let glt_cfg = GltConfig {
+            num_threads: cfg.num_threads,
+            shared_queues: cfg.shared_queues,
+            wait_policy: cfg.wait_policy,
+            ..GltConfig::default()
+        };
+        let glt = AnyGlt::start(backend, glt_cfg);
+        let icvs = Icvs::new(&cfg);
+        Arc::new(GltoRuntime {
+            cfg,
+            icvs,
+            criticals: CriticalRegistry::new(),
+            backend,
+            glt,
+        })
+    }
+
+    /// The underlying GLT runtime.
+    #[must_use]
+    pub fn glt(&self) -> &AnyGlt {
+        &self.glt
+    }
+
+    /// Which LWT backend this runtime uses.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Critical-section registry (shared by all this runtime's teams).
+    #[must_use]
+    pub fn criticals(&self) -> &CriticalRegistry {
+        &self.criticals
+    }
+
+    /// Wait policy for idle loops.
+    #[must_use]
+    pub fn wait_policy(&self) -> WaitPolicy {
+        self.cfg.wait_policy
+    }
+
+    /// §IV-G: under the MassiveThreads-like backend the primary GLT_thread
+    /// (the OpenMP master) must not yield/help — MassiveThreads would let
+    /// its work be stolen, displacing the master from GLT_thread 0. GLTO
+    /// forbids the yield instead, which is exactly the modification the
+    /// paper describes (and the reason GLTO(MTH) suffers in Figs. 8–9).
+    /// With a single GLT_thread there is nobody to steal anything, so the
+    /// restriction would deadlock every wait; it only applies when other
+    /// workers exist.
+    #[must_use]
+    pub fn master_yield_forbidden(&self) -> bool {
+        self.backend == Backend::Mth && self.glt.num_threads() > 1
+    }
+}
+
+impl OmpRuntime for GltoRuntime {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    fn icvs(&self) -> &Icvs {
+        &self.icvs
+    }
+
+    fn omp_config(&self) -> &OmpConfig {
+        &self.cfg
+    }
+
+    fn counters(&self) -> &Counters {
+        // One shared block: ULT creations are counted by the GLT layer,
+        // task/fork statistics by the GLTO layer.
+        self.glt.counters()
+    }
+
+    fn parallel_erased(&self, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let team = GltoTeam::new(self, 1, n);
+        team.run_region(body);
+    }
+
+    fn honors_final(&self) -> bool {
+        true // GLTO executes `final` tasks directly (passes the suite)
+    }
+}

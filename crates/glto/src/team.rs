@@ -1,0 +1,499 @@
+//! The GLTO team: OpenMP semantics mapped onto GLT work units.
+//!
+//! * **Work-sharing (§IV-C)**: the master creates one `GLT_ult` per other
+//!   team member, bound to that member's `GLT_thread`, runs its own share
+//!   inline, and joins the rest.
+//! * **Tasks (§IV-D)**: each `omp task` becomes a `GLT_ult`. Inside a
+//!   `single`/`master` region the runtime detects the single-producer
+//!   pattern and dispatches round-robin across all `GLT_thread`s;
+//!   otherwise each thread keeps its own tasks local.
+//! * **Nested parallelism (§IV-E)**: an inner region creates ULTs on the
+//!   encountering `GLT_thread` — never new OS threads — so the system is
+//!   not oversubscribed.
+//! * **Load imbalance (§IV-F)**: `GLT_SHARED_QUEUES` replaces every pool
+//!   with one shared queue (handled in the GLT layer).
+//! * **MassiveThreads quirk (§IV-G)**: the primary `GLT_thread` (the
+//!   OpenMP master) is not allowed to yield/help under the
+//!   MassiveThreads-like backend; its work must be stolen by others.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use glt::{Counters, GltRuntime, UltHandle, WaitPolicy};
+use omp::serial::SerialTeam;
+use omp::{
+    run_region_member, CentralBarrier, OmpRuntime, RegionFn, TaskBody, TaskMeta, TeamOps,
+    WorkshareTable,
+};
+
+use crate::runtime::GltoRuntime;
+
+/// Raw-pointer capsule for the fork: the region ULTs reference the
+/// master's stack frame (team + body), valid until the master has joined
+/// every region ULT.
+struct ForkCmd {
+    team: *const GltoTeam<'static>,
+    body: *const RegionFn<'static>,
+    tid: usize,
+}
+// SAFETY: see above — join-before-return protocol in `run_region`.
+unsafe impl Send for ForkCmd {}
+
+/// Monotonic team generation: a unique tag per team, stamped on its
+/// member ULTs so waits can classify a pending member as belonging to
+/// this thread's current team, an ancestor team, or an unrelated
+/// (sibling/deeper) team.
+static NEXT_TEAM_TAG: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Lineages (ancestor-tag chains, own tag last) of the teams whose
+    /// member frames are live on this OS thread, innermost last. Pushed on
+    /// entry to a member's body, popped on exit.
+    static ACTIVE_TEAMS: std::cell::RefCell<Vec<std::sync::Arc<Vec<u64>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII: marks a team (with its whole ancestor lineage) active on this
+/// thread for the duration of one member-body execution.
+struct ActiveTeamGuard;
+
+impl ActiveTeamGuard {
+    fn enter(lineage: std::sync::Arc<Vec<u64>>) -> ActiveTeamGuard {
+        ACTIVE_TEAMS.with(|t| t.borrow_mut().push(lineage));
+        ActiveTeamGuard
+    }
+}
+
+impl Drop for ActiveTeamGuard {
+    fn drop(&mut self) {
+        ACTIVE_TEAMS.with(|t| {
+            t.borrow_mut().pop();
+        });
+    }
+}
+
+/// May a region member start nested on this stack right now?
+///
+/// * A member of an *unrelated* team (not on this thread's active stack —
+///   a sibling or deeper fork) is always safe: its barriers only involve
+///   frames on other stacks.
+/// * A member of the *current innermost* team is safe at quiescent points
+///   (`end_region`, the fork join): if that member had any barrier ahead
+///   of it, the caller could not have reached quiescence — so its body is
+///   barrier-free from here. At a *barrier* wait it is only started when
+///   this thread forked it itself and holds it in its own pool (the
+///   sole-runner case: a creator whose nested members nobody else is
+///   guaranteed to run); bodies with two or more barriers nested on one
+///   worker remain a documented limitation of the help-first model.
+/// * A member of an ancestor team is never safe: its barriers need frames
+///   buried beneath this one.
+fn region_nesting_allowed(
+    u: &glt::UnitState,
+    from_own_pool: bool,
+    at_quiescent_point: bool,
+    my_rank: usize,
+    shared_queues: bool,
+) -> bool {
+    ACTIVE_TEAMS.with(|t| {
+        let t = t.borrow();
+        let tag = u.tag();
+        // The member's team must not be an ancestor — in the *global team
+        // tree*, not merely this thread's stack — of any team active on
+        // this thread: an ancestor team's barriers can transitively
+        // require this thread's buried frames (e.g. an outer-team member
+        // blocking at the outer barrier that needs the master, while the
+        // master waits for the very frame beneath us). Each active entry
+        // carries its full lineage, so one containment check covers both
+        // "on my stack" and "ancestor of something on my stack".
+        let innermost_own = t.last().map(|l| *l.last().expect("non-empty lineage"));
+        for lineage in t.iter() {
+            if lineage.contains(&tag) {
+                // Exception: the innermost current team itself, at a
+                // quiescent point (its body is provably past every
+                // barrier) or as this thread's own fork (sole-runner).
+                return innermost_own == Some(tag)
+                    && (at_quiescent_point
+                        || (from_own_pool && !shared_queues && u.created_by() == my_rank));
+            }
+        }
+        true // unrelated lineage (sibling / deeper elsewhere)
+    })
+}
+
+/// One active GLTO parallel region.
+pub(crate) struct GltoTeam<'rt> {
+    rt: &'rt GltoRuntime,
+    tag: u64,
+    /// Ancestor tags (outermost first) + own tag last.
+    lineage: std::sync::Arc<Vec<u64>>,
+    level: usize,
+    nthreads: usize,
+    barrier: CentralBarrier,
+    ws: WorkshareTable,
+    outstanding: AtomicUsize,
+    rr: AtomicUsize,
+    region_arrivals: AtomicUsize,
+}
+
+impl<'rt> GltoTeam<'rt> {
+    pub(crate) fn new(rt: &'rt GltoRuntime, level: usize, nthreads: usize) -> Self {
+        Self::with_parent(rt, level, nthreads, &[])
+    }
+
+    /// Create a team nested under `parent_lineage` (empty for top level).
+    pub(crate) fn with_parent(
+        rt: &'rt GltoRuntime,
+        level: usize,
+        nthreads: usize,
+        parent_lineage: &[u64],
+    ) -> Self {
+        let nthreads = nthreads.max(1);
+        let tag = NEXT_TEAM_TAG.fetch_add(1, Ordering::Relaxed);
+        let mut lineage = Vec::with_capacity(parent_lineage.len() + 1);
+        lineage.extend_from_slice(parent_lineage);
+        lineage.push(tag);
+        GltoTeam {
+            rt,
+            tag,
+            lineage: std::sync::Arc::new(lineage),
+            level,
+            nthreads,
+            barrier: CentralBarrier::new(nthreads),
+            ws: WorkshareTable::new(),
+            outstanding: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            region_arrivals: AtomicUsize::new(0),
+        }
+    }
+
+    /// §IV-G: may the calling thread help at a *scheduling point*
+    /// (barrier/taskwait/taskyield)? Under the MassiveThreads-like backend
+    /// the primary GLT_thread may not yield — its pending work must be
+    /// stolen — which is what slows GLTO(MTH) in the paper's Figs. 8–9.
+    fn may_help(&self) -> bool {
+        !(self.rt.master_yield_forbidden() && self.rt.glt().self_rank() == Some(0))
+    }
+
+    fn idle(&self) {
+        match self.rt.wait_policy() {
+            WaitPolicy::Active => {
+                for _ in 0..32 {
+                    std::hint::spin_loop();
+                }
+                std::thread::yield_now();
+            }
+            WaitPolicy::Passive => {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
+        }
+    }
+
+    /// Fork/execute/join a whole region from the encountering thread
+    /// (§IV-C): ULTs for members 1..n, member 0 inline, then join.
+    pub(crate) fn run_region(&self, body: &RegionFn<'static>) {
+        let glt = self.rt.glt();
+        let counters = self.rt.counters();
+        let w = glt.num_threads();
+        let n = self.nthreads;
+        let t0 = Instant::now();
+        let mut handles: Vec<UltHandle> = Vec::with_capacity(n.saturating_sub(1));
+        for tid in 1..n {
+            let cmd = ForkCmd {
+                team: std::ptr::from_ref(self).cast::<GltoTeam<'static>>(),
+                body: std::ptr::from_ref(body),
+                tid,
+            };
+            let lineage = std::sync::Arc::clone(&self.lineage);
+            let work = Box::new(move || {
+                let cmd = cmd;
+                // SAFETY: fork/join protocol (master joins all handles).
+                let team: &GltoTeam<'_> = unsafe { &*cmd.team };
+                let body: &RegionFn<'static> = unsafe { &*cmd.body };
+                let _active = ActiveTeamGuard::enter(lineage);
+                run_region_member(team, cmd.tid, body);
+            });
+            // Top-level regions pin OMP thread i to GLT_thread i (Fig. 3);
+            // nested regions create on the encountering thread (§IV-E).
+            // Members are Region-class units: barrier help may not start
+            // them nested (see glt::UnitClass).
+            let h = if self.level <= 1 {
+                glt.region_ult_create_to(tid % w, self.tag, work)
+            } else {
+                glt.region_ult_create(self.tag, work)
+            };
+            handles.push(h);
+        }
+        Counters::bump(&counters.assign_ns, t0.elapsed().as_nanos() as u64);
+        Counters::bump(&counters.forks, 1);
+        {
+            let _active = ActiveTeamGuard::enter(std::sync::Arc::clone(&self.lineage));
+            run_region_member(self, 0, body);
+        }
+        for h in &handles {
+            // Join with the nesting-safe filter, not glt::join: an
+            // indiscriminate helper could start a member of an outer team
+            // above this frame and deadlock on its own stack. The §IV-G
+            // MassiveThreads restriction applies to *scheduling points*
+            // (the master may not yield mid-execution); at its own join it
+            // blocks-and-runs like any joiner, or nothing could ever run
+            // the master's pending work when every other worker is busy.
+            while !h.is_done() {
+                if !self.help_at_quiescence() {
+                    self.idle();
+                }
+            }
+            h.propagate_panic();
+        }
+    }
+
+    /// Help once from a *barrier-like* wait (see [`region_nesting_allowed`]).
+    fn help_at_wait(&self) -> bool {
+        let glt = self.rt.glt();
+        let Some(me) = glt.self_rank() else { return false };
+        let shared = glt.config().shared_queues;
+        glt.help_once_filtered(&move |u, own| {
+            region_nesting_allowed(u, own, false, me, shared)
+        })
+    }
+
+    /// Help once from a quiescent point (`end_region` / fork join).
+    fn help_at_quiescence(&self) -> bool {
+        let glt = self.rt.glt();
+        let Some(me) = glt.self_rank() else { return false };
+        let shared = glt.config().shared_queues;
+        glt.help_once_filtered(&move |u, own| {
+            region_nesting_allowed(u, own, true, me, shared)
+        })
+    }
+}
+
+impl TeamOps for GltoTeam<'_> {
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn level(&self) -> usize {
+        self.level
+    }
+
+    fn barrier(&self, tid: usize) {
+        let trace = std::env::var("GLT_TRACE").is_ok();
+        if trace {
+            eprintln!("[team] barrier-arrive team={} tid={tid} thread={:?}",
+                self.tag, std::thread::current().id());
+        }
+        let help = self.may_help();
+        let t0 = std::time::Instant::now();
+        let mut warned = false;
+        self.barrier.wait(
+            || help && self.try_run_task(tid),
+            || {
+                self.idle();
+                if !warned
+                    && t0.elapsed().as_secs() >= 5
+                    && std::env::var("GLTO_DEBUG_STALL").is_ok()
+                {
+                    warned = true;
+                    eprintln!(
+                        "[stall] glto barrier team={} tid={tid} rank={:?} level={} thread={:?}",
+                        self.tag,
+                        self.rt.glt().self_rank(),
+                        self.level,
+                        std::thread::current().id()
+                    );
+                }
+            },
+        );
+    }
+
+    fn end_region(&self, tid: usize) {
+        self.region_arrivals.fetch_add(1, Ordering::AcqRel);
+        if tid == 0 {
+            // Only the master waits out the whole team: every member has
+            // arrived AND every task has completed (tasks may be finishing
+            // nested on member stacks that already arrived). Unlike a
+            // barrier wait, this point is outside every construct, so it
+            // is a *safe* help point: it may start region-member units
+            // (e.g. this thread's own nested-team members, which nobody
+            // else can reach on a no-steal backend, or which stealing
+            // backends may leave here).
+            while self.region_arrivals.load(Ordering::Acquire) < self.nthreads
+                || self.outstanding_tasks() > 0
+            {
+                if !self.help_at_quiescence() {
+                    self.idle();
+                }
+            }
+        }
+    }
+
+    fn workshares(&self) -> &WorkshareTable {
+        &self.ws
+    }
+
+    fn critical(&self, name: &str, f: &mut dyn FnMut()) {
+        self.rt.criticals().enter(name, f);
+    }
+
+    fn spawn_task(&self, meta: TaskMeta, body: TaskBody) {
+        let glt = self.rt.glt();
+        let counters = self.rt.counters();
+        let n = self.nthreads;
+        let w = glt.num_threads();
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        Counters::bump(&counters.tasks_queued, 1);
+        // SAFETY: the region epilogue waits for all tasks before the team
+        // is dropped, and the runtime outlives its regions, so both
+        // references outlive the task.
+        let outstanding: &'static AtomicUsize =
+            unsafe { &*std::ptr::from_ref(&self.outstanding) };
+        let rt: &'static GltoRuntime =
+            unsafe { std::mem::transmute::<&GltoRuntime, &'static GltoRuntime>(self.rt) };
+        let work = Box::new(move || {
+            // Decrement even if the body panics (the GLT unit catches the
+            // panic; the region epilogue must still terminate).
+            struct Guard(&'static AtomicUsize);
+            impl Drop for Guard {
+                fn drop(&mut self) {
+                    self.0.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            let _g = Guard(outstanding);
+            // The executing OMP thread is the GLT_thread the ULT landed on.
+            let tid = rt.glt().self_rank().unwrap_or(0) % n.max(1);
+            body(tid);
+        });
+        // §IV-D: single-producer pattern ⇒ round-robin dispatch so every
+        // GLT_thread gets tasks; otherwise keep tasks on their creator.
+        let h = if meta.from_single_or_master {
+            let target = self.rr.fetch_add(1, Ordering::Relaxed) % n.max(1);
+            glt.ult_create_to(target % w, work)
+        } else {
+            glt.ult_create(work)
+        };
+        // The handle is intentionally dropped: completion is tracked by
+        // `outstanding` and the task's parent TaskGroup.
+        drop(h);
+    }
+
+    fn try_run_task(&self, _tid: usize) -> bool {
+        if !self.may_help() {
+            return false;
+        }
+        self.help_at_wait()
+    }
+
+    fn outstanding_tasks(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    fn taskyield(&self, _tid: usize) {
+        if self.may_help() {
+            // A taskyield runs another *task*, never a region member.
+            let _ = self.rt.glt().help_once_task();
+        }
+    }
+
+    fn nested_parallel(&self, _tid: usize, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        let icvs = self.rt.icvs();
+        if !icvs.nested() || self.level >= icvs.max_active_levels() {
+            SerialTeam::new(self.rt, self.rt.criticals(), self.level + 1).run(body);
+            return;
+        }
+        let n = nthreads.unwrap_or_else(|| icvs.num_threads()).max(1);
+        // §IV-E: the nested team is ULTs on the existing GLT_threads — no
+        // new OS threads, no oversubscription.
+        let team = GltoTeam::with_parent(self.rt, self.level + 1, n, &self.lineage);
+        team.run_region(body);
+    }
+
+    fn runtime(&self) -> &dyn OmpRuntime {
+        self.rt
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glt::{UnitClass, UnitKind, UnitState};
+
+    fn unit(tag: u64, created_by: usize) -> std::sync::Arc<UnitState> {
+        UnitState::new_with_class(UnitKind::Ult, UnitClass::Region, tag, created_by, Box::new(|| {}))
+    }
+
+    fn lineage(tags: &[u64]) -> std::sync::Arc<Vec<u64>> {
+        std::sync::Arc::new(tags.to_vec())
+    }
+
+    #[test]
+    fn unrelated_team_is_always_allowed() {
+        let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let u = unit(99, 5);
+        assert!(region_nesting_allowed(&u, false, false, 0, false));
+        assert!(region_nesting_allowed(&u, true, true, 0, true));
+    }
+
+    #[test]
+    fn ancestor_team_is_never_allowed() {
+        // Active frame of team 2 whose lineage includes team 1: a member
+        // of team 1 (the parent) must never nest here.
+        let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let u = unit(1, 0);
+        assert!(!region_nesting_allowed(&u, true, false, 0, false));
+        assert!(!region_nesting_allowed(&u, false, true, 0, false));
+        assert!(!region_nesting_allowed(&u, true, true, 0, false));
+    }
+
+    #[test]
+    fn current_team_allowed_only_at_quiescence_or_as_own_fork() {
+        let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let mine = unit(2, 7); // created by rank 7
+        // At a barrier-like wait, from a steal: never.
+        assert!(!region_nesting_allowed(&mine, false, false, 7, false));
+        // At a barrier-like wait, own pool, own fork: sole-runner case.
+        assert!(region_nesting_allowed(&mine, true, false, 7, false));
+        // ... but not if someone else forked it.
+        assert!(!region_nesting_allowed(&mine, true, false, 3, false));
+        // ... and not in shared-queue mode (no pool ownership).
+        assert!(!region_nesting_allowed(&mine, true, false, 7, true));
+        // At a quiescent point: always.
+        assert!(region_nesting_allowed(&mine, false, true, 3, true));
+    }
+
+    #[test]
+    fn deeper_frames_shadow_outer_current_team() {
+        // Stack: team 2 hosting a member of sibling team 9. Team 2 is no
+        // longer the innermost current team; its members are "ancestor of
+        // an active frame" from here and must be rejected even at
+        // quiescent points.
+        let _g1 = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let _g2 = ActiveTeamGuard::enter(lineage(&[1, 9]));
+        let u2 = unit(2, 0);
+        assert!(!region_nesting_allowed(&u2, true, true, 0, false));
+        // The innermost team (9) keeps its own-fork allowance.
+        let u9 = unit(9, 0);
+        assert!(region_nesting_allowed(&u9, true, false, 0, false));
+        // Team 1 (common ancestor) still rejected.
+        let u1 = unit(1, 0);
+        assert!(!region_nesting_allowed(&u1, false, true, 0, false));
+    }
+
+    #[test]
+    fn empty_stack_allows_everything() {
+        let u = unit(5, 0);
+        assert!(region_nesting_allowed(&u, false, false, 0, false));
+    }
+
+    #[test]
+    fn guards_pop_on_drop() {
+        {
+            let _g = ActiveTeamGuard::enter(lineage(&[42]));
+            let u = unit(42, 1);
+            assert!(!region_nesting_allowed(&u, false, false, 0, false));
+        }
+        // Guard dropped: team 42 no longer active.
+        let u = unit(42, 1);
+        assert!(region_nesting_allowed(&u, false, false, 0, false));
+    }
+}

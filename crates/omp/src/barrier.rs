@@ -1,0 +1,132 @@
+//! A generation-counting team barrier that doubles as a task scheduling
+//! point, shared by all runtimes so that barrier *algorithm* differences do
+//! not confound the paper's comparisons (what differs is how waiting
+//! threads are scheduled: OS threads spin/park; GLTO ULT helpers run other
+//! work units).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Centralized generation barrier for a fixed-size team.
+#[derive(Debug)]
+pub struct CentralBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl CentralBarrier {
+    /// Barrier for a team of `n` threads.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        CentralBarrier {
+            n: n.max(1),
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Team size.
+    #[must_use]
+    pub fn team_size(&self) -> usize {
+        self.n
+    }
+
+    /// Wait until all `n` members arrive. While waiting, repeatedly calls
+    /// `help`; when `help` reports no progress, calls `idle`.
+    ///
+    /// `help` is how barriers become task scheduling points: runtimes pass
+    /// a closure that executes one pending task. `idle` is the wait-policy
+    /// hook (spin/park).
+    pub fn wait(&self, mut help: impl FnMut() -> bool, mut idle: impl FnMut()) {
+        let gen = self.generation.load(Ordering::Acquire);
+        let pos = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if pos == self.n {
+            // Last arriver resets and releases the team.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        while self.generation.load(Ordering::Acquire) == gen {
+            if !help() {
+                idle();
+            }
+        }
+    }
+
+    /// Convenience for tests: wait with no help and a spin-loop idle.
+    pub fn wait_spin(&self) {
+        self.wait(|| false, || std::hint::spin_loop());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_member_barrier_is_noop() {
+        let b = CentralBarrier::new(1);
+        b.wait_spin();
+        b.wait_spin();
+    }
+
+    #[test]
+    fn all_threads_release_together() {
+        let n = 4;
+        let b = Arc::new(CentralBarrier::new(n));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let b = b.clone();
+            let phase = phase.clone();
+            handles.push(std::thread::spawn(move || {
+                for expected in 0..10 {
+                    // Everyone sees the phase of the current round.
+                    assert_eq!(phase.load(Ordering::SeqCst) / n, expected);
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    b.wait_spin();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), n * 10);
+    }
+
+    #[test]
+    fn help_is_called_while_waiting() {
+        let b = Arc::new(CentralBarrier::new(2));
+        let b2 = b.clone();
+        let helped = Arc::new(AtomicUsize::new(0));
+        let helped2 = helped.clone();
+        let t = std::thread::spawn(move || {
+            b2.wait(
+                || {
+                    helped2.fetch_add(1, Ordering::SeqCst);
+                    true
+                },
+                || {},
+            );
+        });
+        // Give the waiter time to spin in help().
+        while helped.load(Ordering::SeqCst) < 3 {
+            std::hint::spin_loop();
+        }
+        b.wait_spin();
+        t.join().unwrap();
+        assert!(helped.load(Ordering::SeqCst) >= 3);
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(CentralBarrier::new(2));
+        for _ in 0..100 {
+            let b2 = b.clone();
+            let t = std::thread::spawn(move || b2.wait_spin());
+            b.wait_spin();
+            t.join().unwrap();
+        }
+    }
+}

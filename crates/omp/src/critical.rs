@@ -1,0 +1,98 @@
+//! Named `critical` sections: a per-runtime registry of named mutexes
+//! (OpenMP critical names have program-wide scope; scoping the registry to
+//! the runtime keeps independent runtime instances — as created by the
+//! benchmark sweeps — from interfering).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Registry mapping critical-section names to their mutexes. The unnamed
+/// critical section is the reserved name `""`.
+#[derive(Debug, Default)]
+pub struct CriticalRegistry {
+    locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl CriticalRegistry {
+    /// Empty registry (one per runtime instance).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or create) the mutex for `name`.
+    #[must_use]
+    pub fn lock_for(&self, name: &str) -> Arc<Mutex<()>> {
+        let mut m = self.locks.lock();
+        match m.get(name) {
+            Some(l) => Arc::clone(l),
+            None => {
+                let l = Arc::new(Mutex::new(()));
+                m.insert(name.to_owned(), Arc::clone(&l));
+                l
+            }
+        }
+    }
+
+    /// Run `f` inside the named critical section.
+    pub fn enter(&self, name: &str, f: &mut dyn FnMut()) {
+        let l = self.lock_for(name);
+        let _g = l.lock();
+        f();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_name_same_lock() {
+        let r = CriticalRegistry::new();
+        let a = r.lock_for("x");
+        let b = r.lock_for("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = r.lock_for("y");
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn enter_is_mutually_exclusive() {
+        let r = Arc::new(CriticalRegistry::new());
+        let v = Arc::new(AtomicUsize::new(0));
+        let mut th = Vec::new();
+        for _ in 0..4 {
+            let r = r.clone();
+            let v = v.clone();
+            th.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    r.enter("c", &mut || {
+                        let x = v.load(Ordering::Relaxed);
+                        v.store(x + 1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for t in th {
+            t.join().unwrap();
+        }
+        assert_eq!(v.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn different_names_do_not_exclude() {
+        // Hold "a" and take "b" on another thread: must not deadlock.
+        let r = Arc::new(CriticalRegistry::new());
+        let la = r.lock_for("a");
+        let _ga = la.lock();
+        let r2 = r.clone();
+        let t = std::thread::spawn(move || {
+            r2.enter("b", &mut || {});
+            true
+        });
+        assert!(t.join().unwrap());
+    }
+}

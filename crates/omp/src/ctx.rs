@@ -1,0 +1,567 @@
+//! `ParCtx` — the per-thread view of a parallel region.
+//!
+//! Where C OpenMP uses pragmas, this API uses closure-taking methods:
+//!
+//! | OpenMP | here |
+//! |---|---|
+//! | `#pragma omp parallel` | `rt.parallel(\|ctx\| …)` |
+//! | `#pragma omp for schedule(s)` | `ctx.for_each(0..n, s, \|i\| …)` |
+//! | `… nowait` | `ctx.for_each_nowait` |
+//! | `reduction(op:var)` | `ctx.for_reduce(…)` |
+//! | `#pragma omp single` | `ctx.single(\|\| …)` |
+//! | `copyprivate` | `ctx.single_copy(\|\| v)` |
+//! | `#pragma omp master` | `ctx.master(\|\| …)` |
+//! | `#pragma omp critical(name)` | `ctx.critical("name", \|\| …)` |
+//! | `#pragma omp sections` | `ctx.sections(vec![…])` |
+//! | `#pragma omp barrier` | `ctx.barrier()` |
+//! | `#pragma omp task [clauses]` | `ctx.task(…)` / `ctx.task_with(flags, …)` |
+//! | `#pragma omp taskloop grainsize(g)` | `ctx.taskloop(range, g, …)` |
+//! | `#pragma omp taskgroup` | `ctx.taskgroup(\|\| …)` |
+//! | `#pragma omp taskwait` | `ctx.taskwait()` |
+//! | `#pragma omp taskyield` | `ctx.taskyield()` |
+//! | nested `parallel` | `ctx.parallel(\|inner\| …)` |
+//! | `omp_get_thread_num()` | `ctx.thread_num()` |
+//!
+//! The `'env` lifetime parameter ties everything a body or task captures to
+//! data that outlives the region, which is what makes the internal lifetime
+//! erasure sound (see [`crate::runtime::OmpRuntime::parallel_erased`]).
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use glt::Counters;
+
+use crate::runtime::{RegionFn, TaskBody, TaskGroup, TaskMeta, TeamOps};
+use crate::schedule::{static_block, static_cyclic, Schedule};
+use crate::workshare::LoopState;
+
+/// Clauses of `#pragma omp task`.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskFlags {
+    /// `if(expr)` — `false` forces undeferred (immediate) execution.
+    pub if_clause: bool,
+    /// `untied`.
+    pub untied: bool,
+    /// `final(expr)` — `true` makes this task and its descendants
+    /// undeferred/included.
+    pub final_clause: bool,
+}
+
+impl Default for TaskFlags {
+    fn default() -> Self {
+        TaskFlags { if_clause: true, untied: false, final_clause: false }
+    }
+}
+
+/// Wrapper making an erased `&'static dyn TeamOps` transferable to the
+/// thread that executes a task. Soundness: tasks complete before the
+/// region (and hence the team object) is torn down.
+struct TeamRef(&'static dyn TeamOps);
+// SAFETY: `dyn TeamOps: Sync`, so sharing the reference across threads is
+// safe; Send of the wrapper just moves the pointer.
+unsafe impl Send for TeamRef {}
+
+/// Per-thread handle to a running parallel region.
+pub struct ParCtx<'t, 'env> {
+    team: &'t dyn TeamOps,
+    tid: usize,
+    group: Arc<TaskGroup>,
+    /// Innermost active `taskgroup`, inherited by descendant tasks.
+    taskgroup: std::cell::RefCell<Option<Arc<TaskGroup>>>,
+    construct_seq: Cell<u64>,
+    in_single: Cell<bool>,
+    in_final: bool,
+    /// Invariant in `'env` (same trick as `std::thread::Scope`): a context
+    /// for a long environment must not coerce to one for a shorter
+    /// environment, or `task` could capture data that dies too early.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'t, 'env> ParCtx<'t, 'env> {
+    /// Context for implicit task `tid` of a team. Called by runtimes at
+    /// region start.
+    #[must_use]
+    pub fn implicit(team: &'t dyn TeamOps, tid: usize) -> Self {
+        ParCtx {
+            team,
+            tid,
+            group: TaskGroup::new(),
+            taskgroup: std::cell::RefCell::new(None),
+            construct_seq: Cell::new(0),
+            in_single: Cell::new(false),
+            in_final: false,
+            _env: PhantomData,
+        }
+    }
+
+    /// Context for an explicit task executing on thread `tid`. Called by
+    /// the task wrapper built in [`ParCtx::task_with`].
+    #[must_use]
+    pub fn for_task(
+        team: &'t dyn TeamOps,
+        tid: usize,
+        in_final: bool,
+        taskgroup: Option<Arc<TaskGroup>>,
+    ) -> Self {
+        ParCtx {
+            in_final,
+            taskgroup: std::cell::RefCell::new(taskgroup),
+            ..Self::implicit(team, tid)
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.construct_seq.get();
+        self.construct_seq.set(s + 1);
+        s
+    }
+
+    /// `omp_get_thread_num`.
+    #[must_use]
+    pub fn thread_num(&self) -> usize {
+        self.tid
+    }
+
+    /// `omp_get_num_threads`.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.team.num_threads()
+    }
+
+    /// `omp_get_level`.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.team.level()
+    }
+
+    /// `omp_in_parallel`.
+    #[must_use]
+    pub fn in_parallel(&self) -> bool {
+        self.team.level() > 0 && self.team.num_threads() > 1
+    }
+
+    /// Whether the current task context is `final` (descendants are
+    /// included/undeferred).
+    #[must_use]
+    pub fn in_final(&self) -> bool {
+        self.in_final
+    }
+
+    /// The team backing this context (runtime-internal consumers).
+    #[must_use]
+    pub fn team(&self) -> &'t dyn TeamOps {
+        self.team
+    }
+
+    /// `#pragma omp barrier` (also a task scheduling point).
+    pub fn barrier(&self) {
+        self.team.barrier(self.tid);
+    }
+
+    /// `#pragma omp flush` — a sequentially-consistent fence.
+    pub fn flush(&self) {
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+
+    // ----------------------------------------------------------------
+    // Work-sharing: for
+    // ----------------------------------------------------------------
+
+    fn resolve(&self, sched: Schedule) -> Schedule {
+        match sched {
+            Schedule::Runtime => self.team.runtime().omp_config().runtime_schedule,
+            s => s,
+        }
+    }
+
+    /// `#pragma omp for schedule(sched)` over `range` (implicit barrier).
+    pub fn for_each(&self, range: Range<u64>, sched: Schedule, f: impl FnMut(u64)) {
+        self.for_each_nowait(range, sched, f);
+        self.barrier();
+    }
+
+    /// `#pragma omp for schedule(sched) nowait`.
+    pub fn for_each_nowait(&self, range: Range<u64>, sched: Schedule, mut f: impl FnMut(u64)) {
+        let seq = self.next_seq();
+        let total = range.end.saturating_sub(range.start);
+        let n = self.num_threads();
+        match self.resolve(sched) {
+            Schedule::Static { chunk: None } => {
+                let (lo, hi) = static_block(total, self.tid, n);
+                for i in lo..hi {
+                    f(range.start + i);
+                }
+            }
+            Schedule::Static { chunk: Some(c) } => {
+                for (lo, hi) in static_cyclic(total, c as u64, self.tid, n) {
+                    for i in lo..hi {
+                        f(range.start + i);
+                    }
+                }
+            }
+            Schedule::Dynamic { chunk } => {
+                let slot = self
+                    .team
+                    .workshares()
+                    .loop_slot(seq, || LoopState::new(total, chunk as u64, false, n));
+                while let Some((lo, hi)) = slot.next_chunk() {
+                    for i in lo..hi {
+                        f(range.start + i);
+                    }
+                }
+            }
+            Schedule::Guided { chunk } => {
+                let slot = self
+                    .team
+                    .workshares()
+                    .loop_slot(seq, || LoopState::new(total, chunk as u64, true, n));
+                while let Some((lo, hi)) = slot.next_chunk() {
+                    for i in lo..hi {
+                        f(range.start + i);
+                    }
+                }
+            }
+            Schedule::Runtime => unreachable!("resolved above"),
+        }
+    }
+
+    /// `#pragma omp for ordered`: iterations distributed dynamically; the
+    /// body receives an [`OrderedScope`] whose `ordered` method serializes
+    /// in iteration order. Implicit barrier at the end.
+    pub fn for_each_ordered(
+        &self,
+        range: Range<u64>,
+        mut f: impl FnMut(u64, &OrderedScope<'_>),
+    ) {
+        let seq = self.next_seq();
+        let total = range.end.saturating_sub(range.start);
+        let n = self.num_threads();
+        let slot =
+            self.team.workshares().loop_slot(seq, || LoopState::new(total, 1, false, n));
+        while let Some((lo, hi)) = slot.next_chunk() {
+            for i in lo..hi {
+                let scope = OrderedScope { slot: &slot, iter: i };
+                f(range.start + i, &scope);
+            }
+        }
+        self.barrier();
+    }
+
+    /// `#pragma omp for reduction(...)`: fold `range` with thread-local
+    /// accumulators, merge with `combine`, return the combined value to
+    /// every thread. Implicit barrier.
+    pub fn for_reduce<T, F, C>(
+        &self,
+        range: Range<u64>,
+        sched: Schedule,
+        identity: T,
+        mut f: F,
+        combine: C,
+    ) -> T
+    where
+        T: Clone + Send + 'static,
+        F: FnMut(u64, &mut T),
+        C: Fn(T, T) -> T,
+    {
+        let rseq = self.next_seq();
+        let slot = self.team.workshares().reduce_slot(rseq);
+        let mut local = identity;
+        self.for_each_nowait(range, sched, |i| f(i, &mut local));
+        slot.merge(local, &combine);
+        self.barrier();
+        slot.read::<T>()
+    }
+
+    // ----------------------------------------------------------------
+    // single / master / critical / sections
+    // ----------------------------------------------------------------
+
+    /// `#pragma omp single` (implicit barrier). Returns whether this
+    /// thread was the one that executed `f`.
+    pub fn single(&self, f: impl FnOnce()) -> bool {
+        let won = self.single_nowait(f);
+        self.barrier();
+        won
+    }
+
+    /// `#pragma omp single nowait`.
+    pub fn single_nowait(&self, f: impl FnOnce()) -> bool {
+        let seq = self.next_seq();
+        let slot = self.team.workshares().single_slot(seq);
+        if slot.arrive() {
+            let prev = self.in_single.replace(true);
+            f();
+            self.in_single.set(prev);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `#pragma omp single copyprivate(v)`: the winner computes `f()`,
+    /// every thread receives a clone.
+    pub fn single_copy<T: Clone + Send + Sync + 'static>(&self, f: impl FnOnce() -> T) -> T {
+        let seq = self.next_seq();
+        let slot = self.team.workshares().single_slot(seq);
+        if slot.arrive() {
+            let prev = self.in_single.replace(true);
+            let v = f();
+            slot.publish(Arc::new(v));
+            self.in_single.set(prev);
+        }
+        self.barrier();
+        let any = slot.read().expect("copyprivate winner must publish");
+        any.downcast_ref::<T>().expect("copyprivate type mismatch").clone()
+    }
+
+    /// `#pragma omp master` — no implied barrier.
+    pub fn master(&self, f: impl FnOnce()) {
+        if self.tid == 0 {
+            let prev = self.in_single.replace(true);
+            f();
+            self.in_single.set(prev);
+        }
+    }
+
+    /// `#pragma omp critical [(name)]`.
+    pub fn critical<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let mut f = Some(f);
+        let mut out: Option<R> = None;
+        self.team.critical(name, &mut || {
+            out = Some((f.take().expect("critical body runs once"))());
+        });
+        out.expect("critical section did not run")
+    }
+
+    /// `#pragma omp sections` (implicit barrier): each closure is one
+    /// `section`, executed exactly once by some thread of the team. Every
+    /// thread must pass a structurally identical list.
+    pub fn sections(&self, sections: Vec<Box<dyn FnOnce() + '_>>) {
+        let seq = self.next_seq();
+        let total = sections.len() as u64;
+        let n = self.num_threads();
+        let mut sections: Vec<Option<Box<dyn FnOnce() + '_>>> =
+            sections.into_iter().map(Some).collect();
+        let slot =
+            self.team.workshares().loop_slot(seq, || LoopState::new(total, 1, false, n));
+        while let Some((lo, hi)) = slot.next_chunk() {
+            for i in lo..hi {
+                let f = sections[i as usize].take().expect("section dispatched once");
+                f();
+            }
+        }
+        self.barrier();
+    }
+
+    // ----------------------------------------------------------------
+    // Tasks
+    // ----------------------------------------------------------------
+
+    /// `#pragma omp task`: spawn a deferred task. The closure receives the
+    /// context of whichever thread executes it.
+    pub fn task<F>(&self, f: F)
+    where
+        F: for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env,
+    {
+        self.task_with(TaskFlags::default(), f);
+    }
+
+    /// `#pragma omp task if(..) untied final(..)`.
+    pub fn task_with<F>(&self, flags: TaskFlags, f: F)
+    where
+        F: for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env,
+    {
+        let rt = self.team.runtime();
+        let honors_final = rt.honors_final();
+        let make_final = flags.final_clause && honors_final;
+        let undeferred = !flags.if_clause || self.in_final || make_final;
+        if undeferred {
+            // Included task: runs immediately on the creating thread, in a
+            // fresh task context (final-ness inherited).
+            Counters::bump(&rt.counters().tasks_direct, 1);
+            let child = ParCtx::for_task(
+                self.team,
+                self.tid,
+                self.in_final || make_final,
+                self.taskgroup.borrow().clone(),
+            );
+            f(&child);
+            // Deferred children it spawned stay tracked by the team-wide
+            // outstanding count and are drained at the region epilogue —
+            // `taskwait` waits for *direct* children only, per the spec.
+            return;
+        }
+
+        self.group.add();
+        let group = Arc::clone(&self.group);
+        // Register with the innermost active taskgroup (if any): taskgroup
+        // waits for *descendants*, so the registration is inherited by the
+        // child context below.
+        let taskgroup = self.taskgroup.borrow().clone();
+        if let Some(tg) = &taskgroup {
+            tg.add();
+        }
+        // SAFETY (lifetime erasures): the region's implicit barrier — which
+        // every runtime implements via `region_epilogue` — waits for all
+        // tasks before the region returns, so neither the team reference
+        // nor the captured `'env` data can be outlived by this task.
+        let team_static: &'static dyn TeamOps =
+            unsafe { std::mem::transmute::<&dyn TeamOps, &'static dyn TeamOps>(self.team) };
+        let team_ref = TeamRef(team_static);
+        let boxed: Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env> = Box::new(f);
+        let boxed: Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'static>) + Send + 'static> = unsafe {
+            std::mem::transmute::<
+                Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env>,
+                Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'static>) + Send + 'static>,
+            >(boxed)
+        };
+        let body: TaskBody = Box::new(move |exec_tid: usize| {
+            let team = team_ref.0;
+            // Signal the parent (and any enclosing taskgroup) even if the
+            // task body panics (the panic is contained by the executing
+            // runtime); otherwise a taskwait or the region epilogue would
+            // hang forever.
+            struct DoneGuard(Arc<TaskGroup>);
+            impl Drop for DoneGuard {
+                fn drop(&mut self) {
+                    self.0.done();
+                }
+            }
+            let _guard = DoneGuard(group);
+            let _tg_guard = taskgroup.clone().map(DoneGuard);
+            let child = ParCtx::for_task(team, exec_tid, false, taskgroup);
+            boxed(&child);
+        });
+        let meta = TaskMeta {
+            creator: self.tid,
+            untied: flags.untied,
+            from_single_or_master: self.in_single.get(),
+        };
+        self.team.spawn_task(meta, body);
+    }
+
+    /// `#pragma omp taskloop grainsize(g)` (OpenMP 4.5): split `range`
+    /// into tasks of up to `grainsize` iterations each and wait for them
+    /// (the construct's implied taskwait). The body closure is shared by
+    /// all generated tasks, so it must be `Fn + Sync`.
+    pub fn taskloop<F>(&self, range: Range<u64>, grainsize: u64, f: F)
+    where
+        F: Fn(u64) + Send + Sync + 'env,
+    {
+        let g = grainsize.max(1);
+        let f = std::sync::Arc::new(f);
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + g).min(range.end);
+            let f = std::sync::Arc::clone(&f);
+            self.task(move |_| {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+            lo = hi;
+        }
+        self.taskwait();
+    }
+
+    /// `#pragma omp taskgroup`: run `f`, then wait for every task created
+    /// inside it **and all their descendants** (unlike `taskwait`, which
+    /// waits for direct children only).
+    pub fn taskgroup(&self, f: impl FnOnce()) {
+        let tg = TaskGroup::new();
+        let prev = self.taskgroup.replace(Some(Arc::clone(&tg)));
+        f();
+        while tg.pending() > 0 {
+            if !self.team.try_run_task(self.tid) {
+                std::thread::yield_now();
+            }
+        }
+        *self.taskgroup.borrow_mut() = prev;
+    }
+
+    /// `#pragma omp taskwait`: wait for this task's direct children,
+    /// executing other tasks meanwhile.
+    pub fn taskwait(&self) {
+        while self.group.pending() > 0 {
+            if !self.team.try_run_task(self.tid) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// `#pragma omp taskyield`.
+    pub fn taskyield(&self) {
+        self.team.taskyield(self.tid);
+    }
+
+    /// Outstanding direct children of the current task (diagnostics).
+    #[must_use]
+    pub fn pending_children(&self) -> usize {
+        self.group.pending()
+    }
+
+    // ----------------------------------------------------------------
+    // Nested parallelism
+    // ----------------------------------------------------------------
+
+    /// Nested `#pragma omp parallel` from inside a region.
+    pub fn parallel<'e2, F>(&self, f: F)
+    where
+        F: for<'t2> Fn(&ParCtx<'t2, 'e2>) + Sync + 'e2,
+    {
+        self.parallel_n(None, f);
+    }
+
+    /// Nested `#pragma omp parallel num_threads(n)`.
+    pub fn parallel_n<'e2, F>(&self, nthreads: Option<usize>, f: F)
+    where
+        F: for<'t2> Fn(&ParCtx<'t2, 'e2>) + Sync + 'e2,
+    {
+        let body: &RegionFn<'e2> = &f;
+        // SAFETY: `nested_parallel` completes the inner region before
+        // returning, so `'e2` strictly outlives every use of `body`.
+        let body: &RegionFn<'static> =
+            unsafe { std::mem::transmute::<&RegionFn<'e2>, &RegionFn<'static>>(body) };
+        self.team.nested_parallel(self.tid, nthreads, body);
+    }
+}
+
+/// Handle passed to [`ParCtx::for_each_ordered`] bodies.
+pub struct OrderedScope<'a> {
+    slot: &'a Arc<LoopState>,
+    iter: u64,
+}
+
+impl OrderedScope<'_> {
+    /// `#pragma omp ordered`: run `f` in iteration order.
+    pub fn ordered<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.slot.ordered_step(self.iter, f)
+    }
+}
+
+/// Standard epilogue every runtime runs per team thread after the region
+/// body: drain outstanding tasks, then the implicit region-end
+/// synchronization (arrive-only for members; thread 0 waits for the whole
+/// team). This is what discharges the lifetime-erasure obligations of
+/// [`ParCtx::task_with`] and `parallel_erased`.
+pub fn region_epilogue(team: &dyn TeamOps, tid: usize) {
+    // Drain every task this thread can still *pop*, then arrive. Members
+    // must NOT wait for the team-wide outstanding count here: in the
+    // help-first model a member may be executing nested on top of a
+    // suspended task frame of the same team, and waiting for that task to
+    // finish would deadlock on its own stack. Only thread 0 — the only
+    // thread with user code after the region — waits for full task
+    // completion, inside `end_region`.
+    while team.try_run_task(tid) {}
+    team.end_region(tid);
+}
+
+/// Run one team member's share of a region: context setup, body, epilogue.
+/// Runtimes call this from each team thread/ULT.
+pub fn run_region_member(team: &dyn TeamOps, tid: usize, body: &RegionFn<'static>) {
+    let ctx = ParCtx::implicit(team, tid);
+    body(&ctx);
+    region_epilogue(team, tid);
+}

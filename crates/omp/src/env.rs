@@ -1,0 +1,216 @@
+//! OpenMP internal control variables (ICVs) and their environment surface.
+//!
+//! The paper's evaluation (§VI-A) pins these explicitly: `OMP_NUM_THREADS`
+//! sweeps the x-axis of every figure, `OMP_NESTED=true` so nested regions
+//! are *actually* nested, `OMP_PROC_BIND=true` against migration, and
+//! `OMP_WAIT_POLICY` active for work-sharing / default for tasking. This
+//! module provides the same knobs to every runtime in the reproduction.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use glt::WaitPolicy;
+
+use crate::schedule::Schedule;
+
+/// Immutable startup configuration for an OpenMP runtime instance.
+#[derive(Debug, Clone)]
+pub struct OmpConfig {
+    /// `OMP_NUM_THREADS`: default team size.
+    pub num_threads: usize,
+    /// `OMP_NESTED`: whether nested regions get real teams.
+    pub nested: bool,
+    /// `OMP_MAX_ACTIVE_LEVELS` analog (levels beyond it serialize).
+    pub max_active_levels: usize,
+    /// `OMP_WAIT_POLICY`.
+    pub wait_policy: WaitPolicy,
+    /// `OMP_PROC_BIND` intent (advisory on this container).
+    pub proc_bind: bool,
+    /// `OMP_SCHEDULE`: schedule used by `Schedule::Runtime` loops.
+    pub runtime_schedule: Schedule,
+    /// `GLT_SHARED_QUEUES` (GLTO runtimes only, §IV-F).
+    pub shared_queues: bool,
+    /// Intel-runtime task cut-off: with this many tasks already queued,
+    /// new tasks execute directly/undeferred. The paper measures 256 as
+    /// the Intel default and sweeps {16, 256, 4096} in Fig. 14.
+    pub task_cutoff: usize,
+}
+
+impl Default for OmpConfig {
+    fn default() -> Self {
+        OmpConfig {
+            num_threads: 4,
+            nested: true,       // paper: OMP_NESTED=true for all tests
+            max_active_levels: 8,
+            wait_policy: WaitPolicy::Passive,
+            proc_bind: true,    // paper: OMP_PROC_BIND=true for all tests
+            runtime_schedule: Schedule::Static { chunk: None },
+            shared_queues: false,
+            task_cutoff: 256,   // paper: Intel default cut-off
+        }
+    }
+}
+
+impl OmpConfig {
+    /// Config with a given team size, defaults elsewhere.
+    #[must_use]
+    pub fn with_threads(n: usize) -> Self {
+        OmpConfig { num_threads: n.max(1), ..Self::default() }
+    }
+
+    /// Read `OMP_*` (and `GLT_SHARED_QUEUES`) from the process environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut c = Self::default();
+        if let Ok(v) = std::env::var("OMP_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                c.num_threads = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("OMP_NESTED") {
+            c.nested = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+        }
+        if let Ok(v) = std::env::var("OMP_MAX_ACTIVE_LEVELS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                c.max_active_levels = n;
+            }
+        }
+        if let Ok(v) = std::env::var("OMP_WAIT_POLICY") {
+            c.wait_policy = WaitPolicy::from_env_str(&v);
+        }
+        if let Ok(v) = std::env::var("OMP_PROC_BIND") {
+            c.proc_bind = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+        }
+        if let Ok(v) = std::env::var("OMP_SCHEDULE") {
+            if let Some(s) = Schedule::parse(&v) {
+                c.runtime_schedule = s;
+            }
+        }
+        if let Ok(v) = std::env::var("GLT_SHARED_QUEUES") {
+            c.shared_queues = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+        }
+        if let Ok(v) = std::env::var("KMP_TASK_CUTOFF") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                c.task_cutoff = n.max(1);
+            }
+        }
+        c
+    }
+
+    /// Builder: set nesting.
+    #[must_use]
+    pub fn nested(mut self, on: bool) -> Self {
+        self.nested = on;
+        self
+    }
+
+    /// Builder: set wait policy.
+    #[must_use]
+    pub fn wait_policy(mut self, wp: WaitPolicy) -> Self {
+        self.wait_policy = wp;
+        self
+    }
+
+    /// Builder: set Intel-style task cut-off.
+    #[must_use]
+    pub fn task_cutoff(mut self, n: usize) -> Self {
+        self.task_cutoff = n.max(1);
+        self
+    }
+
+    /// Builder: set shared queues (GLTO backends).
+    #[must_use]
+    pub fn shared_queues(mut self, on: bool) -> Self {
+        self.shared_queues = on;
+        self
+    }
+}
+
+/// Mutable ICVs, adjustable at run time via the `omp_set_*` API analogs
+/// (`omp_set_num_threads`, `omp_set_nested`, `omp_set_max_active_levels`).
+#[derive(Debug)]
+pub struct Icvs {
+    nthreads: AtomicUsize,
+    nested: AtomicBool,
+    max_active_levels: AtomicUsize,
+}
+
+impl Icvs {
+    /// Initialize from startup config.
+    #[must_use]
+    pub fn new(cfg: &OmpConfig) -> Self {
+        Icvs {
+            nthreads: AtomicUsize::new(cfg.num_threads),
+            nested: AtomicBool::new(cfg.nested),
+            max_active_levels: AtomicUsize::new(cfg.max_active_levels),
+        }
+    }
+
+    /// `omp_get_max_threads`.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.nthreads.load(Ordering::Relaxed)
+    }
+
+    /// `omp_set_num_threads`.
+    pub fn set_num_threads(&self, n: usize) {
+        self.nthreads.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// `omp_get_nested`.
+    #[must_use]
+    pub fn nested(&self) -> bool {
+        self.nested.load(Ordering::Relaxed)
+    }
+
+    /// `omp_set_nested`.
+    pub fn set_nested(&self, on: bool) {
+        self.nested.store(on, Ordering::Relaxed);
+    }
+
+    /// `omp_get_max_active_levels`.
+    #[must_use]
+    pub fn max_active_levels(&self) -> usize {
+        self.max_active_levels.load(Ordering::Relaxed)
+    }
+
+    /// `omp_set_max_active_levels`.
+    pub fn set_max_active_levels(&self, n: usize) {
+        self.max_active_levels.store(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = OmpConfig::default();
+        assert!(c.nested, "paper sets OMP_NESTED=true");
+        assert!(c.proc_bind, "paper sets OMP_PROC_BIND=true");
+        assert_eq!(c.task_cutoff, 256, "paper: Intel default cut-off is 256");
+    }
+
+    #[test]
+    fn icvs_roundtrip() {
+        let icv = Icvs::new(&OmpConfig::with_threads(8));
+        assert_eq!(icv.num_threads(), 8);
+        icv.set_num_threads(3);
+        assert_eq!(icv.num_threads(), 3);
+        icv.set_num_threads(0);
+        assert_eq!(icv.num_threads(), 1, "clamp to 1 like omp_set_num_threads");
+        icv.set_nested(false);
+        assert!(!icv.nested());
+        icv.set_max_active_levels(2);
+        assert_eq!(icv.max_active_levels(), 2);
+    }
+
+    #[test]
+    fn builders() {
+        let c = OmpConfig::with_threads(2).nested(false).task_cutoff(16).shared_queues(true);
+        assert_eq!(c.num_threads, 2);
+        assert!(!c.nested);
+        assert_eq!(c.task_cutoff, 16);
+        assert!(c.shared_queues);
+    }
+}

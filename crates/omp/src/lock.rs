@@ -1,0 +1,199 @@
+//! `omp_lock_t` / `omp_nest_lock_t` analogs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A simple (non-nestable) OpenMP lock: `omp_init_lock` = `OmpLock::new`,
+/// `omp_set_lock` = [`OmpLock::set`], `omp_unset_lock` = [`OmpLock::unset`],
+/// `omp_test_lock` = [`OmpLock::test`].
+#[derive(Debug, Default)]
+pub struct OmpLock {
+    held: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl OmpLock {
+    /// `omp_init_lock`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `omp_set_lock`: block until acquired.
+    pub fn set(&self) {
+        let mut g = self.held.lock();
+        while *g {
+            self.cv.wait(&mut g);
+        }
+        *g = true;
+    }
+
+    /// `omp_unset_lock`.
+    pub fn unset(&self) {
+        let mut g = self.held.lock();
+        debug_assert!(*g, "unset of an unheld omp lock");
+        *g = false;
+        self.cv.notify_one();
+    }
+
+    /// `omp_test_lock`: try to acquire; `true` on success.
+    pub fn test(&self) -> bool {
+        let mut g = self.held.lock();
+        if *g {
+            false
+        } else {
+            *g = true;
+            true
+        }
+    }
+
+    /// RAII convenience: run `f` holding the lock.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.set();
+        let out = f();
+        self.unset();
+        out
+    }
+}
+
+/// A nestable OpenMP lock (`omp_nest_lock_t`): the owner may re-acquire;
+/// `unset` decrements the nesting count.
+///
+/// Ownership is per OS thread (`std::thread::ThreadId` hash); in the GLTO
+/// help-first model a task never migrates mid-execution, so thread identity
+/// is stable across a hold.
+#[derive(Debug, Default)]
+pub struct OmpNestLock {
+    state: Mutex<NestState>,
+    cv: Condvar,
+    count: AtomicUsize,
+}
+
+#[derive(Debug, Default)]
+struct NestState {
+    owner: Option<std::thread::ThreadId>,
+}
+
+impl OmpNestLock {
+    /// `omp_init_nest_lock`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `omp_set_nest_lock`: acquire or re-enter; returns nesting depth.
+    pub fn set(&self) -> usize {
+        let me = std::thread::current().id();
+        let mut g = self.state.lock();
+        loop {
+            match g.owner {
+                None => {
+                    g.owner = Some(me);
+                    self.count.store(1, Ordering::Relaxed);
+                    return 1;
+                }
+                Some(o) if o == me => {
+                    let c = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+                    return c;
+                }
+                Some(_) => self.cv.wait(&mut g),
+            }
+        }
+    }
+
+    /// `omp_unset_nest_lock`: returns remaining depth (0 = released).
+    pub fn unset(&self) -> usize {
+        let me = std::thread::current().id();
+        let mut g = self.state.lock();
+        assert_eq!(g.owner, Some(me), "unset by non-owner");
+        let c = self.count.fetch_sub(1, Ordering::Relaxed) - 1;
+        if c == 0 {
+            g.owner = None;
+            self.cv.notify_one();
+        }
+        c
+    }
+
+    /// `omp_test_nest_lock`: non-blocking; returns new depth or 0.
+    pub fn test(&self) -> usize {
+        let me = std::thread::current().id();
+        let mut g = self.state.lock();
+        match g.owner {
+            None => {
+                g.owner = Some(me);
+                self.count.store(1, Ordering::Relaxed);
+                1
+            }
+            Some(o) if o == me => self.count.fetch_add(1, Ordering::Relaxed) + 1,
+            Some(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_mutual_exclusion() {
+        let l = Arc::new(OmpLock::new());
+        let v = Arc::new(AtomicUsize::new(0));
+        let mut th = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            let v = v.clone();
+            th.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.with(|| {
+                        let x = v.load(Ordering::Relaxed);
+                        v.store(x + 1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for t in th {
+            t.join().unwrap();
+        }
+        assert_eq!(v.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn test_lock_nonblocking() {
+        let l = OmpLock::new();
+        assert!(l.test());
+        assert!(!l.test(), "second test must fail while held");
+        l.unset();
+        assert!(l.test());
+        l.unset();
+    }
+
+    #[test]
+    fn nest_lock_reentry() {
+        let l = OmpNestLock::new();
+        assert_eq!(l.set(), 1);
+        assert_eq!(l.set(), 2);
+        assert_eq!(l.test(), 3);
+        assert_eq!(l.unset(), 2);
+        assert_eq!(l.unset(), 1);
+        assert_eq!(l.unset(), 0);
+    }
+
+    #[test]
+    fn nest_lock_blocks_other_thread() {
+        let l = Arc::new(OmpNestLock::new());
+        l.set();
+        let l2 = l.clone();
+        let t = std::thread::spawn(move || l2.test());
+        assert_eq!(t.join().unwrap(), 0, "other thread must fail test()");
+        l.unset();
+        let l3 = l.clone();
+        let t = std::thread::spawn(move || {
+            let d = l3.set();
+            l3.unset();
+            d
+        });
+        assert_eq!(t.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Loop schedules: the `schedule(...)` clause of `#pragma omp for`.
+//!
+//! Pure partitioning math, shared verbatim by every runtime so that the
+//! work-*assignment* mechanism (what Fig. 7 measures) is the only thing
+//! that differs between pthread-based and LWT-based implementations.
+
+/// An OpenMP loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static[, chunk])`. `chunk: None` is the classic blocked
+    /// partition; `Some(c)` is block-cyclic with chunk `c`.
+    Static {
+        /// Chunk size; `None` = one contiguous block per thread.
+        chunk: Option<usize>,
+    },
+    /// `schedule(dynamic[, chunk])`: threads grab `chunk` iterations at a
+    /// time from a shared counter.
+    Dynamic {
+        /// Iterations taken per grab.
+        chunk: usize,
+    },
+    /// `schedule(guided[, chunk])`: grab size decays with remaining work,
+    /// never below `chunk`.
+    Guided {
+        /// Minimum grab size.
+        chunk: usize,
+    },
+    /// `schedule(runtime)`: defer to the `OMP_SCHEDULE` ICV.
+    Runtime,
+}
+
+impl Schedule {
+    /// Parse the `OMP_SCHEDULE` syntax: `kind[,chunk]`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Schedule> {
+        let mut it = s.trim().splitn(2, ',');
+        let kind = it.next()?.trim().to_ascii_lowercase();
+        let chunk: Option<usize> = it.next().and_then(|c| c.trim().parse().ok());
+        match kind.as_str() {
+            "static" => Some(Schedule::Static { chunk }),
+            "dynamic" => Some(Schedule::Dynamic { chunk: chunk.unwrap_or(1).max(1) }),
+            "guided" => Some(Schedule::Guided { chunk: chunk.unwrap_or(1).max(1) }),
+            _ => None,
+        }
+    }
+}
+
+/// The contiguous block `[lo, hi)` thread `tid` of `nthreads` owns under
+/// `schedule(static)` over `total` iterations.
+///
+/// Follows the usual OpenMP static partition: the first `total % nthreads`
+/// threads get one extra iteration.
+#[must_use]
+pub fn static_block(total: u64, tid: usize, nthreads: usize) -> (u64, u64) {
+    debug_assert!(tid < nthreads);
+    let n = nthreads as u64;
+    let t = tid as u64;
+    let base = total / n;
+    let rem = total % n;
+    let lo = t * base + t.min(rem);
+    let hi = lo + base + u64::from(t < rem);
+    (lo, hi)
+}
+
+/// Iterator over the chunks thread `tid` owns under
+/// `schedule(static, chunk)` (block-cyclic).
+pub fn static_cyclic(
+    total: u64,
+    chunk: u64,
+    tid: usize,
+    nthreads: usize,
+) -> impl Iterator<Item = (u64, u64)> {
+    let chunk = chunk.max(1);
+    let stride = chunk * nthreads as u64;
+    let first = tid as u64 * chunk;
+    (0..)
+        .map(move |k| first + k * stride)
+        .take_while(move |&lo| lo < total)
+        .map(move |lo| (lo, (lo + chunk).min(total)))
+}
+
+/// Guided-schedule grab size: `max(remaining / (2 * nthreads), min_chunk)`,
+/// clamped to `remaining`.
+#[must_use]
+pub fn guided_grab(remaining: u64, nthreads: usize, min_chunk: u64) -> u64 {
+    let half = remaining / (2 * nthreads.max(1) as u64);
+    half.max(min_chunk.max(1)).min(remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_omp_schedule_syntax() {
+        assert_eq!(Schedule::parse("static"), Some(Schedule::Static { chunk: None }));
+        assert_eq!(Schedule::parse("static,4"), Some(Schedule::Static { chunk: Some(4) }));
+        assert_eq!(Schedule::parse("dynamic"), Some(Schedule::Dynamic { chunk: 1 }));
+        assert_eq!(Schedule::parse(" dynamic , 8 "), Some(Schedule::Dynamic { chunk: 8 }));
+        assert_eq!(Schedule::parse("guided,2"), Some(Schedule::Guided { chunk: 2 }));
+        assert_eq!(Schedule::parse("auto"), None);
+    }
+
+    #[test]
+    fn static_block_covers_range_exactly() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for n in [1usize, 2, 3, 7, 36] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for tid in 0..n {
+                    let (lo, hi) = static_block(total, tid, n);
+                    assert_eq!(lo, prev_hi, "blocks must be contiguous");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_hi, total);
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_balance_within_one() {
+        let n = 5;
+        let sizes: Vec<u64> =
+            (0..n).map(|t| { let (l, h) = static_block(23, t, n); h - l }).collect();
+        let mx = *sizes.iter().max().unwrap();
+        let mn = *sizes.iter().min().unwrap();
+        assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn static_cyclic_partitions_exactly() {
+        let total = 37;
+        let chunk = 4;
+        let n = 3;
+        let mut seen = vec![false; total as usize];
+        for tid in 0..n {
+            for (lo, hi) in static_cyclic(total, chunk, tid, n) {
+                for i in lo..hi {
+                    assert!(!seen[i as usize], "iteration {i} assigned twice");
+                    seen[i as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every iteration assigned");
+    }
+
+    #[test]
+    fn static_cyclic_chunk_pattern() {
+        // total=10, chunk=2, n=2: tid0 gets [0,2),[4,6),[8,10); tid1 [2,4),[6,8)
+        let c0: Vec<_> = static_cyclic(10, 2, 0, 2).collect();
+        let c1: Vec<_> = static_cyclic(10, 2, 1, 2).collect();
+        assert_eq!(c0, vec![(0, 2), (4, 6), (8, 10)]);
+        assert_eq!(c1, vec![(2, 4), (6, 8)]);
+    }
+
+    #[test]
+    fn guided_grab_decays_and_respects_min() {
+        assert_eq!(guided_grab(1000, 4, 1), 125);
+        assert_eq!(guided_grab(16, 4, 1), 2);
+        assert_eq!(guided_grab(3, 4, 1), 1);
+        assert_eq!(guided_grab(3, 4, 10), 3, "clamped to remaining");
+        assert_eq!(guided_grab(0, 4, 1), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! A serialized "team of one": what a nested `parallel` region becomes
+//! when nesting is disabled or `max_active_levels` is exceeded, and the
+//! reference `TeamOps` used by this crate's own tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::critical::CriticalRegistry;
+use crate::ctx::run_region_member;
+use crate::runtime::{OmpRuntime, RegionFn, TaskBody, TaskMeta, TeamOps};
+use crate::workshare::WorkshareTable;
+
+/// A degenerate team of one thread. Tasks execute immediately; barriers
+/// are no-ops; nested regions serialize again (one level deeper).
+pub struct SerialTeam<'rt> {
+    rt: &'rt dyn OmpRuntime,
+    criticals: &'rt CriticalRegistry,
+    level: usize,
+    ws: WorkshareTable,
+    running_tasks: AtomicUsize,
+}
+
+impl<'rt> SerialTeam<'rt> {
+    /// A serialized team at nesting depth `level`.
+    #[must_use]
+    pub fn new(rt: &'rt dyn OmpRuntime, criticals: &'rt CriticalRegistry, level: usize) -> Self {
+        SerialTeam { rt, criticals, level, ws: WorkshareTable::new(), running_tasks: AtomicUsize::new(0) }
+    }
+
+    /// Run a whole serialized region (body of thread 0 + epilogue).
+    pub fn run(&self, body: &RegionFn<'static>) {
+        run_region_member(self, 0, body);
+    }
+}
+
+impl TeamOps for SerialTeam<'_> {
+    fn num_threads(&self) -> usize {
+        1
+    }
+
+    fn level(&self) -> usize {
+        self.level
+    }
+
+    fn barrier(&self, _tid: usize) {}
+
+    fn end_region(&self, _tid: usize) {}
+
+    fn workshares(&self) -> &WorkshareTable {
+        &self.ws
+    }
+
+    fn critical(&self, name: &str, f: &mut dyn FnMut()) {
+        self.criticals.enter(name, f);
+    }
+
+    fn spawn_task(&self, _meta: TaskMeta, body: TaskBody) {
+        // One thread, nothing to overlap with: run the task immediately
+        // (its wrapper signals the parent group).
+        self.running_tasks.fetch_add(1, Ordering::Relaxed);
+        body(0);
+        self.running_tasks.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn try_run_task(&self, _tid: usize) -> bool {
+        false // nothing is ever queued
+    }
+
+    fn outstanding_tasks(&self) -> usize {
+        0
+    }
+
+    fn taskyield(&self, _tid: usize) {}
+
+    fn nested_parallel(&self, _tid: usize, _nthreads: Option<usize>, body: &RegionFn<'static>) {
+        SerialTeam::new(self.rt, self.criticals, self.level + 1).run(body);
+    }
+
+    fn runtime(&self) -> &dyn OmpRuntime {
+        self.rt
+    }
+}
+
+/// A trivially serial `OmpRuntime`: every region is a [`SerialTeam`].
+/// Used by unit tests and as the "no parallel runtime linked" baseline.
+pub struct SerialRuntime {
+    cfg: crate::env::OmpConfig,
+    icvs: crate::env::Icvs,
+    counters: glt::Counters,
+    criticals: CriticalRegistry,
+}
+
+impl SerialRuntime {
+    /// Build a serial runtime.
+    #[must_use]
+    pub fn new(cfg: crate::env::OmpConfig) -> Self {
+        let icvs = crate::env::Icvs::new(&cfg);
+        SerialRuntime { cfg, icvs, counters: glt::Counters::new(), criticals: CriticalRegistry::new() }
+    }
+}
+
+impl OmpRuntime for SerialRuntime {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn label(&self) -> &'static str {
+        "Serial"
+    }
+
+    fn icvs(&self) -> &crate::env::Icvs {
+        &self.icvs
+    }
+
+    fn omp_config(&self) -> &crate::env::OmpConfig {
+        &self.cfg
+    }
+
+    fn counters(&self) -> &glt::Counters {
+        &self.counters
+    }
+
+    fn parallel_erased(&self, _nthreads: Option<usize>, body: &RegionFn<'static>) {
+        SerialTeam::new(self, &self.criticals, 1).run(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::OmpConfig;
+    use crate::runtime::OmpRuntimeExt;
+    use crate::schedule::Schedule;
+    use std::sync::atomic::AtomicU64;
+
+    fn rt() -> SerialRuntime {
+        SerialRuntime::new(OmpConfig::with_threads(1))
+    }
+
+    #[test]
+    fn region_runs_once() {
+        let r = rt();
+        let hits = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            assert_eq!(ctx.thread_num(), 0);
+            assert_eq!(ctx.num_threads(), 1);
+            assert_eq!(ctx.level(), 1);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn for_each_covers_range_serially() {
+        let r = rt();
+        let sum = AtomicU64::new(0);
+        r.parallel(|ctx| {
+            ctx.for_each(0..100, Schedule::Dynamic { chunk: 7 }, |i| {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn for_reduce_serial() {
+        let r = rt();
+        r.parallel(|ctx| {
+            let s =
+                ctx.for_reduce(1..11, Schedule::Static { chunk: None }, 0u64, |i, acc| *acc += i, |a, b| a + b);
+            assert_eq!(s, 55);
+        });
+    }
+
+    #[test]
+    fn tasks_execute_immediately_and_taskwait_is_satisfied() {
+        let r = rt();
+        let hits = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            for _ in 0..10 {
+                let hits = &hits;
+                ctx.task(move |_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            assert_eq!(hits.load(Ordering::SeqCst), 10);
+        });
+    }
+
+    #[test]
+    fn taskgroup_waits_for_descendants() {
+        let r = rt();
+        let leaves = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            let leaves = &leaves;
+            ctx.taskgroup(|| {
+                for _ in 0..3 {
+                    ctx.task(move |c| {
+                        // grandchildren, no taskwait: taskgroup must wait.
+                        for _ in 0..3 {
+                            c.task(move |_| {
+                                leaves.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(leaves.load(Ordering::SeqCst), 9, "taskgroup end");
+        });
+    }
+
+    #[test]
+    fn taskloop_covers_range() {
+        let r = rt();
+        let sum = AtomicU64::new(0);
+        r.parallel(|ctx| {
+            let sum = &sum;
+            ctx.taskloop(0..100, 7, move |i| {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 4950);
+    }
+
+    #[test]
+    fn nested_parallel_serializes_deeper() {
+        let r = rt();
+        let max_level = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.parallel(|inner| {
+                max_level.fetch_max(inner.level(), Ordering::SeqCst);
+            });
+        });
+        assert_eq!(max_level.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_master_critical_sections() {
+        let r = rt();
+        let n = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            let won = ctx.single(|| {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(won);
+            ctx.master(|| {
+                n.fetch_add(10, Ordering::SeqCst);
+            });
+            ctx.critical("c", || {
+                n.fetch_add(100, Ordering::SeqCst);
+            });
+            ctx.sections(vec![
+                Box::new(|| {
+                    n.fetch_add(1000, Ordering::SeqCst);
+                }),
+                Box::new(|| {
+                    n.fetch_add(1000, Ordering::SeqCst);
+                }),
+            ]);
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 2111);
+    }
+
+    #[test]
+    fn copyprivate_returns_value() {
+        let r = rt();
+        r.parallel(|ctx| {
+            let v = ctx.single_copy(|| 42i32);
+            assert_eq!(v, 42);
+        });
+    }
+
+    #[test]
+    fn ordered_loop_in_order() {
+        let r = rt();
+        let log = parking_lot::Mutex::new(Vec::new());
+        r.parallel(|ctx| {
+            ctx.for_each_ordered(0..5, |i, ord| {
+                ord.ordered(|| log.lock().push(i));
+            });
+        });
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn final_task_makes_descendants_undeferred() {
+        let r = rt();
+        r.parallel(|ctx| {
+            ctx.task_with(
+                crate::ctx::TaskFlags { final_clause: true, ..Default::default() },
+                |child| {
+                    assert!(child.in_final());
+                },
+            );
+        });
+        let snap = r.counters().snapshot();
+        assert_eq!(snap.tasks_direct, 1);
+    }
+}

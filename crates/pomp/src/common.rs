@@ -1,0 +1,448 @@
+//! Shared OS-thread team machinery for the pthread-based baselines.
+//!
+//! Both baselines fork a region the way the paper describes for GNU/Intel:
+//! "the master thread assigns the function pointer to each thread in the
+//! runtime and then, once the work is done, the master thread joins the
+//! others" (§IV-C). What differs — and what the experiments expose — is
+//! thread-pool policy (fresh nested teams vs hot teams) and task policy
+//! (one shared queue vs per-thread deques with stealing and a cut-off).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use glt::park::WaitSlot;
+use glt::{Counters, WaitPolicy};
+use omp::{
+    run_region_member, CentralBarrier, CriticalRegistry, OmpRuntime, RegionFn, TaskBody,
+    TaskMeta, TeamOps, WorkshareTable,
+};
+use parking_lot::Mutex;
+
+/// One idle pause, honoring the wait policy: active spins (with a CPU
+/// relax), passive yields to the OS. Used by barriers, task waits, and the
+/// fork/join latches.
+#[inline]
+pub(crate) fn idle_once(wait: WaitPolicy) {
+    match wait {
+        WaitPolicy::Active => {
+            for _ in 0..32 {
+                std::hint::spin_loop();
+            }
+            // On an oversubscribed machine pure spinning starves the
+            // worker that holds the work; a periodic yield keeps the
+            // experiment finite while staying "active" in spirit.
+            std::thread::yield_now();
+        }
+        WaitPolicy::Passive => {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// Completion latch the master waits on at region join.
+#[derive(Debug)]
+pub(crate) struct Latch {
+    remaining: AtomicUsize,
+    slot: WaitSlot,
+}
+
+impl Latch {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
+        Arc::new(Latch { remaining: AtomicUsize::new(n), slot: WaitSlot::new() })
+    }
+
+    pub(crate) fn signal(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.slot.wake();
+        }
+    }
+
+    pub(crate) fn wait(&self, wait: WaitPolicy) {
+        while self.remaining.load(Ordering::Acquire) > 0 {
+            match wait {
+                WaitPolicy::Active => idle_once(wait),
+                WaitPolicy::Passive => self.slot.park(Duration::from_millis(1)),
+            }
+        }
+    }
+}
+
+/// The command a pooled worker executes: raw pointers into the master's
+/// stack frame, valid until `latch.signal()` (the fork/join protocol).
+pub(crate) struct Cmd {
+    team: *const PompTeam<'static>,
+    body: *const RegionFn<'static>,
+    tid: usize,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: the pointers reference the master's stack frame, which outlives
+// the command: the master blocks on the latch until every worker has
+// signalled, and workers signal only after their last access.
+unsafe impl Send for Cmd {}
+
+struct WorkerSlot {
+    cmd: Mutex<Option<Cmd>>,
+    wake: WaitSlot,
+    stop: AtomicBool,
+}
+
+/// A pool of reusable OS worker threads ("hot" threads).
+pub(crate) struct ThreadPool {
+    slots: Vec<Arc<WorkerSlot>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    wait: WaitPolicy,
+}
+
+impl ThreadPool {
+    pub(crate) fn new(wait: WaitPolicy) -> Self {
+        ThreadPool { slots: Vec::new(), handles: Mutex::new(Vec::new()), wait }
+    }
+
+    pub(crate) fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Grow the pool to at least `k` workers, counting creations.
+    pub(crate) fn ensure(&mut self, k: usize, counters: &Counters) {
+        while self.slots.len() < k {
+            let slot = Arc::new(WorkerSlot {
+                cmd: Mutex::new(None),
+                wake: WaitSlot::new(),
+                stop: AtomicBool::new(false),
+            });
+            let s2 = Arc::clone(&slot);
+            let wait = self.wait;
+            let h = std::thread::Builder::new()
+                .name(format!("pomp-worker-{}", self.slots.len()))
+                .spawn(move || worker_loop(&s2, wait))
+                .expect("failed to spawn pomp worker");
+            Counters::bump(&counters.os_threads_created, 1);
+            self.slots.push(slot);
+            self.handles.lock().push(h);
+        }
+    }
+
+    /// Fork `body` across `team` (master = tid 0 runs inline), measuring
+    /// the master's work-assignment step (Fig. 7), then join.
+    pub(crate) fn run_region(
+        &self,
+        team: &PompTeam<'_>,
+        body: &RegionFn<'static>,
+        counters: &Counters,
+    ) {
+        let k = team.num_threads() - 1;
+        assert!(k <= self.slots.len(), "pool not sized for team (call ensure first)");
+        let latch = Latch::new(k);
+        let t0 = Instant::now();
+        for (i, slot) in self.slots.iter().take(k).enumerate() {
+            // Lifetime erasure of the team pointer; see `Cmd` safety note.
+            let team_ptr =
+                std::ptr::from_ref(team).cast::<PompTeam<'static>>();
+            *slot.cmd.lock() = Some(Cmd {
+                team: team_ptr,
+                body: std::ptr::from_ref(body),
+                tid: i + 1,
+                latch: Arc::clone(&latch),
+            });
+            slot.wake.wake();
+        }
+        Counters::bump(&counters.assign_ns, t0.elapsed().as_nanos() as u64);
+        Counters::bump(&counters.forks, 1);
+        run_region_member(team, 0, body);
+        latch.wait(self.wait);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for s in &self.slots {
+            s.stop.store(true, Ordering::Release);
+            s.wake.wake();
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(slot: &WorkerSlot, wait: WaitPolicy) {
+    loop {
+        if slot.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let cmd = slot.cmd.lock().take();
+        match cmd {
+            Some(c) => {
+                // SAFETY: fork/join protocol (see `Cmd`).
+                let team: &PompTeam<'_> = unsafe { &*c.team };
+                let body: &RegionFn<'static> = unsafe { &*c.body };
+                run_region_member(team, c.tid, body);
+                c.latch.signal();
+            }
+            None => match wait {
+                WaitPolicy::Active => idle_once(wait),
+                WaitPolicy::Passive => slot.wake.park(Duration::from_millis(1)),
+            },
+        }
+    }
+}
+
+/// Run a region on **freshly spawned** OS threads that are destroyed at
+/// region end — the GNU nested-team behaviour behind Table II's 3,536
+/// threads ("This approach does not reuse idle threads", §VI-D).
+pub(crate) fn run_region_fresh_threads(
+    team: &PompTeam<'_>,
+    body: &RegionFn<'static>,
+    counters: &Counters,
+) {
+    let k = team.num_threads() - 1;
+    let latch = Latch::new(k);
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(k);
+    for tid in 1..=k {
+        let cmd = Cmd {
+            team: std::ptr::from_ref(team).cast::<PompTeam<'static>>(),
+            body: std::ptr::from_ref(body),
+            tid,
+            latch: Arc::clone(&latch),
+        };
+        let h = std::thread::Builder::new()
+            .name(format!("pomp-fresh-{tid}"))
+            .spawn(move || {
+                let cmd = cmd; // capture the whole (Send) Cmd, not raw fields
+                // SAFETY: fork/join protocol (see `Cmd`); additionally the
+                // master `join()`s every handle before returning.
+                let team: &PompTeam<'_> = unsafe { &*cmd.team };
+                let body: &RegionFn<'static> = unsafe { &*cmd.body };
+                run_region_member(team, cmd.tid, body);
+                cmd.latch.signal();
+            })
+            .expect("failed to spawn fresh team thread");
+        Counters::bump(&counters.os_threads_created, 1);
+        handles.push(h);
+    }
+    Counters::bump(&counters.assign_ns, t0.elapsed().as_nanos() as u64);
+    Counters::bump(&counters.forks, 1);
+    run_region_member(team, 0, body);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Task-queueing policy: the axis the paper contrasts in §III-A.
+pub(crate) enum TaskSys {
+    /// GNU: "a single shared task queue for all the threads".
+    Gnu { queue: Mutex<VecDeque<TaskBody>> },
+    /// Intel: "one task queue for each thread and ... work-stealing", plus
+    /// the cut-off: when the creator's deque already holds `cutoff` tasks,
+    /// the new task executes directly (§VI-E).
+    Intel { deques: Vec<Mutex<VecDeque<TaskBody>>>, cutoff: usize },
+}
+
+impl TaskSys {
+    pub(crate) fn gnu() -> Self {
+        TaskSys::Gnu { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    pub(crate) fn intel(nthreads: usize, cutoff: usize) -> Self {
+        TaskSys::Intel {
+            deques: (0..nthreads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cutoff: cutoff.max(1),
+        }
+    }
+}
+
+/// Baseline-runtime internals the team needs beyond `OmpRuntime`.
+pub(crate) trait PompRt: OmpRuntime {
+    fn criticals(&self) -> &CriticalRegistry;
+    fn wait_policy(&self) -> WaitPolicy;
+    /// Run a nested region at `level + 1` from a member of an existing team.
+    fn nested_region(&self, level: usize, nthreads: Option<usize>, body: &RegionFn<'static>);
+    fn make_tasks(&self, nthreads: usize) -> TaskSys;
+}
+
+/// A pthread-style OpenMP team.
+pub(crate) struct PompTeam<'rt> {
+    rt: &'rt dyn PompRt,
+    level: usize,
+    nthreads: usize,
+    barrier: CentralBarrier,
+    ws: WorkshareTable,
+    tasks: TaskSys,
+    outstanding: AtomicUsize,
+    region_arrivals: AtomicUsize,
+}
+
+impl<'rt> PompTeam<'rt> {
+    pub(crate) fn new(rt: &'rt dyn PompRt, level: usize, nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        PompTeam {
+            rt,
+            level,
+            nthreads,
+            barrier: CentralBarrier::new(nthreads),
+            ws: WorkshareTable::new(),
+            tasks: rt.make_tasks(nthreads),
+            outstanding: AtomicUsize::new(0),
+            region_arrivals: AtomicUsize::new(0),
+        }
+    }
+
+    fn pop_task(&self, tid: usize) -> Option<TaskBody> {
+        match &self.tasks {
+            TaskSys::Gnu { queue } => queue.lock().pop_front(),
+            TaskSys::Intel { deques, .. } => {
+                // Own deque first (newest — LIFO), then steal oldest from a
+                // victim, scanning from the next thread.
+                if let Some(t) = deques[tid].lock().pop_back() {
+                    return Some(t);
+                }
+                let n = deques.len();
+                for off in 1..n {
+                    let v = (tid + off) % n;
+                    let stolen = deques[v].lock().pop_front();
+                    if let Some(t) = stolen {
+                        Counters::bump(&self.rt.counters().steals, 1);
+                        return Some(t);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl TeamOps for PompTeam<'_> {
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn level(&self) -> usize {
+        self.level
+    }
+
+    fn barrier(&self, tid: usize) {
+        let wait = self.rt.wait_policy();
+        self.barrier.wait(|| self.try_run_task(tid), || idle_once(wait));
+    }
+
+    fn end_region(&self, tid: usize) {
+        self.region_arrivals.fetch_add(1, Ordering::AcqRel);
+        if tid == 0 {
+            let wait = self.rt.wait_policy();
+            while self.region_arrivals.load(Ordering::Acquire) < self.nthreads
+                || self.outstanding_tasks() > 0
+            {
+                if !self.try_run_task(tid) {
+                    idle_once(wait);
+                }
+            }
+        }
+    }
+
+    fn workshares(&self) -> &WorkshareTable {
+        &self.ws
+    }
+
+    fn critical(&self, name: &str, f: &mut dyn FnMut()) {
+        self.rt.criticals().enter(name, f);
+    }
+
+    fn spawn_task(&self, meta: TaskMeta, body: TaskBody) {
+        let counters = self.rt.counters();
+        match &self.tasks {
+            TaskSys::Gnu { queue } => {
+                self.outstanding.fetch_add(1, Ordering::AcqRel);
+                Counters::bump(&counters.tasks_queued, 1);
+                queue.lock().push_back(body);
+            }
+            TaskSys::Intel { deques, cutoff } => {
+                let len = deques[meta.creator].lock().len();
+                // Cut-off (§VI-E): a full creator deque makes the new task
+                // execute immediately as sequential code. A team of one has
+                // no consumers to keep pace with; the runtime lets the
+                // deque grow instead (Table III row 1 is 100% queued).
+                if len >= *cutoff && self.nthreads > 1 {
+                    Counters::bump(&counters.tasks_direct, 1);
+                    body(meta.creator);
+                } else {
+                    self.outstanding.fetch_add(1, Ordering::AcqRel);
+                    Counters::bump(&counters.tasks_queued, 1);
+                    deques[meta.creator].lock().push_back(body);
+                }
+            }
+        }
+    }
+
+    fn try_run_task(&self, tid: usize) -> bool {
+        match self.pop_task(tid) {
+            Some(t) => {
+                // Contain task panics: an unwinding worker would never
+                // signal its fork latch and the region would hang. The
+                // task is reported failed-by-panic on stderr instead.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t(tid)));
+                self.outstanding.fetch_sub(1, Ordering::AcqRel);
+                if r.is_err() {
+                    eprintln!("pomp: task panicked (contained; region continues)");
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn outstanding_tasks(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    fn taskyield(&self, tid: usize) {
+        // A scheduling point: run one other task if available.
+        let _ = self.try_run_task(tid);
+    }
+
+    fn nested_parallel(&self, _tid: usize, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        self.rt.nested_region(self.level, nthreads, body);
+    }
+
+    fn runtime(&self) -> &dyn OmpRuntime {
+        self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_counts_down_and_releases() {
+        let l = Latch::new(2);
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            l2.signal();
+            l2.signal();
+        });
+        l.wait(WaitPolicy::Passive);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn latch_zero_is_immediate() {
+        let l = Latch::new(0);
+        l.wait(WaitPolicy::Active);
+    }
+
+    #[test]
+    fn pool_ensure_counts_creations() {
+        let counters = Counters::new();
+        let mut p = ThreadPool::new(WaitPolicy::Passive);
+        p.ensure(3, &counters);
+        assert_eq!(p.size(), 3);
+        assert_eq!(counters.snapshot().os_threads_created, 3);
+        p.ensure(2, &counters); // no shrink, no new
+        assert_eq!(p.size(), 3);
+        assert_eq!(counters.snapshot().os_threads_created, 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! GNU-libgomp-like runtime (the paper's "GCC" series).
+//!
+//! Distinguishing behaviours (paper §III-A, §VI-D, Table II):
+//! * top-level teams come from a reusable pool, but **every nested region
+//!   spawns a fresh team of OS threads** that is destroyed at region end —
+//!   "the GNU solution creates ... for each of the iterations of the outer
+//!   loop a new team of threads ... does not reuse idle threads";
+//! * **one shared task queue** for the whole team;
+//! * the `final` clause is not honored (validation Table I).
+
+use std::sync::Arc;
+
+use glt::{Counters, WaitPolicy};
+use omp::serial::SerialTeam;
+use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
+use parking_lot::Mutex;
+
+use crate::common::{run_region_fresh_threads, PompRt, PompTeam, TaskSys, ThreadPool};
+
+/// GNU-libgomp-like OpenMP runtime over OS threads.
+pub struct GnuRuntime {
+    cfg: OmpConfig,
+    icvs: Icvs,
+    counters: Counters,
+    criticals: CriticalRegistry,
+    pool: Mutex<ThreadPool>,
+}
+
+impl GnuRuntime {
+    /// Build a GNU-like runtime. Worker threads for the top-level team are
+    /// created lazily at the first parallel region and then reused.
+    #[must_use]
+    pub fn new(cfg: OmpConfig) -> Arc<Self> {
+        let icvs = Icvs::new(&cfg);
+        let pool = Mutex::new(ThreadPool::new(cfg.wait_policy));
+        Arc::new(GnuRuntime {
+            cfg,
+            icvs,
+            counters: Counters::new(),
+            criticals: CriticalRegistry::new(),
+            pool,
+        })
+    }
+}
+
+impl OmpRuntime for GnuRuntime {
+    fn name(&self) -> &'static str {
+        "gnu"
+    }
+
+    fn label(&self) -> &'static str {
+        "GCC"
+    }
+
+    fn icvs(&self) -> &Icvs {
+        &self.icvs
+    }
+
+    fn omp_config(&self) -> &OmpConfig {
+        &self.cfg
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn parallel_erased(&self, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let team = PompTeam::new(self, 1, n);
+        let mut pool = self.pool.lock();
+        pool.ensure(n - 1, &self.counters);
+        pool.run_region(&team, body, &self.counters);
+    }
+
+    fn honors_final(&self) -> bool {
+        false // reproduces the GNU `omp_task_final` validation failure
+    }
+}
+
+impl PompRt for GnuRuntime {
+    fn criticals(&self) -> &CriticalRegistry {
+        &self.criticals
+    }
+
+    fn wait_policy(&self) -> WaitPolicy {
+        self.cfg.wait_policy
+    }
+
+    fn nested_region(&self, level: usize, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        if !self.icvs.nested() || level >= self.icvs.max_active_levels() {
+            SerialTeam::new(self, &self.criticals, level + 1).run(body);
+            return;
+        }
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let team = PompTeam::new(self, level + 1, n);
+        // GNU nested behaviour: a brand-new OS-thread team per region.
+        run_region_fresh_threads(&team, body, &self.counters);
+    }
+
+    fn make_tasks(&self, _nthreads: usize) -> TaskSys {
+        TaskSys::gnu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::{OmpRuntimeExt, Schedule};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn rt(n: usize) -> Arc<GnuRuntime> {
+        GnuRuntime::new(OmpConfig::with_threads(n))
+    }
+
+    #[test]
+    fn team_has_requested_size_and_distinct_tids() {
+        let r = rt(4);
+        let seen = parking_lot::Mutex::new(std::collections::HashSet::new());
+        r.parallel(|ctx| {
+            assert_eq!(ctx.num_threads(), 4);
+            seen.lock().insert(ctx.thread_num());
+        });
+        assert_eq!(seen.lock().len(), 4);
+    }
+
+    #[test]
+    fn for_each_covers_range_across_threads() {
+        let r = rt(3);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        r.parallel(|ctx| {
+            ctx.for_each(0..100, Schedule::Dynamic { chunk: 7 }, |i| {
+                hits[i as usize].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn tasks_run_via_shared_queue() {
+        let r = rt(4);
+        let sum = AtomicU64::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for i in 0..50u64 {
+                    let sum = &sum;
+                    ctx.task(move |_| {
+                        sum.fetch_add(i, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 49 * 50 / 2);
+        assert_eq!(r.counters().snapshot().tasks_queued, 50, "GNU queues every task");
+    }
+
+    #[test]
+    fn nested_region_spawns_fresh_threads() {
+        let r = rt(3);
+        r.parallel(|ctx| {
+            ctx.parallel(|inner| {
+                assert_eq!(inner.level(), 2);
+                assert_eq!(inner.num_threads(), 3);
+            });
+        });
+        let created = r.counters().snapshot().os_threads_created;
+        // Outer pool: 2 workers; each of 3 outer members forked a nested
+        // team of 3 (2 fresh threads each) = 6 fresh.
+        assert_eq!(created, 2 + 6, "nested teams must not be reused");
+    }
+
+    #[test]
+    fn nested_disabled_serializes() {
+        let r = GnuRuntime::new(OmpConfig::with_threads(2).nested(false));
+        let inner_sizes = parking_lot::Mutex::new(Vec::new());
+        r.parallel(|ctx| {
+            ctx.parallel(|inner| {
+                inner_sizes.lock().push(inner.num_threads());
+            });
+        });
+        assert_eq!(*inner_sizes.lock(), vec![1, 1]);
+    }
+
+    #[test]
+    fn single_thread_region_works() {
+        let r = rt(1);
+        let hits = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            assert_eq!(ctx.num_threads(), 1);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reduction_across_team() {
+        let r = rt(4);
+        let result = parking_lot::Mutex::new(0u64);
+        r.parallel(|ctx| {
+            let s = ctx.for_reduce(
+                1..101,
+                Schedule::Static { chunk: None },
+                0u64,
+                |i, acc| *acc += i,
+                |a, b| a + b,
+            );
+            if ctx.thread_num() == 0 {
+                *result.lock() = s;
+            }
+        });
+        assert_eq!(*result.lock(), 5050);
+    }
+
+    #[test]
+    fn taskwait_waits_direct_children() {
+        let r = rt(2);
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..8 {
+                    let done = &done;
+                    ctx.task(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                ctx.taskwait();
+                assert_eq!(done.load(Ordering::SeqCst), 8);
+            });
+        });
+    }
+}

@@ -1,0 +1,254 @@
+//! Intel-OpenMP-like runtime (the paper's "ICC" series).
+//!
+//! Distinguishing behaviours (paper §III-A, §VI-D/E, Tables II & III,
+//! Fig. 14):
+//! * **hot teams**: the top-level pool is created once and reused, and each
+//!   thread that opens nested regions keeps a *persistent* nested team —
+//!   "the Intel implementation acts like GNU's for the outer loop, but
+//!   Intel solution reuses the idle threads";
+//! * **per-thread task deques with work stealing**;
+//! * the **cut-off**: once the creator's deque holds `task_cutoff` tasks
+//!   (256 by default), new tasks execute directly as sequential code;
+//! * the `final` clause is not honored (validation Table I).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+use glt::{Counters, WaitPolicy};
+use omp::serial::SerialTeam;
+use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
+use parking_lot::Mutex;
+
+use crate::common::{PompRt, PompTeam, TaskSys, ThreadPool};
+
+/// Intel-like OpenMP runtime over OS threads.
+pub struct IntelRuntime {
+    cfg: OmpConfig,
+    icvs: Icvs,
+    counters: Counters,
+    criticals: CriticalRegistry,
+    pool: Mutex<ThreadPool>,
+    /// Hot nested teams, keyed by (owning thread, nesting level).
+    hot_teams: Mutex<HashMap<(ThreadId, usize), Arc<Mutex<ThreadPool>>>>,
+}
+
+impl IntelRuntime {
+    /// Build an Intel-like runtime.
+    #[must_use]
+    pub fn new(cfg: OmpConfig) -> Arc<Self> {
+        let icvs = Icvs::new(&cfg);
+        let pool = Mutex::new(ThreadPool::new(cfg.wait_policy));
+        Arc::new(IntelRuntime {
+            cfg,
+            icvs,
+            counters: Counters::new(),
+            criticals: CriticalRegistry::new(),
+            pool,
+            hot_teams: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+impl OmpRuntime for IntelRuntime {
+    fn name(&self) -> &'static str {
+        "intel"
+    }
+
+    fn label(&self) -> &'static str {
+        "ICC"
+    }
+
+    fn icvs(&self) -> &Icvs {
+        &self.icvs
+    }
+
+    fn omp_config(&self) -> &OmpConfig {
+        &self.cfg
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn parallel_erased(&self, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let team = PompTeam::new(self, 1, n);
+        let mut pool = self.pool.lock();
+        pool.ensure(n - 1, &self.counters);
+        pool.run_region(&team, body, &self.counters);
+    }
+
+    fn honors_final(&self) -> bool {
+        false // reproduces the Intel `omp_task_final` validation failure
+    }
+}
+
+impl PompRt for IntelRuntime {
+    fn criticals(&self) -> &CriticalRegistry {
+        &self.criticals
+    }
+
+    fn wait_policy(&self) -> WaitPolicy {
+        self.cfg.wait_policy
+    }
+
+    fn nested_region(&self, level: usize, nthreads: Option<usize>, body: &RegionFn<'static>) {
+        if !self.icvs.nested() || level >= self.icvs.max_active_levels() {
+            SerialTeam::new(self, &self.criticals, level + 1).run(body);
+            return;
+        }
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let key = (std::thread::current().id(), level);
+        let pool = {
+            let mut map = self.hot_teams.lock();
+            Arc::clone(map.entry(key).or_insert_with(|| {
+                Arc::new(Mutex::new(ThreadPool::new(self.cfg.wait_policy)))
+            }))
+        };
+        let mut pool = pool.lock();
+        if pool.size() >= n - 1 {
+            // Hot team hit: the whole nested team is reused idle threads.
+            Counters::bump(&self.counters.os_threads_reused, (n - 1) as u64);
+        }
+        pool.ensure(n - 1, &self.counters);
+        let team = PompTeam::new(self, level + 1, n);
+        pool.run_region(&team, body, &self.counters);
+    }
+
+    fn make_tasks(&self, nthreads: usize) -> TaskSys {
+        TaskSys::intel(nthreads, self.cfg.task_cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::{OmpRuntimeExt, Schedule};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn rt(n: usize) -> Arc<IntelRuntime> {
+        IntelRuntime::new(OmpConfig::with_threads(n))
+    }
+
+    #[test]
+    fn region_runs_full_team() {
+        let r = rt(4);
+        let count = AtomicUsize::new(0);
+        r.parallel(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_hot_teams_are_reused() {
+        let r = rt(3);
+        r.parallel(|ctx| {
+            // 4 nested regions per outer thread: first creates, next reuse.
+            for _ in 0..4 {
+                ctx.parallel(|inner| {
+                    assert_eq!(inner.num_threads(), 3);
+                });
+            }
+        });
+        let s = r.counters().snapshot();
+        // Outer pool: 2 created. Each of the 3 outer members creates a hot
+        // team of 2 once (6 created) and reuses it 3 times (2 × 3 × 3 = 18).
+        assert_eq!(s.os_threads_created, 2 + 6);
+        assert_eq!(s.os_threads_reused, 18);
+    }
+
+    #[test]
+    fn cutoff_forces_direct_execution() {
+        let r = IntelRuntime::new(OmpConfig::with_threads(2).task_cutoff(8));
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..100 {
+                    let done = &done;
+                    ctx.task(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                ctx.taskwait();
+            });
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+        let s = r.counters().snapshot();
+        assert!(s.tasks_direct > 0, "cut-off must trigger with 100 tasks and cutoff 8");
+        assert!(s.tasks_queued >= 8);
+        assert_eq!(s.tasks_direct + s.tasks_queued, 100);
+    }
+
+    #[test]
+    fn single_thread_team_never_cuts_off() {
+        let r = IntelRuntime::new(OmpConfig::with_threads(1).task_cutoff(8));
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            for _ in 0..50 {
+                let done = &done;
+                ctx.task(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+        let s = r.counters().snapshot();
+        assert_eq!(s.tasks_queued, 50, "Table III: one thread ⇒ 100% queued");
+        assert_eq!(s.tasks_direct, 0);
+    }
+
+    #[test]
+    fn stealing_moves_tasks_between_members() {
+        let r = rt(4);
+        let done = AtomicUsize::new(0);
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..64 {
+                    let done = &done;
+                    ctx.task(move |_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                        std::thread::yield_now();
+                    });
+                }
+            });
+            // implicit region barrier drains
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn dynamic_loop_and_reduction() {
+        let r = rt(3);
+        let out = parking_lot::Mutex::new(0u64);
+        r.parallel(|ctx| {
+            let s = ctx.for_reduce(
+                0..1000,
+                Schedule::Guided { chunk: 4 },
+                0u64,
+                |i, acc| *acc += i,
+                |a, b| a + b,
+            );
+            ctx.master(|| *out.lock() = s);
+        });
+        assert_eq!(*out.lock(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn tasks_spawned_by_all_members() {
+        let r = rt(4);
+        let sum = AtomicU64::new(0);
+        r.parallel(|ctx| {
+            for i in 0..10u64 {
+                let sum = &sum;
+                ctx.task(move |_| {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 45 * 4);
+    }
+}

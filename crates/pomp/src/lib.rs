@@ -1,0 +1,109 @@
+//! # pomp — pthread-based OpenMP baseline runtimes
+//!
+//! The two comparison runtimes of the paper's evaluation, rebuilt over OS
+//! threads (`std::thread`, the Rust face of pthreads):
+//!
+//! * [`GnuRuntime`] — GNU-libgomp-like: reusable top-level pool, **fresh OS
+//!   threads for every nested team**, one shared task queue;
+//! * [`IntelRuntime`] — Intel-like: **hot teams** (nested pools cached per
+//!   thread), per-thread task deques with work stealing, and the 256-task
+//!   **cut-off** after which tasks execute inline.
+//!
+//! These two are the "pthread-based approaches" whose strengths (cheap
+//! work assignment in `parallel for`, Figs. 6–7) and weaknesses
+//! (oversubscription in nested parallelism, Figs. 8–9 and Table II;
+//! contention + cut-off pathologies in fine-grained tasking, Figs. 10–14
+//! and Table III) the paper contrasts with GLTO.
+
+#![warn(missing_docs)]
+
+mod common;
+mod gnu;
+mod intel;
+
+pub use gnu::GnuRuntime;
+pub use intel::IntelRuntime;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn both_runtimes_usable_as_dyn() {
+        let runtimes: Vec<Arc<dyn OmpRuntime>> = vec![
+            GnuRuntime::new(OmpConfig::with_threads(2)),
+            IntelRuntime::new(OmpConfig::with_threads(2)),
+        ];
+        for rt in runtimes {
+            let hits = AtomicUsize::new(0);
+            rt.parallel(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 2, "runtime {}", rt.name());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_series() {
+        assert_eq!(GnuRuntime::new(OmpConfig::with_threads(1)).label(), "GCC");
+        assert_eq!(IntelRuntime::new(OmpConfig::with_threads(1)).label(), "ICC");
+    }
+
+    #[test]
+    fn neither_honors_final() {
+        assert!(!GnuRuntime::new(OmpConfig::with_threads(1)).honors_final());
+        assert!(!IntelRuntime::new(OmpConfig::with_threads(1)).honors_final());
+    }
+
+    #[test]
+    fn team_size_can_grow_between_regions() {
+        let rt = IntelRuntime::new(OmpConfig::with_threads(2));
+        let count = AtomicUsize::new(0);
+        rt.parallel(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        rt.set_num_threads(5);
+        rt.parallel(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.into_inner(), 2 + 5, "pool must grow to the new ICV");
+    }
+
+    #[test]
+    fn active_and_passive_wait_policies_both_complete() {
+        use glt::WaitPolicy;
+        for wp in [WaitPolicy::Active, WaitPolicy::Passive] {
+            for rt in [
+                GnuRuntime::new(OmpConfig::with_threads(3).wait_policy(wp))
+                    as std::sync::Arc<dyn OmpRuntime>,
+                IntelRuntime::new(OmpConfig::with_threads(3).wait_policy(wp)),
+            ] {
+                let hits = AtomicUsize::new(0);
+                rt.parallel(|ctx| {
+                    ctx.single(|| {
+                        for _ in 0..20 {
+                            let hits = &hits;
+                            ctx.task(move |_| {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+                assert_eq!(hits.into_inner(), 20, "{} {:?}", rt.name(), wp);
+            }
+        }
+    }
+
+    #[test]
+    fn fork_counters_accumulate() {
+        let rt = IntelRuntime::new(OmpConfig::with_threads(2));
+        for _ in 0..5 {
+            rt.parallel(|_| {});
+        }
+        let s = rt.counters().snapshot();
+        assert_eq!(s.forks, 5);
+    }
+}

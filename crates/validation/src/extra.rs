@@ -1,0 +1,494 @@
+//! Orphan-mode variants (constructs used through function boundaries) and
+//! additional per-construct entries that size the suite at the original's
+//! 123 tests over 62 constructs.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use omp::{wtime, OmpLock, OmpNestLock, OmpRuntime, OmpRuntimeExt, ParCtx, Schedule, TaskFlags};
+use parking_lot::Mutex;
+
+use crate::framework::{Mode, TestCase};
+
+fn t(construct: &'static str, mode: Mode, run: fn(&dyn OmpRuntime) -> bool) -> TestCase {
+    TestCase { construct, mode, run }
+}
+
+const N: u64 = 500;
+const EXPECT: u64 = N * (N - 1) / 2;
+
+// Generic orphaned loop-sum with a given schedule.
+fn orphan_sum(ctx: &ParCtx<'_, '_>, sched: Schedule, sum: &AtomicU64) {
+    ctx.for_each(0..N, sched, |i| {
+        sum.fetch_add(i, Ordering::Relaxed);
+    });
+}
+
+macro_rules! orphan_sched_test {
+    ($name:ident, $sched:expr) => {
+        fn $name(rt: &dyn OmpRuntime) -> bool {
+            let sum = AtomicU64::new(0);
+            rt.parallel(|ctx| orphan_sum(ctx, $sched, &sum));
+            sum.into_inner() == EXPECT
+        }
+    };
+}
+
+orphan_sched_test!(guided_orphan, Schedule::Guided { chunk: 2 });
+orphan_sched_test!(static_chunk_orphan, Schedule::Static { chunk: Some(5) });
+orphan_sched_test!(runtime_orphan, Schedule::Runtime);
+
+fn nowait_orphan_inner(ctx: &ParCtx<'_, '_>, a: &AtomicU64, b: &AtomicU64) {
+    ctx.for_each_nowait(0..N, Schedule::Static { chunk: None }, |i| {
+        a.fetch_add(i, Ordering::Relaxed);
+    });
+    ctx.for_each_nowait(0..N, Schedule::Static { chunk: None }, |i| {
+        b.fetch_add(i, Ordering::Relaxed);
+    });
+    ctx.barrier();
+}
+
+fn nowait_orphan(rt: &dyn OmpRuntime) -> bool {
+    let a = AtomicU64::new(0);
+    let b = AtomicU64::new(0);
+    rt.parallel(|ctx| nowait_orphan_inner(ctx, &a, &b));
+    a.into_inner() == EXPECT && b.into_inner() == EXPECT
+}
+
+fn for_reduce_orphan_inner(ctx: &ParCtx<'_, '_>, out: &Mutex<u64>) {
+    let s = ctx.for_reduce(
+        0..N,
+        Schedule::Dynamic { chunk: 9 },
+        0u64,
+        |i, acc| *acc += i,
+        |x, y| x + y,
+    );
+    ctx.master(|| *out.lock() = s);
+}
+
+fn for_reduce_orphan(rt: &dyn OmpRuntime) -> bool {
+    let out = Mutex::new(0u64);
+    rt.parallel(|ctx| for_reduce_orphan_inner(ctx, &out));
+    let v = *out.lock();
+    v == EXPECT
+}
+
+fn firstprivate_orphan_inner(by_value: usize, ok: &AtomicUsize) {
+    let mut copy = by_value;
+    copy *= 2;
+    if copy == 34 {
+        ok.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn firstprivate_orphan(rt: &dyn OmpRuntime) -> bool {
+    let init = 17usize;
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|_| firstprivate_orphan_inner(init, &ok));
+    ok.into_inner() == rt.max_threads()
+}
+
+fn lastprivate_orphan_inner(ctx: &ParCtx<'_, '_>, last: &Mutex<u64>) {
+    ctx.for_each(0..N, Schedule::Static { chunk: None }, |i| {
+        if i == N - 1 {
+            *last.lock() = i;
+        }
+    });
+}
+
+fn lastprivate_orphan(rt: &dyn OmpRuntime) -> bool {
+    let last = Mutex::new(0u64);
+    rt.parallel(|ctx| lastprivate_orphan_inner(ctx, &last));
+    let v = *last.lock();
+    v == N - 1
+}
+
+// Reductions through an orphaned helper.
+fn red_orphan<T: Clone + Send + Sync + 'static>(
+    rt: &dyn OmpRuntime,
+    identity: T,
+    f: fn(u64, &mut T),
+    c: fn(T, T) -> T,
+    check: fn(&T) -> bool,
+) -> bool {
+    fn helper<T: Clone + Send + 'static>(
+        ctx: &ParCtx<'_, '_>,
+        identity: T,
+        f: fn(u64, &mut T),
+        c: fn(T, T) -> T,
+        out: &Mutex<Option<T>>,
+    ) {
+        let v = ctx.for_reduce(0..100, Schedule::Static { chunk: None }, identity, f, c);
+        ctx.master(|| *out.lock() = Some(v));
+    }
+    let out: Mutex<Option<T>> = Mutex::new(None);
+    rt.parallel(|ctx| helper(ctx, identity.clone(), f, c, &out));
+    let g = out.lock();
+    let ok = g.as_ref().is_some_and(check);
+    drop(g);
+    ok
+}
+
+fn red_sum_orphan(rt: &dyn OmpRuntime) -> bool {
+    red_orphan(rt, 0u64, |i, a| *a += i, |x, y| x + y, |v| *v == 4950)
+}
+
+fn red_min_orphan(rt: &dyn OmpRuntime) -> bool {
+    red_orphan(rt, i64::MAX, |i, a| *a = (*a).min(-(i as i64)), i64::min, |v| *v == -99)
+}
+
+fn red_max_orphan(rt: &dyn OmpRuntime) -> bool {
+    red_orphan(rt, i64::MIN, |i, a| *a = (*a).max(i as i64), i64::max, |v| *v == 99)
+}
+
+fn red_custom_orphan(rt: &dyn OmpRuntime) -> bool {
+    red_orphan(
+        rt,
+        (0u64, u64::MAX),
+        |i, a| {
+            a.0 += i;
+            a.1 = a.1.min(i);
+        },
+        |x, y| (x.0 + y.0, x.1.min(y.1)),
+        |v| *v == (4950, 0),
+    )
+}
+
+fn atomic_orphan_inner(x: &AtomicU64) {
+    for _ in 0..100 {
+        x.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn atomic_orphan(rt: &dyn OmpRuntime) -> bool {
+    let x = AtomicU64::new(0);
+    rt.parallel(|_| atomic_orphan_inner(&x));
+    x.into_inner() == 100 * rt.max_threads() as u64
+}
+
+fn atomic_capture_orphan_inner(x: &AtomicI64, seen: &Mutex<HashSet<i64>>) {
+    let old = x.fetch_add(1, Ordering::SeqCst);
+    seen.lock().insert(old);
+}
+
+fn atomic_capture_orphan(rt: &dyn OmpRuntime) -> bool {
+    let x = AtomicI64::new(0);
+    let seen = Mutex::new(HashSet::new());
+    rt.parallel(|_| atomic_capture_orphan_inner(&x, &seen));
+    let v = seen.lock().len();
+    v == rt.max_threads()
+}
+
+fn single_nowait_orphan_inner(ctx: &ParCtx<'_, '_>, hits: &AtomicUsize) {
+    ctx.single_nowait(|| {
+        hits.fetch_add(1, Ordering::SeqCst);
+    });
+    ctx.barrier();
+}
+
+fn single_nowait_orphan(rt: &dyn OmpRuntime) -> bool {
+    let hits = AtomicUsize::new(0);
+    rt.parallel(|ctx| single_nowait_orphan_inner(ctx, &hits));
+    hits.into_inner() == 1
+}
+
+fn copyprivate_orphan_inner(ctx: &ParCtx<'_, '_>, ok: &AtomicUsize) {
+    let v = ctx.single_copy(|| 77u32);
+    if v == 77 {
+        ok.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn copyprivate_orphan(rt: &dyn OmpRuntime) -> bool {
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| copyprivate_orphan_inner(ctx, &ok));
+    ok.into_inner() == rt.max_threads()
+}
+
+fn critical_named_orphan_inner(ctx: &ParCtx<'_, '_>, c: &Mutex<u64>) {
+    for _ in 0..50 {
+        ctx.critical("orphaned-name", || *c.lock() += 1);
+    }
+}
+
+fn critical_named_orphan(rt: &dyn OmpRuntime) -> bool {
+    let c = Mutex::new(0u64);
+    rt.parallel(|ctx| critical_named_orphan_inner(ctx, &c));
+    let v = *c.lock();
+    v == 50 * rt.max_threads() as u64
+}
+
+fn flush_orphan_inner(ctx: &ParCtx<'_, '_>) {
+    ctx.flush();
+}
+
+fn flush_orphan(rt: &dyn OmpRuntime) -> bool {
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        flush_orphan_inner(ctx);
+        ok.fetch_add(1, Ordering::SeqCst);
+    });
+    ok.into_inner() == rt.max_threads()
+}
+
+fn lock_orphan_inner(lock: &OmpLock, c: &Mutex<u64>) {
+    for _ in 0..50 {
+        lock.with(|| *c.lock() += 1);
+    }
+}
+
+fn lock_orphan(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpLock::new();
+    let c = Mutex::new(0u64);
+    rt.parallel(|_| lock_orphan_inner(&lock, &c));
+    let v = *c.lock();
+    v == 50 * rt.max_threads() as u64
+}
+
+fn test_lock_orphan_inner(lock: &OmpLock, acquired: &AtomicUsize) {
+    if lock.test() {
+        acquired.fetch_add(1, Ordering::SeqCst);
+        lock.unset();
+    }
+}
+
+fn test_lock_orphan(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpLock::new();
+    let acquired = AtomicUsize::new(0);
+    rt.parallel(|_| test_lock_orphan_inner(&lock, &acquired));
+    // Uncontended sequential test/unset cycles must all succeed ≥ once.
+    acquired.into_inner() >= 1
+}
+
+fn nest_lock_orphan_inner(lock: &OmpNestLock, c: &Mutex<u64>) {
+    for _ in 0..25 {
+        lock.set();
+        lock.set();
+        *c.lock() += 1;
+        lock.unset();
+        lock.unset();
+    }
+}
+
+fn nest_lock_orphan(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpNestLock::new();
+    let c = Mutex::new(0u64);
+    rt.parallel(|_| nest_lock_orphan_inner(&lock, &c));
+    let v = *c.lock();
+    v == 25 * rt.max_threads() as u64
+}
+
+fn task_fp_orphan_producer<'t, 'env>(ctx: &ParCtx<'t, 'env>, sum: &'env AtomicU64) {
+    for i in 0..10u64 {
+        ctx.task(move |_| {
+            sum.fetch_add(i, Ordering::SeqCst);
+        });
+    }
+}
+
+fn task_firstprivate_orphan(rt: &dyn OmpRuntime) -> bool {
+    let sum = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        ctx.single(|| task_fp_orphan_producer(ctx, &sum));
+    });
+    sum.into_inner() == 45
+}
+
+fn task_if_orphan_producer<'t, 'env>(ctx: &ParCtx<'t, 'env>, flag: &'env AtomicUsize) -> bool {
+    ctx.task_with(TaskFlags { if_clause: false, ..TaskFlags::default() }, move |_| {
+        flag.store(1, Ordering::SeqCst);
+    });
+    flag.load(Ordering::SeqCst) == 1
+}
+
+fn task_if_orphan(rt: &dyn OmpRuntime) -> bool {
+    let flag = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        ctx.single(|| {
+            if task_if_orphan_producer(ctx, &flag) {
+                ok.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    });
+    ok.into_inner() == 1
+}
+
+fn master_cross(rt: &dyn OmpRuntime) -> bool {
+    // Broken master: every thread executes the block; the exactly-once
+    // detector must fail.
+    let n = rt.max_threads();
+    if n < 2 {
+        return false;
+    }
+    let hits = AtomicUsize::new(0);
+    rt.parallel(|_| {
+        hits.fetch_add(1, Ordering::SeqCst);
+    });
+    let detector_passes = hits.into_inner() == 1;
+    !detector_passes
+}
+
+fn task_nesting_orphan_producer<'t, 'env>(ctx: &ParCtx<'t, 'env>, leaves: &'env AtomicUsize) {
+    for _ in 0..3 {
+        ctx.task(move |tctx| {
+            for _ in 0..3 {
+                tctx.task(move |_| {
+                    leaves.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            tctx.taskwait();
+        });
+    }
+}
+
+fn task_nesting_orphan(rt: &dyn OmpRuntime) -> bool {
+    let leaves = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        ctx.single(|| task_nesting_orphan_producer(ctx, &leaves));
+    });
+    leaves.into_inner() == 9
+}
+
+fn task_ws_orphan_inner<'t, 'env>(ctx: &ParCtx<'t, 'env>, sum: &'env AtomicU64) {
+    ctx.for_each(0..20, Schedule::Static { chunk: None }, |i| {
+        ctx.task(move |_| {
+            sum.fetch_add(i, Ordering::SeqCst);
+        });
+    });
+    ctx.taskwait();
+}
+
+fn task_ws_orphan(rt: &dyn OmpRuntime) -> bool {
+    let sum = AtomicU64::new(0);
+    rt.parallel(|ctx| task_ws_orphan_inner(ctx, &sum));
+    sum.into_inner() == 19 * 20 / 2
+}
+
+fn parallel_num_threads_orphan(rt: &dyn OmpRuntime) -> bool {
+    fn helper(rt: &dyn OmpRuntime, req: usize, count: &AtomicUsize) {
+        rt.parallel_n(Some(req), |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let count = AtomicUsize::new(0);
+    helper(rt, 2, &count);
+    count.into_inner() == 2
+}
+
+fn parallel_if_orphan(rt: &dyn OmpRuntime) -> bool {
+    fn helper(rt: &dyn OmpRuntime) -> usize {
+        let count = AtomicUsize::new(0);
+        rt.parallel_n(Some(1), |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        count.into_inner()
+    }
+    helper(rt) == 1
+}
+
+fn in_parallel_orphan_inner(ctx: &ParCtx<'_, '_>, ok: &AtomicUsize, expect: bool) {
+    if ctx.in_parallel() == expect {
+        ok.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn in_parallel_orphan(rt: &dyn OmpRuntime) -> bool {
+    let n = rt.max_threads();
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| in_parallel_orphan_inner(ctx, &ok, n > 1));
+    ok.into_inner() == n
+}
+
+fn get_num_threads_orphan_inner(ctx: &ParCtx<'_, '_>, seen: &Mutex<usize>) {
+    if ctx.thread_num() == 0 {
+        *seen.lock() = ctx.num_threads();
+    }
+}
+
+fn get_num_threads_orphan(rt: &dyn OmpRuntime) -> bool {
+    let seen = Mutex::new(0usize);
+    rt.parallel(|ctx| get_num_threads_orphan_inner(ctx, &seen));
+    let v = *seen.lock();
+    v == rt.max_threads()
+}
+
+fn nested_num_threads_orphan_inner(ctx: &ParCtx<'_, '_>, total: &AtomicUsize) {
+    ctx.parallel_n(Some(3), |_| {
+        total.fetch_add(1, Ordering::SeqCst);
+    });
+}
+
+fn nested_num_threads_orphan(rt: &dyn OmpRuntime) -> bool {
+    let total = AtomicUsize::new(0);
+    rt.parallel_n(Some(2), |ctx| nested_num_threads_orphan_inner(ctx, &total));
+    total.into_inner() == 6
+}
+
+fn triple_nesting_orphan_mid(ctx: &ParCtx<'_, '_>, leaves: &AtomicUsize) {
+    ctx.parallel_n(Some(2), |c2| {
+        c2.parallel_n(Some(2), |_| {
+            leaves.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+}
+
+fn triple_nesting_orphan(rt: &dyn OmpRuntime) -> bool {
+    let leaves = AtomicUsize::new(0);
+    rt.parallel_n(Some(2), |c1| triple_nesting_orphan_mid(c1, &leaves));
+    leaves.into_inner() == 8
+}
+
+fn wtime_orphan(rt: &dyn OmpRuntime) -> bool {
+    fn helper() -> (f64, f64) {
+        let a = wtime();
+        std::hint::black_box((0..100).sum::<u64>());
+        (a, wtime())
+    }
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|_| {
+        let (a, b) = helper();
+        if b >= a {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    ok.into_inner() == rt.max_threads()
+}
+
+/// Tests in this group.
+pub fn tests() -> Vec<TestCase> {
+    vec![
+        t("omp parallel firstprivate", Mode::Orphan, firstprivate_orphan),
+        t("omp parallel lastprivate", Mode::Orphan, lastprivate_orphan),
+        t("omp parallel reduction(+)", Mode::Orphan, red_sum_orphan),
+        t("omp parallel reduction(min)", Mode::Orphan, red_min_orphan),
+        t("omp parallel reduction(max)", Mode::Orphan, red_max_orphan),
+        t("omp parallel reduction(custom)", Mode::Orphan, red_custom_orphan),
+        t("omp atomic", Mode::Orphan, atomic_orphan),
+        t("omp atomic capture", Mode::Orphan, atomic_capture_orphan),
+        t("omp for schedule(guided)", Mode::Orphan, guided_orphan),
+        t("omp for schedule(static,chunk)", Mode::Orphan, static_chunk_orphan),
+        t("omp for schedule(runtime)", Mode::Orphan, runtime_orphan),
+        t("omp for nowait", Mode::Orphan, nowait_orphan),
+        t("omp for reduction", Mode::Orphan, for_reduce_orphan),
+        t("omp single nowait", Mode::Orphan, single_nowait_orphan),
+        t("omp single copyprivate", Mode::Orphan, copyprivate_orphan),
+        t("omp critical (name)", Mode::Orphan, critical_named_orphan),
+        t("omp flush", Mode::Orphan, flush_orphan),
+        t("omp_lock", Mode::Orphan, lock_orphan),
+        t("omp_test_lock", Mode::Orphan, test_lock_orphan),
+        t("omp_nest_lock", Mode::Orphan, nest_lock_orphan),
+        t("omp task firstprivate", Mode::Orphan, task_firstprivate_orphan),
+        t("omp task if", Mode::Orphan, task_if_orphan),
+        t("omp master", Mode::Cross, master_cross),
+        t("omp task nesting", Mode::Orphan, task_nesting_orphan),
+        t("omp task in worksharing", Mode::Orphan, task_ws_orphan),
+        t("omp parallel num_threads", Mode::Orphan, parallel_num_threads_orphan),
+        t("omp parallel if", Mode::Orphan, parallel_if_orphan),
+        t("omp_in_parallel", Mode::Orphan, in_parallel_orphan),
+        t("omp_get_num_threads", Mode::Orphan, get_num_threads_orphan),
+        t("omp parallel nested num_threads", Mode::Orphan, nested_num_threads_orphan),
+        t("omp nested (3 levels)", Mode::Orphan, triple_nesting_orphan),
+        t("omp_get_wtime", Mode::Orphan, wtime_orphan),
+    ]
+}

@@ -1,0 +1,146 @@
+//! Validation tests: nested parallelism and nesting-related API.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use omp::{OmpRuntime, OmpRuntimeExt, ParCtx};
+use parking_lot::Mutex;
+
+use crate::framework::{Mode, TestCase};
+
+fn t(construct: &'static str, mode: Mode, run: fn(&dyn OmpRuntime) -> bool) -> TestCase {
+    TestCase { construct, mode, run }
+}
+
+fn nested_parallel(rt: &dyn OmpRuntime) -> bool {
+    // OMP_NESTED=true (the paper's setting): inner regions get real teams.
+    let n = rt.max_threads();
+    let inner_total = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        ctx.parallel(|_| {
+            inner_total.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    inner_total.into_inner() == n * n
+}
+
+fn nested_parallel_cross(rt: &dyn OmpRuntime) -> bool {
+    // Broken nesting (OMP_NESTED=false behaviour): inner regions have one
+    // thread. The n*n detector must fail when n > 1.
+    let n = rt.max_threads();
+    if n < 2 {
+        return false;
+    }
+    let before = rt.icvs().nested();
+    rt.icvs().set_nested(false);
+    let inner_total = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        ctx.parallel(|_| {
+            inner_total.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    rt.icvs().set_nested(before);
+    let detector_passes = inner_total.into_inner() == n * n;
+    !detector_passes
+}
+
+fn nested_num_threads(rt: &dyn OmpRuntime) -> bool {
+    // Explicit inner team size via num_threads clause.
+    let inner_total = AtomicUsize::new(0);
+    rt.parallel_n(Some(2), |ctx| {
+        ctx.parallel_n(Some(3), |_| {
+            inner_total.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    inner_total.into_inner() == 6
+}
+
+fn nested_levels(rt: &dyn OmpRuntime) -> bool {
+    // omp_get_level at depths 0 is not observable here; check 1 and 2.
+    let levels = Mutex::new(HashSet::new());
+    rt.parallel_n(Some(2), |ctx| {
+        levels.lock().insert(ctx.level());
+        ctx.parallel_n(Some(2), |inner| {
+            levels.lock().insert(inner.level());
+        });
+    });
+    let g = levels.lock();
+    let ok = g.contains(&1) && g.contains(&2);
+    drop(g);
+    ok
+}
+
+fn nested_max_active_levels(rt: &dyn OmpRuntime) -> bool {
+    // Levels beyond max_active_levels serialize.
+    let before = rt.icvs().max_active_levels();
+    rt.icvs().set_max_active_levels(1);
+    let inner_sizes = Mutex::new(HashSet::new());
+    rt.parallel_n(Some(2), |ctx| {
+        ctx.parallel_n(Some(4), |inner| {
+            inner_sizes.lock().insert(inner.num_threads());
+        });
+    });
+    rt.icvs().set_max_active_levels(before);
+    let g = inner_sizes.lock();
+    let ok = g.len() == 1 && g.contains(&1);
+    drop(g);
+    ok
+}
+
+fn nested_distinct_inner_tids(rt: &dyn OmpRuntime) -> bool {
+    // Each inner team numbers its threads 0..m independently.
+    let bad = AtomicUsize::new(0);
+    rt.parallel_n(Some(2), |ctx| {
+        let seen = Mutex::new(HashSet::new());
+        let seen_ref = &seen;
+        ctx.parallel_n(Some(2), |inner| {
+            if inner.thread_num() >= 2 {
+                bad.fetch_add(1, Ordering::SeqCst);
+            }
+            seen_ref.lock().insert(inner.thread_num());
+        });
+        if seen.lock().len() != 2 {
+            bad.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    bad.into_inner() == 0
+}
+
+fn nested_orphan_inner(ctx: &ParCtx<'_, '_>, total: &AtomicUsize) {
+    ctx.parallel_n(Some(2), |_| {
+        total.fetch_add(1, Ordering::SeqCst);
+    });
+}
+
+fn nested_orphan(rt: &dyn OmpRuntime) -> bool {
+    let total = AtomicUsize::new(0);
+    rt.parallel_n(Some(2), |ctx| nested_orphan_inner(ctx, &total));
+    total.into_inner() == 4
+}
+
+fn triple_nesting(rt: &dyn OmpRuntime) -> bool {
+    // Three levels deep, 2 threads each: 8 leaf executions.
+    let leaves = AtomicUsize::new(0);
+    rt.parallel_n(Some(2), |c1| {
+        c1.parallel_n(Some(2), |c2| {
+            c2.parallel_n(Some(2), |_| {
+                leaves.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+    });
+    leaves.into_inner() == 8
+}
+
+/// Tests in this group.
+pub fn tests() -> Vec<TestCase> {
+    vec![
+        t("omp parallel nested", Mode::Normal, nested_parallel),
+        t("omp parallel nested", Mode::Cross, nested_parallel_cross),
+        t("omp parallel nested", Mode::Orphan, nested_orphan),
+        t("omp parallel nested num_threads", Mode::Normal, nested_num_threads),
+        t("omp_get_level", Mode::Normal, nested_levels),
+        t("omp max_active_levels", Mode::Normal, nested_max_active_levels),
+        t("omp parallel nested", Mode::Normal, nested_distinct_inner_tids),
+        t("omp nested (3 levels)", Mode::Normal, triple_nesting),
+    ]
+}

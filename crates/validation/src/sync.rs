@@ -1,0 +1,417 @@
+//! Validation tests: `critical`, `barrier`, `atomic`, `flush`, locks, and
+//! the reduction operator family.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use omp::{OmpLock, OmpNestLock, OmpRuntime, OmpRuntimeExt, ParCtx, Schedule};
+use parking_lot::Mutex;
+
+use crate::framework::{Mode, TestCase};
+
+fn t(construct: &'static str, mode: Mode, run: fn(&dyn OmpRuntime) -> bool) -> TestCase {
+    TestCase { construct, mode, run }
+}
+
+// ---------------------------------------------------------------- critical
+
+fn critical_normal(rt: &dyn OmpRuntime) -> bool {
+    // Non-atomic read-modify-write protected by critical: must not lose
+    // updates.
+    let counter = Mutex::new(0u64);
+    let reps = 200u64;
+    rt.parallel(|ctx| {
+        for _ in 0..reps {
+            ctx.critical("c", || {
+                let mut g = counter.lock();
+                let v = *g;
+                std::hint::black_box(&v);
+                *g = v + 1;
+            });
+        }
+    });
+    let v = *counter.lock();
+    v == reps * rt.max_threads() as u64
+}
+
+fn critical_cross(rt: &dyn OmpRuntime) -> bool {
+    // Broken critical: unsynchronized RMW on a plain shared cell. With
+    // >1 thread racing, updates may be lost; the detector (exact count)
+    // must be *able* to fail. Racy-but-UB-free emulation: two separate
+    // atomics read/write emulating a torn RMW.
+    let n = rt.max_threads();
+    if n < 2 {
+        return false;
+    }
+    let cell = AtomicU64::new(0);
+    let reps = 100u64;
+    rt.parallel(|_| {
+        for _ in 0..reps {
+            let v = cell.load(Ordering::Relaxed);
+            // Widen the race window so the lost update is deterministic
+            // even on a single-core, timesliced box.
+            std::thread::yield_now();
+            cell.store(v + 1, Ordering::Relaxed);
+        }
+    });
+    let detector_passes = cell.into_inner() == reps * n as u64;
+    !detector_passes
+}
+
+fn critical_orphan_worker(ctx: &ParCtx<'_, '_>, counter: &Mutex<u64>) {
+    for _ in 0..100 {
+        ctx.critical("oc", || {
+            let mut g = counter.lock();
+            *g += 1;
+        });
+    }
+}
+
+fn critical_orphan(rt: &dyn OmpRuntime) -> bool {
+    let counter = Mutex::new(0u64);
+    rt.parallel(|ctx| critical_orphan_worker(ctx, &counter));
+    let v = *counter.lock();
+    v == 100 * rt.max_threads() as u64
+}
+
+fn critical_named(rt: &dyn OmpRuntime) -> bool {
+    // Two differently named criticals must not exclude each other
+    // (progress test) but each must be exclusive.
+    let a = Mutex::new(0u64);
+    let b = Mutex::new(0u64);
+    rt.parallel(|ctx| {
+        for _ in 0..50 {
+            ctx.critical("a", || *a.lock() += 1);
+            ctx.critical("b", || *b.lock() += 1);
+        }
+    });
+    let n = rt.max_threads() as u64;
+    let (va, vb) = (*a.lock(), *b.lock());
+    va == 50 * n && vb == 50 * n
+}
+
+// ----------------------------------------------------------------- barrier
+
+fn barrier_normal(rt: &dyn OmpRuntime) -> bool {
+    // Phase check: after the barrier every thread must observe every
+    // pre-barrier write.
+    let n = rt.max_threads();
+    let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        flags[ctx.thread_num()].store(true, Ordering::SeqCst);
+        ctx.barrier();
+        if flags.iter().all(|f| f.load(Ordering::SeqCst)) {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    ok.into_inner() == n
+}
+
+fn barrier_orphan_worker(ctx: &ParCtx<'_, '_>, flags: &[AtomicBool], ok: &AtomicUsize) {
+    flags[ctx.thread_num()].store(true, Ordering::SeqCst);
+    ctx.barrier();
+    if flags.iter().all(|f| f.load(Ordering::SeqCst)) {
+        ok.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn barrier_orphan(rt: &dyn OmpRuntime) -> bool {
+    let n = rt.max_threads();
+    let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| barrier_orphan_worker(ctx, &flags, &ok));
+    ok.into_inner() == n
+}
+
+// ------------------------------------------------------------------ atomic
+
+fn atomic_update(rt: &dyn OmpRuntime) -> bool {
+    let x = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        ctx.for_each(0..1000, Schedule::Static { chunk: None }, |_| {
+            x.fetch_add(1, Ordering::Relaxed); // #pragma omp atomic
+        });
+    });
+    x.into_inner() == 1000
+}
+
+fn atomic_update_cross(rt: &dyn OmpRuntime) -> bool {
+    // Broken atomic = plain load/store RMW; the exact-count detector must
+    // be able to fail under contention (see critical_cross caveat).
+    let n = rt.max_threads();
+    if n < 2 {
+        return false;
+    }
+    let x = AtomicU64::new(0);
+    rt.parallel(|_| {
+        for _ in 0..100 {
+            let v = x.load(Ordering::Relaxed);
+            std::thread::yield_now(); // widen the race window (see above)
+            x.store(v + 1, Ordering::Relaxed);
+        }
+    });
+    let detector_passes = x.into_inner() == 100 * n as u64;
+    !detector_passes
+}
+
+fn atomic_capture(rt: &dyn OmpRuntime) -> bool {
+    // atomic capture: every thread must receive a distinct old value.
+    let n = rt.max_threads();
+    let x = AtomicI64::new(0);
+    let seen = Mutex::new(std::collections::HashSet::new());
+    rt.parallel(|_| {
+        let old = x.fetch_add(1, Ordering::SeqCst); // v = x++; capture
+        seen.lock().insert(old);
+    });
+    let v = seen.lock().len();
+    v == n && x.into_inner() == n as i64
+}
+
+fn flush_analog(rt: &dyn OmpRuntime) -> bool {
+    // Producer writes data then flag (with flushes); consumer spins on the
+    // flag and must observe the data.
+    if rt.max_threads() < 2 {
+        return true; // vacuously conforming on one thread
+    }
+    let data = AtomicU64::new(0);
+    let flag = AtomicBool::new(false);
+    let ok = AtomicBool::new(true);
+    rt.parallel(|ctx| {
+        if ctx.thread_num() == 0 {
+            data.store(99, Ordering::Relaxed);
+            ctx.flush();
+            flag.store(true, Ordering::Release);
+        } else if ctx.thread_num() == 1 {
+            while !flag.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            ctx.flush();
+            if data.load(Ordering::Relaxed) != 99 {
+                ok.store(false, Ordering::SeqCst);
+            }
+        }
+    });
+    ok.into_inner()
+}
+
+// ------------------------------------------------------------------- locks
+
+fn lock_set_unset(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpLock::new();
+    let counter = Mutex::new(0u64);
+    rt.parallel(|_| {
+        for _ in 0..100 {
+            lock.set();
+            *counter.lock() += 1;
+            lock.unset();
+        }
+    });
+    let v = *counter.lock();
+    v == 100 * rt.max_threads() as u64
+}
+
+fn lock_test(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpLock::new();
+    let acquired = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        // Hold across the barrier from thread 0; others must fail test().
+        if ctx.thread_num() == 0 {
+            assert!(lock.test());
+        }
+        ctx.barrier();
+        if ctx.thread_num() != 0 && lock.test() {
+            acquired.fetch_add(1, Ordering::SeqCst);
+            lock.unset();
+        }
+        ctx.barrier();
+        if ctx.thread_num() == 0 {
+            lock.unset();
+        }
+    });
+    acquired.into_inner() == 0
+}
+
+fn nest_lock(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpNestLock::new();
+    let counter = Mutex::new(0u64);
+    rt.parallel(|_| {
+        for _ in 0..50 {
+            lock.set();
+            lock.set(); // re-entry by the owner must succeed
+            *counter.lock() += 1;
+            lock.unset();
+            lock.unset();
+        }
+    });
+    let v = *counter.lock();
+    v == 50 * rt.max_threads() as u64
+}
+
+// -------------------------------------------------------------- reductions
+
+fn red_sum(rt: &dyn OmpRuntime) -> bool {
+    reduce_check(rt, 0u64, |i, a| *a += i, |x, y| x + y, 499_500)
+}
+
+fn red_prod(rt: &dyn OmpRuntime) -> bool {
+    let out = Mutex::new(0u64);
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(
+            1..13,
+            Schedule::Static { chunk: None },
+            1u64,
+            |i, acc| *acc *= i,
+            |x, y| x * y,
+        );
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v == 479_001_600 // 12!
+}
+
+fn red_min(rt: &dyn OmpRuntime) -> bool {
+    let out = Mutex::new(0i64);
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(
+            0..100,
+            Schedule::Dynamic { chunk: 7 },
+            i64::MAX,
+            |i, acc| *acc = (*acc).min(50 - i as i64),
+            i64::min,
+        );
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v == -49
+}
+
+fn red_max(rt: &dyn OmpRuntime) -> bool {
+    let out = Mutex::new(0i64);
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(
+            0..100,
+            Schedule::Guided { chunk: 3 },
+            i64::MIN,
+            |i, acc| *acc = (*acc).max((i as i64 - 30).abs()),
+            i64::max,
+        );
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v == 69
+}
+
+fn red_and(rt: &dyn OmpRuntime) -> bool {
+    let out = Mutex::new(false);
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(
+            0..64,
+            Schedule::Static { chunk: None },
+            true,
+            |i, acc| *acc = *acc && (i < 64),
+            |x, y| x && y,
+        );
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v
+}
+
+fn red_or(rt: &dyn OmpRuntime) -> bool {
+    let out = Mutex::new(false);
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(
+            0..64,
+            Schedule::Static { chunk: None },
+            false,
+            |i, acc| *acc = *acc || (i == 40),
+            |x, y| x || y,
+        );
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v
+}
+
+fn red_custom_pair(rt: &dyn OmpRuntime) -> bool {
+    // User-defined reduction analog: (count, sum) pair.
+    let out = Mutex::new((0u64, 0u64));
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(
+            0..200,
+            Schedule::Dynamic { chunk: 11 },
+            (0u64, 0u64),
+            |i, acc| {
+                acc.0 += 1;
+                acc.1 += i;
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v == (200, 199 * 200 / 2)
+}
+
+fn reduce_check(
+    rt: &dyn OmpRuntime,
+    identity: u64,
+    f: fn(u64, &mut u64),
+    c: fn(u64, u64) -> u64,
+    expect: u64,
+) -> bool {
+    let out = Mutex::new(0u64);
+    rt.parallel(|ctx| {
+        let v = ctx.for_reduce(0..1000, Schedule::Static { chunk: None }, identity, f, c);
+        ctx.master(|| *out.lock() = v);
+    });
+    let v = *out.lock();
+    v == expect
+}
+
+fn red_cross(rt: &dyn OmpRuntime) -> bool {
+    // Broken reduction: threads share one accumulator without combining.
+    // Detector (exact sum per thread view) must fail for >1 thread.
+    let n = rt.max_threads();
+    if n < 2 {
+        return false;
+    }
+    // Each thread computes only ITS chunk and believes it is the total.
+    let ok = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        let mut local = 0u64;
+        ctx.for_each(0..1000, Schedule::Static { chunk: None }, |i| local += i);
+        if local == 499_500 {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    let detector_passes = ok.into_inner() == n;
+    !detector_passes
+}
+
+/// Tests in this group.
+pub fn tests() -> Vec<TestCase> {
+    vec![
+        t("omp critical", Mode::Normal, critical_normal),
+        t("omp critical", Mode::Cross, critical_cross),
+        t("omp critical", Mode::Orphan, critical_orphan),
+        t("omp critical (name)", Mode::Normal, critical_named),
+        t("omp barrier", Mode::Normal, barrier_normal),
+        t("omp barrier", Mode::Orphan, barrier_orphan),
+        t("omp atomic", Mode::Normal, atomic_update),
+        t("omp atomic", Mode::Cross, atomic_update_cross),
+        t("omp atomic capture", Mode::Normal, atomic_capture),
+        t("omp flush", Mode::Normal, flush_analog),
+        t("omp_lock", Mode::Normal, lock_set_unset),
+        t("omp_test_lock", Mode::Normal, lock_test),
+        t("omp_nest_lock", Mode::Normal, nest_lock),
+        t("omp parallel reduction(+)", Mode::Normal, red_sum),
+        t("omp parallel reduction(*)", Mode::Normal, red_prod),
+        t("omp parallel reduction(min)", Mode::Normal, red_min),
+        t("omp parallel reduction(max)", Mode::Normal, red_max),
+        t("omp parallel reduction(&&)", Mode::Normal, red_and),
+        t("omp parallel reduction(||)", Mode::Normal, red_or),
+        t("omp parallel reduction(custom)", Mode::Normal, red_custom_pair),
+        t("omp parallel reduction(+)", Mode::Cross, red_cross),
+    ]
+}

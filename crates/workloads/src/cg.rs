@@ -1,0 +1,439 @@
+//! Conjugate Gradient, loop- and task-parallel (paper §VI-E, Figs. 10–13).
+//!
+//! The paper takes a CG solver, replaces its `parallel for` directives
+//! with `task` directives, and sweeps **task granularity** (rows per
+//! task): "a single thread acts as a producer while the remaining threads
+//! perform the consumer actions. The input matrix is the `bmwcra_1` with a
+//! total number of 14,878 rows ... granularities of 10, 20, 50, and 100
+//! rows per task, which result in 1,488, 744, 298, and 149 tasks".
+//!
+//! `bmwcra_1` (SuiteSparse) is proprietaryly-sized but structurally just a
+//! large SPD matrix; we substitute a synthetic banded SPD matrix with the
+//! same row count and a comparable nnz/row (see DESIGN.md §2). The
+//! quantity under study — tasks per iteration vs runtime queue mechanics —
+//! is preserved exactly.
+
+use omp::{OmpRuntime, OmpRuntimeExt, Schedule};
+
+use crate::util::{SplitMix64, UnsafeSlice};
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Dimension (square).
+    pub n: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Synthetic symmetric positive-definite banded matrix: `band` random
+    /// off-diagonals per side, diagonally dominant (hence SPD).
+    #[must_use]
+    pub fn synthetic_spd(n: usize, band: usize, seed: u64) -> Csr {
+        let mut rng = SplitMix64::new(seed);
+        // Symmetric: generate upper-triangle couplings, mirror them.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for _ in 0..band {
+                let off = 1 + rng.next_below(64.min(n as u64 - 1).max(1)) as usize;
+                let j = i + off;
+                if j < n {
+                    let v = -(0.1 + rng.next_f64());
+                    cols[i].push((j, v));
+                    cols[j].push((i, v));
+                }
+            }
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for (i, row) in cols.iter_mut().enumerate() {
+            row.sort_by_key(|&(j, _)| j);
+            row.dedup_by_key(|&mut (j, _)| j);
+            let offdiag_sum: f64 = row.iter().map(|&(_, v)| v.abs()).sum();
+            // Insert the dominant diagonal in sorted position.
+            let mut placed = false;
+            for &(j, v) in row.iter() {
+                if !placed && j > i {
+                    indices.push(i);
+                    data.push(offdiag_sum + 1.0);
+                    placed = true;
+                }
+                indices.push(j);
+                data.push(v);
+            }
+            if !placed {
+                indices.push(i);
+                data.push(offdiag_sum + 1.0);
+            }
+            indptr.push(indices.len());
+        }
+        Csr { n, indptr, indices, data }
+    }
+
+    /// A matrix shaped like `bmwcra_1`: 14,878 rows when `scale == 1.0`,
+    /// proportionally smaller for quick runs.
+    #[must_use]
+    pub fn bmwcra_shaped(scale: f64) -> Csr {
+        let n = ((14_878.0 * scale) as usize).max(64);
+        Csr::synthetic_spd(n, 12, 0xB3_1CA4)
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `y[i] = (A x)[i]` for one row.
+    #[inline]
+    #[must_use]
+    pub fn row_dot(&self, x: &[f64], i: usize) -> f64 {
+        let mut acc = 0.0;
+        for k in self.indptr[i]..self.indptr[i + 1] {
+            acc += self.data[k] * x[self.indices[k]];
+        }
+        acc
+    }
+
+    /// Serial SpMV.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            y[i] = self.row_dot(x, i);
+        }
+    }
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Solution vector.
+    pub x: Vec<f64>,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Serial reference CG.
+#[must_use]
+pub fn cg_serial(a: &Csr, b: &[f64], max_iters: usize, tol: f64) -> CgResult {
+    let n = a.n;
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut y = vec![0.0; n];
+    let mut rr = dot(&r, &r);
+    let mut iters = 0;
+    for _ in 0..max_iters {
+        if rr.sqrt() <= tol {
+            break;
+        }
+        iters += 1;
+        a.spmv(&p, &mut y);
+        let alpha = rr / dot(&p, &y).max(f64::MIN_POSITIVE);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * y[i];
+        }
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr.max(f64::MIN_POSITIVE);
+        rr = rr_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    CgResult { iterations: iters, residual: rr.sqrt(), x }
+}
+
+/// Loop-parallel CG: the original `parallel for` formulation (what the
+/// paper started from). One parallel region per solve; SpMV, dots and
+/// axpys are work-shared loops.
+#[must_use]
+pub fn cg_for(rt: &dyn OmpRuntime, a: &Csr, b: &[f64], max_iters: usize, tol: f64) -> CgResult {
+    let n = a.n;
+    let sched = Schedule::Static { chunk: None };
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p_vec = r.clone();
+    let mut y = vec![0.0; n];
+    let out = parking_lot::Mutex::new((0usize, 0.0f64));
+    {
+        let xs = UnsafeSlice::new(&mut x);
+        let rs = UnsafeSlice::new(&mut r);
+        let ps = UnsafeSlice::new(&mut p_vec);
+        let ys = UnsafeSlice::new(&mut y);
+        rt.parallel(|ctx| {
+            // All threads iterate together; scalars recomputed redundantly
+            // from reductions (classic OpenMP CG structure).
+            let mut rr = ctx.for_reduce(
+                0..n as u64,
+                sched,
+                0.0f64,
+                |i, acc| {
+                    let i = i as usize;
+                    // SAFETY: read-only phase (no concurrent writers).
+                    let ri = unsafe { rs.read(i) };
+                    *acc += ri * ri;
+                },
+                |u, v| u + v,
+            );
+            let mut iters = 0usize;
+            for _ in 0..max_iters {
+                if rr.sqrt() <= tol {
+                    break;
+                }
+                iters += 1;
+                // y = A p
+                ctx.for_each(0..n as u64, sched, |i| {
+                    let i = i as usize;
+                    // SAFETY: row i written only by its owner; p is
+                    // read-only during this phase.
+                    let prow: &[f64] = unsafe { std::slice::from_raw_parts(ps.get_mut(0), n) };
+                    unsafe { ys.write(i, a.row_dot(prow, i)) };
+                });
+                // p·y
+                let py = ctx.for_reduce(
+                    0..n as u64,
+                    sched,
+                    0.0f64,
+                    |i, acc| {
+                        let i = i as usize;
+                        let (pi, yi) = unsafe { (ps.read(i), ys.read(i)) };
+                        *acc += pi * yi;
+                    },
+                    |u, v| u + v,
+                );
+                let alpha = rr / py.max(f64::MIN_POSITIVE);
+                // x += αp ; r -= αy ; rr' = r·r
+                let rr_new = ctx.for_reduce(
+                    0..n as u64,
+                    sched,
+                    0.0f64,
+                    |i, acc| {
+                        let i = i as usize;
+                        unsafe {
+                            *xs.get_mut(i) += alpha * ps.read(i);
+                            let ri = rs.get_mut(i);
+                            *ri -= alpha * ys.read(i);
+                            *acc += *ri * *ri;
+                        }
+                    },
+                    |u, v| u + v,
+                );
+                let beta = rr_new / rr.max(f64::MIN_POSITIVE);
+                rr = rr_new;
+                ctx.for_each(0..n as u64, sched, |i| {
+                    let i = i as usize;
+                    unsafe {
+                        let pi = ps.get_mut(i);
+                        *pi = rs.read(i) + beta * *pi;
+                    }
+                });
+            }
+            ctx.master(|| *out.lock() = (iters, rr.sqrt()));
+        });
+    }
+    let (iterations, residual) = out.into_inner();
+    CgResult { iterations, residual, x }
+}
+
+/// Task-parallel CG (the paper's transformation): one producer creates
+/// `n / granularity` SpMV tasks per iteration; the rest of the team
+/// consumes them. Returns the solve result; the caller measures time.
+#[must_use]
+pub fn cg_tasks(
+    rt: &dyn OmpRuntime,
+    a: &Csr,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+    granularity: usize,
+) -> CgResult {
+    let n = a.n;
+    let gran = granularity.max(1);
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p_vec = r.clone();
+    let mut y = vec![0.0; n];
+    let out = parking_lot::Mutex::new((0usize, 0.0f64));
+    {
+        let xs = UnsafeSlice::new(&mut x);
+        let rs = UnsafeSlice::new(&mut r);
+        let ps = UnsafeSlice::new(&mut p_vec);
+        let ys = UnsafeSlice::new(&mut y);
+        rt.parallel(|ctx| {
+            // Producer/consumer: one thread drives the iteration and
+            // spawns tasks; everyone else executes them (§VI-E).
+            ctx.single(|| {
+                // SAFETY (whole block): phases are separated by taskwait;
+                // within a phase, tasks write disjoint row blocks.
+                let read = |s: &UnsafeSlice<'_, f64>, i: usize| unsafe { s.read(i) };
+                let mut rr = (0..n).map(|i| read(&rs, i) * read(&rs, i)).sum::<f64>();
+                let mut iters = 0usize;
+                for _ in 0..max_iters {
+                    if rr.sqrt() <= tol {
+                        break;
+                    }
+                    iters += 1;
+                    // y = A p as tasks of `gran` rows each.
+                    let mut lo = 0usize;
+                    while lo < n {
+                        let hi = (lo + gran).min(n);
+                        let ys = &ys;
+                        let ps = &ps;
+                        ctx.task(move |_| {
+                            // SAFETY: p read-only in this phase; rows
+                            // [lo, hi) written only by this task.
+                            let prow: &[f64] =
+                                unsafe { std::slice::from_raw_parts(ps.get_mut(0), n) };
+                            for i in lo..hi {
+                                unsafe { ys.write(i, a.row_dot(prow, i)) };
+                            }
+                        });
+                        lo = hi;
+                    }
+                    ctx.taskwait();
+                    // Scalar phases by the producer.
+                    let py: f64 = (0..n).map(|i| read(&ps, i) * read(&ys, i)).sum();
+                    let alpha = rr / py.max(f64::MIN_POSITIVE);
+                    let mut rr_new = 0.0;
+                    for i in 0..n {
+                        unsafe {
+                            *xs.get_mut(i) += alpha * read(&ps, i);
+                            let ri = rs.get_mut(i);
+                            *ri -= alpha * read(&ys, i);
+                            rr_new += *ri * *ri;
+                        }
+                    }
+                    let beta = rr_new / rr.max(f64::MIN_POSITIVE);
+                    rr = rr_new;
+                    for i in 0..n {
+                        unsafe {
+                            let pi = ps.get_mut(i);
+                            *pi = read(&rs, i) + beta * *pi;
+                        }
+                    }
+                }
+                *out.lock() = (iters, rr.sqrt());
+            });
+        });
+    }
+    let (iterations, residual) = out.into_inner();
+    CgResult { iterations, residual, x }
+}
+
+/// Right-hand side `b = A · 1` (so the exact solution is all-ones).
+#[must_use]
+pub fn rhs_ones(a: &Csr) -> Vec<f64> {
+    let ones = vec![1.0; a.n];
+    let mut b = vec![0.0; a.n];
+    a.spmv(&ones, &mut b);
+    b
+}
+
+/// Tasks per CG iteration at a granularity (the paper's 1,488/744/298/149
+/// for 10/20/50/100 at 14,878 rows).
+#[must_use]
+pub fn tasks_per_iteration(n: usize, granularity: usize) -> usize {
+    n.div_ceil(granularity.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::serial::SerialRuntime;
+    use omp::OmpConfig;
+
+    fn serial_rt() -> SerialRuntime {
+        SerialRuntime::new(OmpConfig::with_threads(1))
+    }
+
+    #[test]
+    fn synthetic_matrix_is_symmetric_dominant() {
+        let a = Csr::synthetic_spd(200, 4, 7);
+        assert_eq!(a.indptr.len(), 201);
+        // Diagonal dominance ⇒ every row's diagonal ≥ sum of |off-diag|.
+        for i in 0..a.n {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for k in a.indptr[i]..a.indptr[i + 1] {
+                if a.indices[k] == i {
+                    diag = a.data[k];
+                } else {
+                    off += a.data[k].abs();
+                }
+            }
+            assert!(diag >= off, "row {i} not dominant: {diag} < {off}");
+        }
+        // Symmetry check via (A e_i)_j == (A e_j)_i on a sample.
+        let mut x = vec![0.0; a.n];
+        let mut yi = vec![0.0; a.n];
+        let mut yj = vec![0.0; a.n];
+        x[3] = 1.0;
+        a.spmv(&x, &mut yi);
+        x[3] = 0.0;
+        x[17] = 1.0;
+        a.spmv(&x, &mut yj);
+        assert!((yi[17] - yj[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_task_counts() {
+        assert_eq!(tasks_per_iteration(14_878, 10), 1488);
+        assert_eq!(tasks_per_iteration(14_878, 20), 744);
+        assert_eq!(tasks_per_iteration(14_878, 50), 298);
+        assert_eq!(tasks_per_iteration(14_878, 100), 149);
+    }
+
+    #[test]
+    fn serial_cg_converges_to_ones() {
+        let a = Csr::synthetic_spd(300, 4, 11);
+        let b = rhs_ones(&a);
+        let res = cg_serial(&a, &b, 500, 1e-8);
+        assert!(res.residual <= 1e-8, "residual {}", res.residual);
+        for &xi in &res.x {
+            assert!((xi - 1.0).abs() < 1e-5, "xi = {xi}");
+        }
+    }
+
+    #[test]
+    fn cg_for_matches_serial() {
+        let rt = serial_rt();
+        let a = Csr::synthetic_spd(200, 4, 3);
+        let b = rhs_ones(&a);
+        let s = cg_serial(&a, &b, 300, 1e-8);
+        let p = cg_for(&rt, &a, &b, 300, 1e-8);
+        assert_eq!(s.iterations, p.iterations);
+        assert!((s.residual - p.residual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cg_tasks_matches_serial() {
+        let rt = serial_rt();
+        let a = Csr::synthetic_spd(200, 4, 3);
+        let b = rhs_ones(&a);
+        let s = cg_serial(&a, &b, 300, 1e-8);
+        for gran in [10, 50] {
+            let t = cg_tasks(&rt, &a, &b, 300, 1e-8, gran);
+            assert_eq!(s.iterations, t.iterations, "gran {gran}");
+            assert!((s.residual - t.residual).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bmwcra_shape_scales() {
+        let a = Csr::bmwcra_shaped(0.01);
+        assert!(a.n >= 64);
+        assert!(a.nnz() > a.n, "must have off-diagonals");
+        let full_rows = ((14_878.0 * 1.0) as usize).max(64);
+        assert_eq!(full_rows, 14_878);
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — the paper's benchmark programs
+//!
+//! Every application and microbenchmark the evaluation (§VI) runs, written
+//! once against the `omp` front-end so that a single binary exercises all
+//! five runtimes:
+//!
+//! * [`uts`] — Unbalanced Tree Search: OpenMP as *environment creator*
+//!   (Figs. 4–5);
+//! * [`clover`] — CloverLeaf-like staggered-grid hydro mini-app:
+//!   compute-bound `parallel for` (Fig. 6);
+//! * [`cg`] — loop- and task-parallel Conjugate Gradient with adjustable
+//!   granularity (Figs. 10–13, Table III);
+//! * [`micro`] — nested-null-loop overhead (Figs. 8–9, Table II),
+//!   work-assignment probe (Fig. 7), cut-off study (Fig. 14);
+//! * [`taskbench`] — recursive fib/N-Queens task trees (the BOLT-lineage
+//!   stress tests; extension beyond the paper's figures);
+//! * [`runtimes`] — the five-runtime registry (Fig. 2);
+//! * [`util`] — splittable deterministic RNG, disjoint-write slices,
+//!   timing statistics.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod clover;
+pub mod micro;
+pub mod runtimes;
+pub mod taskbench;
+pub mod util;
+pub mod uts;
+
+pub use runtimes::RuntimeKind;

@@ -1,0 +1,117 @@
+//! Microbenchmarks: nested-parallelism overhead (Figs. 8–9, Table II),
+//! work-assignment cost (Fig. 7), and the Intel cut-off study (Fig. 14).
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use omp::{OmpRuntime, OmpRuntimeExt, Schedule};
+
+/// The paper's Listing 1: two nested `parallel for` loops with a null
+/// body, measuring pure runtime *management* cost.
+///
+/// ```c
+/// #pragma omp parallel for
+/// for (int i = 0; i < N; i++)
+///     #pragma omp parallel for firstprivate(i)
+///     for (int j = 0; j < N; j++)
+///         null_code(i, j);
+/// ```
+///
+/// Returns the wall time of one execution of the construct.
+#[must_use]
+pub fn nested_null(rt: &dyn OmpRuntime, outer: u64, inner: u64) -> Duration {
+    let sink = AtomicU64::new(0);
+    let t0 = Instant::now();
+    rt.parallel(|ctx| {
+        ctx.for_each(0..outer, Schedule::Static { chunk: None }, |i| {
+            ctx.parallel(|inner_ctx| {
+                inner_ctx.for_each(0..inner, Schedule::Static { chunk: None }, |j| {
+                    // null_code(i, j)
+                    black_box((i, j));
+                });
+            });
+        });
+        // Count region entries so the optimizer cannot elide anything.
+        sink.fetch_add(1, Ordering::Relaxed);
+    });
+    let dt = t0.elapsed();
+    black_box(sink.into_inner());
+    dt
+}
+
+/// Fig. 7 probe: time of the work-assignment (fork) step, measured as the
+/// runtime's own `assign_ns` accounting over `reps` empty regions. Returns
+/// mean nanoseconds per fork.
+#[must_use]
+pub fn work_assignment_ns(rt: &dyn OmpRuntime, reps: usize) -> f64 {
+    rt.counters().reset();
+    for _ in 0..reps {
+        rt.parallel(|_| {});
+    }
+    rt.counters().snapshot().assign_ns_per_fork()
+}
+
+/// Fig. 7 alternative probe: full fork+join wall time of an empty region
+/// (what an application actually pays per `parallel for` region).
+#[must_use]
+pub fn empty_region_time(rt: &dyn OmpRuntime, reps: usize) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        rt.parallel(|_| {});
+    }
+    t0.elapsed() / reps.max(1) as u32
+}
+
+/// Fig. 14: a single producer creates `ntasks` tasks (each a tiny
+/// spin of `task_work` iterations); the cut-off is configured on the
+/// runtime (`OmpConfig::task_cutoff`). Returns the wall time.
+#[must_use]
+pub fn producer_consumer_tasks(rt: &dyn OmpRuntime, ntasks: usize, task_work: u64) -> Duration {
+    let sink = AtomicU64::new(0);
+    let t0 = Instant::now();
+    rt.parallel(|ctx| {
+        ctx.single(|| {
+            for _ in 0..ntasks {
+                let sink = &sink;
+                ctx.task(move |_| {
+                    let mut acc = 0u64;
+                    for k in 0..task_work {
+                        acc = acc.wrapping_add(black_box(k));
+                    }
+                    sink.fetch_add(acc | 1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    let dt = t0.elapsed();
+    assert!(sink.into_inner() >= ntasks as u64, "every task must run");
+    dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::serial::SerialRuntime;
+    use omp::OmpConfig;
+
+    #[test]
+    fn nested_null_runs_and_times() {
+        let rt = SerialRuntime::new(OmpConfig::with_threads(1));
+        let dt = nested_null(&rt, 4, 4);
+        assert!(dt > Duration::ZERO);
+    }
+
+    #[test]
+    fn producer_consumer_counts_all_tasks() {
+        let rt = SerialRuntime::new(OmpConfig::with_threads(1));
+        let dt = producer_consumer_tasks(&rt, 100, 10);
+        assert!(dt > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_region_probe_positive() {
+        let rt = SerialRuntime::new(OmpConfig::with_threads(1));
+        assert!(empty_region_time(&rt, 10) >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! Runtime registry: the paper's Fig. 2 "software stack choices".
+//!
+//! One program, five runtimes: GNU-like, Intel-like, and GLTO over each of
+//! the three LWT backends. Everything in the evaluation iterates over
+//! [`RuntimeKind::all`] and builds the runtime under test here.
+
+use std::sync::Arc;
+
+use glto::{Backend, GltoRuntime};
+use omp::{OmpConfig, OmpRuntime};
+use pomp::{GnuRuntime, IntelRuntime};
+
+/// The five OpenMP implementations compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// GNU libgomp-like ("GCC").
+    Gnu,
+    /// Intel-like ("ICC").
+    Intel,
+    /// GLTO over Argobots-like ("GLTO(ABT)").
+    GltoAbt,
+    /// GLTO over Qthreads-like ("GLTO(QTH)").
+    GltoQth,
+    /// GLTO over MassiveThreads-like ("GLTO(MTH)").
+    GltoMth,
+}
+
+impl RuntimeKind {
+    /// All five, in the paper's plotting order.
+    #[must_use]
+    pub fn all() -> [RuntimeKind; 5] {
+        [
+            RuntimeKind::Gnu,
+            RuntimeKind::Intel,
+            RuntimeKind::GltoAbt,
+            RuntimeKind::GltoQth,
+            RuntimeKind::GltoMth,
+        ]
+    }
+
+    /// The LWT-based subset.
+    #[must_use]
+    pub fn glto_all() -> [RuntimeKind; 3] {
+        [RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth]
+    }
+
+    /// Figure label (`GCC`, `ICC`, `GLTO(ABT)`, …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Gnu => "GCC",
+            RuntimeKind::Intel => "ICC",
+            RuntimeKind::GltoAbt => "GLTO(ABT)",
+            RuntimeKind::GltoQth => "GLTO(QTH)",
+            RuntimeKind::GltoMth => "GLTO(MTH)",
+        }
+    }
+
+    /// CLI / env name (`gnu`, `intel`, `glto-abt`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Gnu => "gnu",
+            RuntimeKind::Intel => "intel",
+            RuntimeKind::GltoAbt => "glto-abt",
+            RuntimeKind::GltoQth => "glto-qth",
+            RuntimeKind::GltoMth => "glto-mth",
+        }
+    }
+
+    /// Parse a CLI / `OMP_RUNTIME` spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuntimeKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "gnu" | "gcc" | "gomp" => Some(RuntimeKind::Gnu),
+            "intel" | "icc" | "iomp" => Some(RuntimeKind::Intel),
+            "glto-abt" | "abt" | "argobots" => Some(RuntimeKind::GltoAbt),
+            "glto-qth" | "qth" | "qthreads" => Some(RuntimeKind::GltoQth),
+            "glto-mth" | "mth" | "massivethreads" => Some(RuntimeKind::GltoMth),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an LWT-based (GLTO) runtime.
+    #[must_use]
+    pub fn is_glto(self) -> bool {
+        matches!(self, RuntimeKind::GltoAbt | RuntimeKind::GltoQth | RuntimeKind::GltoMth)
+    }
+
+    /// The GLT backend, for GLTO kinds.
+    #[must_use]
+    pub fn backend(self) -> Option<Backend> {
+        match self {
+            RuntimeKind::GltoAbt => Some(Backend::Abt),
+            RuntimeKind::GltoQth => Some(Backend::Qth),
+            RuntimeKind::GltoMth => Some(Backend::Mth),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the runtime ("link the binary against it", Fig. 2).
+    #[must_use]
+    pub fn build(self, cfg: OmpConfig) -> Arc<dyn OmpRuntime> {
+        match self {
+            RuntimeKind::Gnu => GnuRuntime::new(cfg),
+            RuntimeKind::Intel => IntelRuntime::new(cfg),
+            RuntimeKind::GltoAbt => GltoRuntime::new(Backend::Abt, cfg),
+            RuntimeKind::GltoQth => GltoRuntime::new(Backend::Qth, cfg),
+            RuntimeKind::GltoMth => GltoRuntime::new(Backend::Mth, cfg),
+        }
+    }
+
+    /// Runtime selected by `OMP_RUNTIME` (default Intel, like linking icc).
+    #[must_use]
+    pub fn from_env() -> RuntimeKind {
+        std::env::var("OMP_RUNTIME")
+            .ok()
+            .and_then(|s| RuntimeKind::parse(&s))
+            .unwrap_or(RuntimeKind::Intel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp::OmpRuntimeExt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_roundtrip() {
+        for k in RuntimeKind::all() {
+            assert_eq!(RuntimeKind::parse(k.name()), Some(k));
+            assert_eq!(RuntimeKind::parse(&k.name().to_uppercase()), Some(k));
+        }
+        assert_eq!(RuntimeKind::parse("gcc"), Some(RuntimeKind::Gnu));
+        assert_eq!(RuntimeKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = RuntimeKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["GCC", "ICC", "GLTO(ABT)", "GLTO(QTH)", "GLTO(MTH)"]);
+    }
+
+    #[test]
+    fn build_all_and_run_one_region() {
+        for k in RuntimeKind::all() {
+            let rt = k.build(OmpConfig::with_threads(2));
+            assert_eq!(rt.label(), k.label());
+            let hits = AtomicUsize::new(0);
+            rt.parallel(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 2, "runtime {}", k.name());
+        }
+    }
+
+    #[test]
+    fn backend_mapping() {
+        assert_eq!(RuntimeKind::GltoAbt.backend(), Some(Backend::Abt));
+        assert_eq!(RuntimeKind::Gnu.backend(), None);
+        assert!(RuntimeKind::GltoMth.is_glto());
+        assert!(!RuntimeKind::Intel.is_glto());
+    }
+}

@@ -1,0 +1,348 @@
+//! UTS — Unbalanced Tree Search (paper §VI-B, Figs. 4 & 5).
+//!
+//! "One way to use OpenMP is by adding just a `#pragma omp parallel`
+//! embracing all the application code" — UTS uses OpenMP (or pthreads, or
+//! a native LWT API) purely as an *environment creator*: the runtime
+//! supplies N workers; the application manages the work itself through a
+//! shared stack of tree nodes.
+//!
+//! The tree is built at execution time from a **divisible (splittable)
+//! deterministic RNG**, so the node count is independent of the thread
+//! count and of the runtime — which is exactly what makes Fig. 4's flat
+//! comparison meaningful. The original uses SHA-1; we use SplitMix64
+//! (see DESIGN.md §2) and keep the geometric/binomial tree shapes.
+//!
+//! Three drivers reproduce the paper's two figures:
+//! * [`run_omp`] — over any `OmpRuntime` (Fig. 4);
+//! * [`run_threads`] — raw OS threads, the "Pthreads" series of Fig. 5;
+//! * [`run_glt`] — over a native GLT backend (Fig. 5), optionally using
+//!   FEB word locks for the shared stack as a Qthreads program would.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use glt::{FebTable, GltRuntime};
+use omp::{OmpRuntime, OmpRuntimeExt};
+use parking_lot::Mutex;
+
+use crate::util::SplitMix64;
+
+/// Tree shape, following the UTS generator families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeKind {
+    /// Geometric tree: expected branching decays linearly with depth,
+    /// `b(d) = b0 * (1 - d / gen_mx)`, zero at `gen_mx`.
+    Geometric {
+        /// Branching factor at the root.
+        b0: f64,
+        /// Maximum depth (`gen_mx` in UTS).
+        gen_mx: u32,
+    },
+    /// Binomial tree: each node has `m` children with probability `q`
+    /// (and 0 otherwise); `m * q < 1` keeps it finite.
+    Binomial {
+        /// Probability a node is internal.
+        q: f64,
+        /// Children of an internal node.
+        m: u32,
+    },
+}
+
+/// UTS instance parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtsParams {
+    /// Tree family and shape.
+    pub kind: TreeKind,
+    /// Root seed (UTS `rootId`).
+    pub seed: u64,
+    /// Nodes a worker takes/releases per shared-stack interaction.
+    pub chunk: usize,
+}
+
+impl UtsParams {
+    /// A T1XXL-*shaped* geometric instance scaled to laptop size: the
+    /// paper's T1XXL (b0 = 4, gen_mx = 15, ~4.2 G nodes) shrunk by depth
+    /// so the default repro run finishes in milliseconds. Use
+    /// [`UtsParams::t1_paper`] for a deeper tree.
+    #[must_use]
+    pub fn t1_scaled() -> Self {
+        UtsParams {
+            kind: TreeKind::Geometric { b0: 4.0, gen_mx: 8 },
+            seed: 316,
+            chunk: 16,
+        }
+    }
+
+    /// A larger geometric instance for `--paper` scale runs.
+    #[must_use]
+    pub fn t1_paper() -> Self {
+        UtsParams {
+            kind: TreeKind::Geometric { b0: 4.0, gen_mx: 11 },
+            seed: 316,
+            chunk: 32,
+        }
+    }
+
+    /// A binomial instance (highly unbalanced, like UTS T3).
+    #[must_use]
+    pub fn t3_scaled() -> Self {
+        UtsParams {
+            kind: TreeKind::Binomial { q: 0.200_014, m: 5 },
+            seed: 42,
+            chunk: 16,
+        }
+    }
+}
+
+/// A tree node: its RNG state and depth. Children are derived by
+/// splitting, so the tree is a pure function of the root seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    rng: SplitMix64,
+    depth: u32,
+}
+
+impl Node {
+    /// The root node of an instance.
+    #[must_use]
+    pub fn root(p: &UtsParams) -> Node {
+        Node { rng: SplitMix64::new(p.seed), depth: 0 }
+    }
+
+    /// Number of children (deterministic in the node).
+    #[must_use]
+    pub fn num_children(&self, p: &UtsParams) -> u32 {
+        let mut r = self.rng;
+        let u = r.next_f64();
+        match p.kind {
+            TreeKind::Geometric { b0, gen_mx } => {
+                if self.depth >= gen_mx {
+                    return 0;
+                }
+                let b = b0 * (1.0 - f64::from(self.depth) / f64::from(gen_mx));
+                // Geometric sample with mean b: floor(ln(1-u)/ln(b/(b+1))).
+                let pp = b / (b + 1.0);
+                if pp <= 0.0 {
+                    0
+                } else {
+                    (u.ln() / pp.ln()).floor() as u32
+                }
+            }
+            TreeKind::Binomial { q, m } => {
+                if u < q {
+                    m
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The `i`-th child.
+    #[must_use]
+    pub fn child(&self, i: u32) -> Node {
+        Node { rng: self.rng.split(u64::from(i)), depth: self.depth + 1 }
+    }
+}
+
+/// Sequential reference traversal: returns (nodes, max depth).
+#[must_use]
+pub fn count_sequential(p: &UtsParams) -> (u64, u32) {
+    let mut stack = vec![Node::root(p)];
+    let mut nodes = 0u64;
+    let mut maxd = 0u32;
+    while let Some(n) = stack.pop() {
+        nodes += 1;
+        maxd = maxd.max(n.depth);
+        for i in 0..n.num_children(p) {
+            stack.push(n.child(i));
+        }
+    }
+    (nodes, maxd)
+}
+
+/// How the shared stack is protected — the experimental variable of
+/// Fig. 5 (plain mutex for pthreads/ABT/MTH vs FEB word locks for QTH).
+pub enum StackLock {
+    /// Plain mutex (pthreads-style).
+    Mutex,
+    /// Qthreads-style: every access locks an FEB word first.
+    Feb(Arc<FebTable>),
+}
+
+struct SharedState {
+    stack: Mutex<Vec<Node>>,
+    lock: StackLock,
+    /// Nodes pushed (root included).
+    created: AtomicU64,
+    /// Nodes fully processed (children generated).
+    processed: AtomicU64,
+}
+
+impl SharedState {
+    fn new(p: &UtsParams) -> Self {
+        let s = SharedState {
+            stack: Mutex::new(vec![Node::root(p)]),
+            lock: StackLock::Mutex,
+            created: AtomicU64::new(1),
+            processed: AtomicU64::new(0),
+        };
+        s
+    }
+
+    fn with_stack<R>(&self, f: impl FnOnce(&mut Vec<Node>) -> R) -> R {
+        match &self.lock {
+            StackLock::Mutex => f(&mut self.stack.lock()),
+            StackLock::Feb(t) => {
+                // One FEB word guards the stack, as a qthreads port would
+                // guard its shared structure.
+                let key = std::ptr::from_ref(self) as usize;
+                t.with_lock(key, || f(&mut self.stack.lock()))
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        // processed == created implies the stack is empty and no worker
+        // holds unprocessed nodes; counters only move forward.
+        self.processed.load(Ordering::Acquire) == self.created.load(Ordering::Acquire)
+    }
+}
+
+/// One worker's search loop: the "interactions among threads are then
+/// managed by the programmer's code" part (§VI-B).
+fn search_worker(shared: &SharedState, p: &UtsParams) -> u64 {
+    let mut local: Vec<Node> = Vec::with_capacity(4 * p.chunk);
+    let mut visited = 0u64;
+    loop {
+        if local.is_empty() {
+            let grabbed = shared.with_stack(|s| {
+                let take = p.chunk.min(s.len());
+                let split = s.len() - take;
+                local.extend(s.drain(split..));
+                take
+            });
+            if grabbed == 0 {
+                if shared.done() {
+                    return visited;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+        }
+        while let Some(n) = local.pop() {
+            visited += 1;
+            let nc = n.num_children(p);
+            if nc > 0 {
+                shared.created.fetch_add(u64::from(nc), Ordering::AcqRel);
+                for i in 0..nc {
+                    local.push(n.child(i));
+                }
+            }
+            shared.processed.fetch_add(1, Ordering::AcqRel);
+            // Release surplus so other workers can progress.
+            if local.len() > 2 * p.chunk {
+                let release = local.len() - p.chunk;
+                shared.with_stack(|s| {
+                    s.extend(local.drain(..release));
+                });
+            }
+        }
+    }
+}
+
+/// UTS over an OpenMP runtime (Fig. 4): one `parallel` region wrapping the
+/// whole search. Returns the node count (identical across runtimes).
+#[must_use]
+pub fn run_omp(rt: &dyn OmpRuntime, p: &UtsParams) -> u64 {
+    let shared = SharedState::new(p);
+    let total = AtomicU64::new(0);
+    rt.parallel(|_ctx| {
+        let v = search_worker(&shared, p);
+        total.fetch_add(v, Ordering::Relaxed);
+    });
+    total.into_inner()
+}
+
+/// UTS over raw OS threads (Fig. 5, "Pthreads" series).
+#[must_use]
+pub fn run_threads(nthreads: usize, p: &UtsParams) -> u64 {
+    let shared = SharedState::new(p);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..nthreads.max(1) {
+            s.spawn(|| {
+                let v = search_worker(&shared, p);
+                total.fetch_add(v, Ordering::Relaxed);
+            });
+        }
+    });
+    total.into_inner()
+}
+
+/// UTS over a native GLT backend (Fig. 5): one ULT per `GLT_thread`, the
+/// shared stack protected per `lock` (FEB for the Qthreads-style port).
+#[must_use]
+pub fn run_glt(rt: &dyn GltRuntime, p: &UtsParams, lock: StackLock) -> u64 {
+    let mut shared = SharedState::new(p);
+    shared.lock = lock;
+    let total = AtomicU64::new(0);
+    glt::scope(rt, |s| {
+        for rank in 0..rt.num_threads() {
+            let shared = &shared;
+            let total = &total;
+            s.spawn_to(rank, move || {
+                let v = search_worker(shared, p);
+                total.fetch_add(v, Ordering::Relaxed);
+            });
+        }
+    });
+    total.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_count_is_deterministic_and_nontrivial() {
+        let p = UtsParams::t1_scaled();
+        let (n1, d1) = count_sequential(&p);
+        let (n2, d2) = count_sequential(&p);
+        assert_eq!(n1, n2);
+        assert_eq!(d1, d2);
+        assert!(n1 > 100, "tree too small: {n1}");
+        assert!(d1 > 3);
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        let a = UtsParams::t1_scaled();
+        let mut b = a;
+        b.seed = 9999;
+        assert_ne!(count_sequential(&a).0, count_sequential(&b).0);
+    }
+
+    #[test]
+    fn binomial_tree_terminates() {
+        let p = UtsParams::t3_scaled();
+        let (n, _) = count_sequential(&p);
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn threads_driver_matches_sequential() {
+        let p = UtsParams::t1_scaled();
+        let (expect, _) = count_sequential(&p);
+        for n in [1, 2, 4] {
+            assert_eq!(run_threads(n, &p), expect, "nthreads={n}");
+        }
+    }
+
+    #[test]
+    fn deeper_gen_mx_grows_tree() {
+        let small = UtsParams::t1_scaled();
+        let big = UtsParams { kind: TreeKind::Geometric { b0: 4.0, gen_mx: 9 }, ..small };
+        assert!(count_sequential(&big).0 > count_sequential(&small).0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Recursive task trees (fib, N-Queens): the deep-recursion stress shape
+//! from the BOLT/Argobots line of work the paper builds on — every level
+//! spawns tasks and taskwaits, so per-task overhead and scheduler
+//! locality dominate.
+//!
+//! ```text
+//! cargo run --release --example task_recursion [threads]
+//! ```
+
+use std::time::Instant;
+
+use glto_repro::prelude::*;
+use workloads::taskbench;
+
+fn main() {
+    let threads: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let fib_n = 22;
+    let fib_cutoff = 12;
+    let nq = 8;
+    let nq_depth = 3;
+
+    let fib_expect = taskbench::fib_seq(fib_n);
+    let nq_expect = taskbench::nqueens_seq(nq);
+    println!(
+        "fib({fib_n}) = {fib_expect} (task cutoff {fib_cutoff}), \
+         {nq}-queens = {nq_expect} solutions (spawn depth {nq_depth})\n"
+    );
+
+    println!("{:<11} {:>12} {:>12}", "runtime", "fib", "nqueens");
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(threads));
+
+        let t0 = Instant::now();
+        let f = taskbench::fib_tasks(rt.as_ref(), fib_n, fib_cutoff);
+        let fib_dt = t0.elapsed();
+        assert_eq!(f, fib_expect);
+
+        let t0 = Instant::now();
+        let q = taskbench::nqueens_tasks(rt.as_ref(), nq, nq_depth);
+        let nq_dt = t0.elapsed();
+        assert_eq!(q, nq_expect);
+
+        println!("{:<11} {:>12.2?} {:>12.2?}", rt.label(), fib_dt, nq_dt);
+    }
+
+    println!("\nRecursive tasking magnifies per-task cost: the LWT runtimes'");
+    println!("cheap ULT creation is exactly what the paper's §VI-E measures.");
+}

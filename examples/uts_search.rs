@@ -1,0 +1,45 @@
+//! UTS — Unbalanced Tree Search as an "environment creator" workload
+//! (paper §VI-B, Figs. 4–5).
+//!
+//! OpenMP only supplies the worker environment; the application manages
+//! its own shared work stack. The tree is generated from a splittable
+//! deterministic RNG, so every runtime must report the same node count.
+//!
+//! ```text
+//! cargo run --release --example uts_search [threads]
+//! ```
+
+use std::time::Instant;
+
+use glto_repro::prelude::*;
+use workloads::uts;
+
+fn main() {
+    let threads: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let p = uts::UtsParams::t1_scaled();
+    let (expected, depth) = uts::count_sequential(&p);
+    println!("UTS geometric tree: {expected} nodes, depth {depth} (deterministic)\n");
+
+    println!("-- over OpenMP runtimes (Fig. 4 analog), {threads} threads --");
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(threads));
+        let t0 = Instant::now();
+        let n = uts::run_omp(rt.as_ref(), &p);
+        let dt = t0.elapsed();
+        assert_eq!(n, expected, "tree must be runtime-independent");
+        println!("{:<10} {n} nodes in {dt:?}", rt.label());
+    }
+
+    println!("\n-- over raw OS threads and native LWT APIs (Fig. 5 analog) --");
+    let t0 = Instant::now();
+    let n = uts::run_threads(threads, &p);
+    println!("{:<10} {n} nodes in {:?}", "Pthreads", t0.elapsed());
+    for backend in Backend::all() {
+        let rt = glto::AnyGlt::start(backend, glt::GltConfig::with_threads(threads));
+        let t0 = Instant::now();
+        let n = uts::run_glt(&rt, &p, uts::StackLock::Mutex);
+        assert_eq!(n, expected);
+        println!("{:<10} {n} nodes in {:?}", backend.label(), t0.elapsed());
+    }
+}

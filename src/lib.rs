@@ -1,0 +1,45 @@
+//! # glto-repro — umbrella crate for the GLTO reproduction
+//!
+//! A Rust reproduction of *GLTO: On the Adequacy of Lightweight Thread
+//! Approaches for OpenMP Implementations* (Castelló, Seo, Mayo, Balaji,
+//! Quintana-Ortí, Peña; ICPP 2017). See `README.md` for the tour,
+//! `DESIGN.md` for the architecture, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+//!
+//! ```
+//! use glto_repro::prelude::*;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // The paper's Fig. 2: one program, any runtime.
+//! for kind in RuntimeKind::all() {
+//!     let rt = kind.build(OmpConfig::with_threads(2));
+//!     let sum = AtomicU64::new(0);
+//!     rt.parallel(|ctx| {
+//!         ctx.for_each(0..100, Schedule::Static { chunk: None }, |i| {
+//!             sum.fetch_add(i, Ordering::Relaxed);
+//!         });
+//!     });
+//!     assert_eq!(sum.into_inner(), 4950);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use glt;
+pub use glto;
+pub use omp;
+pub use pomp;
+pub use validation;
+pub use workloads;
+
+/// The things almost every consumer wants in scope.
+pub mod prelude {
+    pub use glto::{Backend, GltoRuntime};
+    pub use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt, ParCtx, Schedule, TaskFlags};
+    pub use pomp::{GnuRuntime, IntelRuntime};
+    pub use workloads::RuntimeKind;
+}

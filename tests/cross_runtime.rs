@@ -1,0 +1,134 @@
+//! Cross-runtime integration: the paper's core premise (Fig. 2) is that
+//! one program runs unmodified over every runtime and computes the same
+//! thing — only performance differs. These tests hold every workload to
+//! that premise.
+
+use glto_repro::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::{cg, clover, uts};
+
+fn all_runtimes(threads: usize) -> Vec<std::sync::Arc<dyn OmpRuntime>> {
+    RuntimeKind::all().iter().map(|k| k.build(OmpConfig::with_threads(threads))).collect()
+}
+
+#[test]
+fn uts_node_count_is_runtime_independent() {
+    let p = uts::UtsParams::t1_scaled();
+    let (expected, _) = uts::count_sequential(&p);
+    for rt in all_runtimes(3) {
+        assert_eq!(uts::run_omp(rt.as_ref(), &p), expected, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn uts_native_drivers_agree_with_omp() {
+    let p = uts::UtsParams::t1_scaled();
+    let (expected, _) = uts::count_sequential(&p);
+    assert_eq!(uts::run_threads(2, &p), expected);
+    for backend in Backend::all() {
+        let rt = glto::AnyGlt::start(backend, glt::GltConfig::with_threads(2));
+        assert_eq!(
+            uts::run_glt(&rt, &p, uts::StackLock::Mutex),
+            expected,
+            "backend {backend:?}"
+        );
+    }
+}
+
+#[test]
+fn clover_physics_is_runtime_independent() {
+    let p = clover::CloverParams {
+        nx: 24,
+        ny: 24,
+        steps: 4,
+        schedule: Schedule::Static { chunk: None },
+    };
+    let mut reference = None;
+    for rt in all_runtimes(3) {
+        let (mass, energy) = clover::run(rt.as_ref(), p);
+        match reference {
+            None => reference = Some((mass, energy)),
+            Some((m, e)) => {
+                assert!((mass - m).abs() < 1e-12, "mass differs on {}", rt.name());
+                assert!((energy - e).abs() < 1e-12, "energy differs on {}", rt.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn cg_solvers_agree_across_runtimes_and_granularities() {
+    let a = cg::Csr::synthetic_spd(400, 5, 9);
+    let b = cg::rhs_ones(&a);
+    let reference = cg::cg_serial(&a, &b, 40, 1e-9);
+    for rt in all_runtimes(3) {
+        let r = cg::cg_for(rt.as_ref(), &a, &b, 40, 1e-9);
+        assert_eq!(r.iterations, reference.iterations, "cg_for on {}", rt.name());
+        for gran in [7, 64] {
+            let t = cg::cg_tasks(rt.as_ref(), &a, &b, 40, 1e-9, gran);
+            assert_eq!(
+                t.iterations,
+                reference.iterations,
+                "cg_tasks gran {gran} on {}",
+                rt.name()
+            );
+            assert!((t.residual - reference.residual).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn reductions_match_serial_for_every_schedule() {
+    let scheds = [
+        Schedule::Static { chunk: None },
+        Schedule::Static { chunk: Some(3) },
+        Schedule::Dynamic { chunk: 5 },
+        Schedule::Guided { chunk: 2 },
+    ];
+    let expect: u64 = (0..2000u64).map(|i| i * 3 + 1).sum();
+    for rt in all_runtimes(4) {
+        for sched in scheds {
+            let out = std::sync::Mutex::new(0u64);
+            rt.parallel(|ctx| {
+                let v = ctx.for_reduce(
+                    0..2000,
+                    sched,
+                    0u64,
+                    |i, acc| *acc += i * 3 + 1,
+                    |a, b| a + b,
+                );
+                ctx.master(|| *out.lock().unwrap() = v);
+            });
+            assert_eq!(*out.lock().unwrap(), expect, "{} {:?}", rt.name(), sched);
+        }
+    }
+}
+
+#[test]
+fn environment_selection_works() {
+    // OMP_RUNTIME-style selection through the registry.
+    for kind in RuntimeKind::all() {
+        let parsed = RuntimeKind::parse(kind.name()).unwrap();
+        assert_eq!(parsed, kind);
+        let rt = parsed.build(OmpConfig::with_threads(1));
+        let hits = AtomicU64::new(0);
+        rt.parallel(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 1);
+    }
+}
+
+#[test]
+fn icvs_are_honored_by_every_runtime() {
+    for rt in all_runtimes(4) {
+        rt.set_num_threads(2);
+        let hits = AtomicU64::new(0);
+        rt.parallel(|ctx| {
+            assert_eq!(ctx.num_threads(), 2);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 2, "runtime {}", rt.name());
+        rt.set_num_threads(4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Failure injection: a production runtime must survive panicking user
+//! code without hanging or poisoning later regions. (The paper doesn't
+//! test this; an adoptable implementation must.)
+
+use glto_repro::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn all_runtimes(threads: usize) -> Vec<std::sync::Arc<dyn OmpRuntime>> {
+    RuntimeKind::all().iter().map(|k| k.build(OmpConfig::with_threads(threads))).collect()
+}
+
+#[test]
+fn panicking_task_does_not_hang_the_region() {
+    for rt in all_runtimes(3) {
+        let survivors = AtomicUsize::new(0);
+        // The panic is contained by the runtime's task execution; the
+        // region completes and the other tasks run.
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task(|_| panic!("injected task failure"));
+                for _ in 0..10 {
+                    let survivors = &survivors;
+                    ctx.task(move |_| {
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(survivors.into_inner(), 10, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn runtime_is_reusable_after_a_task_panic() {
+    for rt in all_runtimes(2) {
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                ctx.task(|_| panic!("first region failure"));
+            });
+        });
+        // A later region on the same runtime must work normally.
+        let ok = AtomicUsize::new(0);
+        rt.parallel(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.into_inner(), 2, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn glt_unit_panic_is_reported_at_join() {
+    // At the substrate level a panic is captured and re-thrown on the
+    // joiner, like std::thread::JoinHandle::join.
+    for backend in Backend::all() {
+        let rt = glto::AnyGlt::start(backend, glt::GltConfig::with_threads(2));
+        use glt::GltRuntime;
+        let h = rt.ult_create(Box::new(|| panic!("unit failure")));
+        let res = catch_unwind(AssertUnwindSafe(|| rt.join(&h)));
+        assert!(res.is_err(), "join must rethrow on {backend:?}");
+        // The runtime keeps working.
+        let h2 = rt.ult_create(Box::new(|| {}));
+        rt.join(&h2);
+        assert!(h2.is_done());
+    }
+}
+
+#[test]
+fn scope_joins_all_even_when_one_spawn_panics() {
+    let rt = glt::start_shared(glt::GltConfig::with_threads(2));
+    let finished = AtomicUsize::new(0);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        glt::scope(&rt, |s| {
+            for i in 0..8 {
+                let finished = &finished;
+                s.spawn(move || {
+                    if i == 3 {
+                        panic!("spawn 3 fails");
+                    }
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    assert!(res.is_err(), "scope must propagate the child panic");
+    assert_eq!(finished.into_inner(), 7, "all siblings must still have run");
+}
+
+#[test]
+fn empty_and_degenerate_regions() {
+    for rt in all_runtimes(1) {
+        // Team of one, no-op body, zero-length loops, empty sections.
+        rt.parallel(|ctx| {
+            ctx.for_each(0..0, Schedule::Dynamic { chunk: 1 }, |_| unreachable!());
+            ctx.sections(vec![]);
+            ctx.single(|| {});
+            ctx.taskwait();
+        });
+    }
+}

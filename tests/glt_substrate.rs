@@ -1,0 +1,199 @@
+//! Substrate-level integration: the GLT API exercised directly across all
+//! three backends (the paper's Fig. 1 programming model), including the
+//! scoped API, FEB synchronization, tasklets, and instrumentation.
+
+use glt::{scope, FebTable, GltConfig, GltRuntime, UnitKind, WaitPolicy};
+use glto::{AnyGlt, Backend};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn backends(n: usize) -> Vec<AnyGlt> {
+    Backend::all().iter().map(|&b| AnyGlt::start(b, GltConfig::with_threads(n))).collect()
+}
+
+#[test]
+fn scoped_spawns_borrow_stack_data_on_every_backend() {
+    for rt in backends(3) {
+        let mut data = vec![0u64; 300];
+        let sum = AtomicU64::new(0);
+        scope(&rt, |s| {
+            for chunk in data.chunks_mut(50) {
+                let sum = &sum;
+                s.spawn(move || {
+                    for v in chunk.iter_mut() {
+                        *v = 7;
+                    }
+                    sum.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.into_inner(), 6, "backend {}", rt.backend_name());
+        assert!(data.iter().all(|&v| v == 7));
+    }
+}
+
+#[test]
+fn tasklets_and_ults_complete_on_every_backend() {
+    for rt in backends(2) {
+        let count = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            for i in 0..40 {
+                let count = &count;
+                if i % 2 == 0 {
+                    s.spawn(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                } else {
+                    s.spawn_tasklet(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+        });
+        assert_eq!(count.into_inner(), 40, "backend {}", rt.backend_name());
+        let snap = rt.counters().snapshot();
+        assert_eq!(snap.ults_created, 20);
+        assert_eq!(snap.tasklets_created, 20);
+    }
+}
+
+#[test]
+fn placement_semantics_differ_by_backend() {
+    // ABT/QTH: a unit placed on rank r executes on rank r. MTH: it may be
+    // stolen, but it always executes somewhere valid.
+    for rt in backends(3) {
+        let handles: Vec<_> =
+            (0..9).map(|i| rt.ult_create_to(i % 3, Box::new(|| {}))).collect();
+        for (i, h) in handles.iter().enumerate() {
+            rt.join(h);
+            let by = h.executed_by();
+            assert!(by < 3);
+            if !rt.can_steal() {
+                assert_eq!(by, i % 3, "no-steal backend must honor placement");
+            }
+        }
+    }
+}
+
+#[test]
+fn feb_hand_off_between_ults() {
+    // Producer/consumer through FEB words, run as ULTs — the Qthreads
+    // programming style of the paper's native UTS port.
+    let rt = AnyGlt::start(Backend::Qth, GltConfig::with_threads(2));
+    let feb = match &rt {
+        AnyGlt::Qth(q) => glt_qth::feb_of(q).unwrap(),
+        _ => unreachable!(),
+    };
+    let key = 0xF00D;
+    feb.empty(key);
+    let received = Arc::new(AtomicU64::new(0));
+    scope(&rt, |s| {
+        let feb2 = Arc::clone(&feb);
+        s.spawn_to(1, move || {
+            for i in 1..=20u64 {
+                feb2.write_ef(key, i);
+            }
+        });
+        let feb3 = Arc::clone(&feb);
+        let received = Arc::clone(&received);
+        s.spawn_to(0, move || {
+            for _ in 0..20 {
+                received.fetch_add(feb3.read_fe(key), Ordering::Relaxed);
+            }
+        });
+    });
+    assert_eq!(received.load(Ordering::Relaxed), 210);
+}
+
+#[test]
+fn counters_track_execution_exactly() {
+    for rt in backends(2) {
+        rt.counters().reset();
+        scope(&rt, |s| {
+            for _ in 0..25 {
+                s.spawn(|| {});
+            }
+        });
+        let snap = rt.counters().snapshot();
+        assert_eq!(snap.ults_created, 25, "backend {}", rt.backend_name());
+        assert_eq!(snap.units_executed, 25);
+    }
+}
+
+#[test]
+fn active_wait_policy_works_end_to_end() {
+    for backend in Backend::all() {
+        let cfg = GltConfig::with_threads(2).wait_policy(WaitPolicy::Active);
+        let rt = AnyGlt::start(backend, cfg);
+        let n = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            for _ in 0..20 {
+                let n = &n;
+                s.spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(n.into_inner(), 20, "backend {backend:?}");
+    }
+}
+
+#[test]
+fn shared_queue_mode_on_every_backend() {
+    for backend in Backend::all() {
+        let cfg = GltConfig::with_threads(3).shared_queues(true);
+        let rt = AnyGlt::start(backend, cfg);
+        assert!(rt.can_steal(), "shared queue lets anyone take work");
+        let n = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            for _ in 0..30 {
+                let n = &n;
+                s.spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(n.into_inner(), 30, "backend {backend:?}");
+    }
+}
+
+#[test]
+fn handle_metadata_is_consistent() {
+    let rt = AnyGlt::start(Backend::Abt, GltConfig::with_threads(2));
+    let h = rt.ult_create_to(1, Box::new(|| {}));
+    assert_eq!(h.kind(), UnitKind::Ult);
+    assert_eq!(h.created_by(), 0, "created from the registered master");
+    rt.join(&h);
+    assert!(h.is_done());
+    assert_eq!(h.executed_by(), 1);
+
+    let t = rt.tasklet_create(Box::new(|| {}));
+    assert_eq!(t.kind(), UnitKind::Tasklet);
+    rt.join(&t);
+}
+
+#[test]
+fn feb_table_is_independent_per_runtime() {
+    let a = AnyGlt::start(Backend::Qth, GltConfig::with_threads(1));
+    let b = AnyGlt::start(Backend::Qth, GltConfig::with_threads(1));
+    let (fa, fb) = match (&a, &b) {
+        (AnyGlt::Qth(x), AnyGlt::Qth(y)) => {
+            (glt_qth::feb_of(x).unwrap(), glt_qth::feb_of(y).unwrap())
+        }
+        _ => unreachable!(),
+    };
+    fa.fill(1, 11);
+    fb.fill(1, 22);
+    assert_eq!(fa.read_ff(1), 11);
+    assert_eq!(fb.read_ff(1), 22);
+}
+
+#[test]
+fn glt_timer_measures_work() {
+    let mut t = glt::GltTimer::new();
+    t.start();
+    std::hint::black_box((0..100_000).sum::<u64>());
+    t.stop();
+    assert!(t.secs() > 0.0);
+    assert!(glt::wtick() > 0.0);
+}

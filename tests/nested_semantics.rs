@@ -1,0 +1,131 @@
+//! Nested-parallelism semantics and the Table II thread/ULT accounting,
+//! scaled down to test size (the repro harness reproduces the full-size
+//! numbers; see `repro -- table2`).
+
+use glto_repro::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use workloads::micro;
+
+#[test]
+fn nested_executes_outer_times_inner_bodies() {
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(3));
+        let inner_bodies = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.parallel(|_| {
+                inner_bodies.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_bodies.into_inner(), 9, "runtime {}", kind.name());
+    }
+}
+
+#[test]
+fn gnu_creates_fresh_threads_per_inner_region() {
+    // Table II mechanism: GNU = outer team + (#inner regions × (n-1)).
+    let n = 4;
+    let outer = 6u64;
+    let rt = GnuRuntime::new(OmpConfig::with_threads(n));
+    rt.counters().reset();
+    let _ = micro::nested_null(rt.as_ref(), outer, outer);
+    let s = rt.counters().snapshot();
+    let expected = (n as u64 - 1) + outer * (n as u64 - 1);
+    assert_eq!(
+        s.os_threads_created, expected,
+        "GNU: pool (n-1) + fresh (n-1) per inner region"
+    );
+    assert_eq!(s.os_threads_reused, 0, "GNU never reuses nested teams");
+}
+
+#[test]
+fn intel_hot_teams_create_once_then_reuse() {
+    // Table II mechanism: Intel creates each member's nested team once.
+    let n = 4;
+    let outer = 8u64;
+    let rt = IntelRuntime::new(OmpConfig::with_threads(n));
+    rt.counters().reset();
+    let _ = micro::nested_null(rt.as_ref(), outer, outer);
+    let s = rt.counters().snapshot();
+    // Outer pool: n-1. Hot teams: each of n outer members creates n-1 once.
+    let created = (n as u64 - 1) + n as u64 * (n as u64 - 1);
+    assert_eq!(s.os_threads_created, created);
+    // Each inner region beyond a member's first reuses n-1 threads.
+    let reused = (outer - n as u64) * (n as u64 - 1);
+    assert_eq!(s.os_threads_reused, reused, "hot-team reuse accounting");
+}
+
+#[test]
+fn glto_nested_uses_only_ults() {
+    let n = 4;
+    let outer = 8u64;
+    for backend in [Backend::Abt, Backend::Qth] {
+        let rt = GltoRuntime::new(backend, OmpConfig::with_threads(n));
+        rt.counters().reset();
+        let _ = micro::nested_null(rt.as_ref(), outer, outer);
+        let s = rt.counters().snapshot();
+        assert_eq!(
+            s.os_threads_created, 0,
+            "GLTO must not create OS threads after startup (§IV-E)"
+        );
+        // Outer region: n-1 ULTs; each of `outer` iterations forks an
+        // inner region of n-1 ULTs.
+        assert_eq!(s.ults_created, (n as u64 - 1) * (1 + outer), "backend {backend:?}");
+    }
+}
+
+#[test]
+fn nested_disabled_serializes_inner_regions() {
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(3).nested(false));
+        let inner_sizes = std::sync::Mutex::new(std::collections::HashSet::new());
+        rt.parallel(|ctx| {
+            ctx.parallel(|inner| {
+                inner_sizes.lock().unwrap().insert(inner.num_threads());
+            });
+        });
+        let sizes = inner_sizes.into_inner().unwrap();
+        assert_eq!(sizes.len(), 1, "runtime {}", kind.name());
+        assert!(sizes.contains(&1));
+    }
+}
+
+#[test]
+fn deep_nesting_respects_max_active_levels() {
+    for kind in [RuntimeKind::Intel, RuntimeKind::GltoAbt] {
+        let cfg = OmpConfig { max_active_levels: 2, ..OmpConfig::with_threads(2) };
+        let rt = kind.build(cfg);
+        let level3_sizes = std::sync::Mutex::new(std::collections::HashSet::new());
+        rt.parallel(|c1| {
+            c1.parallel(|c2| {
+                c2.parallel(|c3| {
+                    level3_sizes.lock().unwrap().insert(c3.num_threads());
+                });
+            });
+        });
+        let sizes = level3_sizes.into_inner().unwrap();
+        assert_eq!(sizes.len(), 1, "runtime {}", kind.name());
+        assert!(sizes.contains(&1), "level 3 must serialize past max_active_levels=2");
+    }
+}
+
+#[test]
+fn nested_work_is_actually_distributed() {
+    // Inner loops partition their iteration space over the inner team.
+    for kind in RuntimeKind::all() {
+        let rt = kind.build(OmpConfig::with_threads(2));
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel(|ctx| {
+            ctx.for_each(0..4, Schedule::Static { chunk: None }, |i| {
+                let hits = &hits;
+                ctx.parallel(move |inner| {
+                    inner.for_each(0..16, Schedule::Static { chunk: None }, |j| {
+                        hits[(i * 16 + j) as usize].fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        for (c, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "cell {c} on {}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) on the invariants the whole
+//! reproduction rests on: loop-schedule partitioning, splittable-RNG
+//! determinism, FEB-table semantics, reduction correctness, and UTS tree
+//! stability.
+
+use proptest::prelude::*;
+
+use glto_repro::prelude::*;
+use omp::schedule::{static_block, static_cyclic};
+use omp::LoopState;
+use workloads::util::SplitMix64;
+use workloads::uts;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// schedule(static): blocks are contiguous, disjoint, and cover the
+    /// range exactly, for any (total, nthreads).
+    #[test]
+    fn static_blocks_partition(total in 0u64..10_000, n in 1usize..128) {
+        let mut covered = 0u64;
+        let mut prev_hi = 0u64;
+        for tid in 0..n {
+            let (lo, hi) = static_block(total, tid, n);
+            prop_assert_eq!(lo, prev_hi);
+            prop_assert!(hi >= lo);
+            covered += hi - lo;
+            prev_hi = hi;
+        }
+        prop_assert_eq!(covered, total);
+        prop_assert_eq!(prev_hi, total);
+    }
+
+    /// schedule(static, chunk): block-cyclic assignment is a partition.
+    #[test]
+    fn static_cyclic_partitions(total in 0u64..2_000, chunk in 1u64..64, n in 1usize..16) {
+        let mut seen = vec![0u8; total as usize];
+        for tid in 0..n {
+            for (lo, hi) in static_cyclic(total, chunk, tid, n) {
+                for i in lo..hi {
+                    seen[i as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Dynamic and guided dispatch hand out every iteration exactly once
+    /// even when drained concurrently.
+    #[test]
+    fn loop_state_partitions(total in 0u64..5_000, chunk in 1u64..32, guided in any::<bool>()) {
+        let ls = std::sync::Arc::new(LoopState::new(total, chunk, guided, 4));
+        let seen: std::sync::Arc<Vec<std::sync::atomic::AtomicU8>> = std::sync::Arc::new(
+            (0..total).map(|_| std::sync::atomic::AtomicU8::new(0)).collect(),
+        );
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let ls = ls.clone();
+                let seen = seen.clone();
+                s.spawn(move || {
+                    while let Some((lo, hi)) = ls.next_chunk() {
+                        for i in lo..hi {
+                            seen[i as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(seen.iter().all(|c| c.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    /// SplitMix64: same seed ⇒ same stream; split children are stable and
+    /// independent of parent draws.
+    #[test]
+    fn splitmix_determinism(seed in any::<u64>(), child in 0u64..1_000) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let c1 = SplitMix64::new(seed).split(child);
+        let mut parent = SplitMix64::new(seed);
+        let _ = parent.next_u64();
+        let c2 = SplitMix64::new(seed).split(child);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// next_below is always within range.
+    #[test]
+    fn next_below_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.next_below(n) < n);
+        }
+    }
+
+    /// FEB: fill/readFE round-trips values and leaves the word empty.
+    #[test]
+    fn feb_roundtrip(key in any::<usize>(), val in any::<u64>()) {
+        let t = glt::FebTable::new();
+        t.fill(key, val);
+        prop_assert_eq!(t.read_fe(key), val);
+        prop_assert_eq!(t.peek(key), None);
+        t.write_ef(key, val ^ 1);
+        prop_assert_eq!(t.read_ff(key), val ^ 1);
+    }
+
+    /// UTS trees are pure functions of their parameters.
+    #[test]
+    fn uts_tree_deterministic(seed in 1u64..500, gen_mx in 2u32..6) {
+        let p = uts::UtsParams {
+            kind: uts::TreeKind::Geometric { b0: 3.0, gen_mx },
+            seed,
+            chunk: 8,
+        };
+        let (a, da) = uts::count_sequential(&p);
+        let (b, db) = uts::count_sequential(&p);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(da, db);
+        prop_assert!(a >= 1);
+    }
+}
+
+proptest! {
+    // Runtime-backed properties are more expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel reduction equals the serial fold for arbitrary inputs,
+    /// schedules, and team sizes, on a pthread-based and an LWT-based
+    /// runtime.
+    #[test]
+    fn reduction_matches_serial(
+        data in proptest::collection::vec(0u64..1_000, 1..400),
+        chunk in 1usize..16,
+        threads in 1usize..5,
+        dynamic in any::<bool>(),
+    ) {
+        let expect: u64 = data.iter().sum();
+        let sched = if dynamic {
+            Schedule::Dynamic { chunk }
+        } else {
+            Schedule::Static { chunk: Some(chunk) }
+        };
+        for kind in [RuntimeKind::Intel, RuntimeKind::GltoAbt] {
+            let rt = kind.build(OmpConfig::with_threads(threads));
+            let data = &data;
+            let out = std::sync::Mutex::new(0u64);
+            rt.parallel(|ctx| {
+                let v = ctx.for_reduce(
+                    0..data.len() as u64,
+                    sched,
+                    0u64,
+                    |i, acc| *acc += data[i as usize],
+                    |a, b| a + b,
+                );
+                ctx.master(|| *out.lock().unwrap() = v);
+            });
+            prop_assert_eq!(*out.lock().unwrap(), expect);
+        }
+    }
+
+    /// UTS parallel search returns the sequential node count for any
+    /// small tree and thread count (determinism under parallelism).
+    #[test]
+    fn uts_parallel_matches_sequential(seed in 1u64..200, threads in 1usize..5) {
+        let p = uts::UtsParams {
+            kind: uts::TreeKind::Geometric { b0: 3.0, gen_mx: 5 },
+            seed,
+            chunk: 4,
+        };
+        let (expected, _) = uts::count_sequential(&p);
+        prop_assert_eq!(uts::run_threads(threads, &p), expected);
+        let rt = RuntimeKind::GltoMth.build(OmpConfig::with_threads(threads));
+        prop_assert_eq!(uts::run_omp(rt.as_ref(), &p), expected);
+    }
+}

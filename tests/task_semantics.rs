@@ -1,0 +1,267 @@
+//! Task-parallelism semantics across all five runtimes: the constructs
+//! behind §VI-E, exercised harder than the validation suite does.
+
+use glto_repro::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+fn all_runtimes(threads: usize) -> Vec<std::sync::Arc<dyn OmpRuntime>> {
+    RuntimeKind::all().iter().map(|k| k.build(OmpConfig::with_threads(threads))).collect()
+}
+
+#[test]
+fn single_producer_many_tasks() {
+    for rt in all_runtimes(4) {
+        let sum = AtomicU64::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                for i in 0..300u64 {
+                    let sum = &sum;
+                    ctx.task(move |_| {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.into_inner(), 299 * 300 / 2, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn every_thread_produces_tasks() {
+    for rt in all_runtimes(4) {
+        let count = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            for _ in 0..50 {
+                let count = &count;
+                ctx.task(move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            ctx.taskwait();
+        });
+        assert_eq!(count.into_inner(), 200, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn recursive_task_tree() {
+    // A fib-like recursive spawn tree, depth 6 => 2^6 leaves.
+    fn spawn_tree<'t, 'env>(ctx: &ParCtx<'t, 'env>, depth: u32, leaves: &'env AtomicUsize) {
+        if depth == 0 {
+            leaves.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for _ in 0..2 {
+            ctx.task(move |c| spawn_tree(c, depth - 1, leaves));
+        }
+        ctx.taskwait();
+    }
+    for rt in all_runtimes(3) {
+        let leaves = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| spawn_tree(ctx, 6, &leaves));
+        });
+        assert_eq!(leaves.into_inner(), 64, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn taskwait_orders_phases() {
+    for rt in all_runtimes(4) {
+        let phase1 = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..20 {
+                    let phase1 = &phase1;
+                    ctx.task(move |_| {
+                        phase1.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                ctx.taskwait();
+                // All phase-1 tasks must be complete here.
+                if phase1.load(Ordering::SeqCst) != 20 {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(violations.into_inner(), 0, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn undeferred_tasks_run_inline() {
+    for rt in all_runtimes(2) {
+        let order = std::sync::Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                order.lock().unwrap().push("before");
+                let order = &order;
+                ctx.task_with(TaskFlags { if_clause: false, ..TaskFlags::default() }, move |_| {
+                    order.lock().unwrap().push("task");
+                });
+                order.lock().unwrap().push("after");
+            });
+        });
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["before", "task", "after"],
+            "if(0) must run inline on {}",
+            rt.name()
+        );
+    }
+}
+
+#[test]
+fn tasks_see_firstprivate_snapshots() {
+    for rt in all_runtimes(3) {
+        let results = std::sync::Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                for i in 0..10u64 {
+                    let results = &results;
+                    // move captures i at creation time (firstprivate).
+                    ctx.task(move |_| {
+                        results.lock().unwrap().push(i);
+                    });
+                }
+            });
+        });
+        let mut got = results.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn region_end_drains_tasks_spawned_by_tasks() {
+    for rt in all_runtimes(3) {
+        let grand = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..5 {
+                    let grand = &grand;
+                    ctx.task(move |c| {
+                        // children spawned without taskwait: the region
+                        // end must still complete them.
+                        for _ in 0..5 {
+                            c.task(move |_| {
+                                grand.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(grand.into_inner(), 25, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn taskgroup_waits_for_descendants_across_runtimes() {
+    for rt in all_runtimes(4) {
+        let leaves = AtomicUsize::new(0);
+        let checked = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                let leaves = &leaves;
+                ctx.taskgroup(|| {
+                    for _ in 0..4 {
+                        ctx.task(move |c| {
+                            for _ in 0..4 {
+                                c.task(move |_| {
+                                    leaves.fetch_add(1, Ordering::SeqCst);
+                                });
+                            }
+                            // no taskwait: only the taskgroup guards these
+                        });
+                    }
+                });
+                if leaves.load(Ordering::SeqCst) == 16 {
+                    checked.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(checked.into_inner(), 1, "descendants done at taskgroup end on {}", rt.name());
+        assert_eq!(leaves.into_inner(), 16, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn taskloop_partitions_across_runtimes() {
+    for rt in all_runtimes(4) {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                let hits = &hits;
+                ctx.taskloop(0..500, 16, move |i| {
+                    hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "taskloop must cover exactly once on {}",
+            rt.name()
+        );
+    }
+}
+
+#[test]
+fn glto_counts_every_task_as_ult() {
+    let rt = GltoRuntime::new(Backend::Abt, OmpConfig::with_threads(3));
+    rt.counters().reset();
+    rt.parallel(|ctx| {
+        ctx.single(|| {
+            for _ in 0..40 {
+                ctx.task(move |_| {});
+            }
+        });
+    });
+    let s = rt.counters().snapshot();
+    // 2 region ULTs + 40 task ULTs (Fig. 3's right-hand side).
+    assert_eq!(s.ults_created, 42);
+    assert_eq!(s.tasks_queued, 40);
+}
+
+#[test]
+fn recursive_fib_and_nqueens_across_runtimes() {
+    for rt in all_runtimes(3) {
+        assert_eq!(
+            workloads::taskbench::fib_tasks(rt.as_ref(), 16, 8),
+            workloads::taskbench::fib_seq(16),
+            "fib on {}",
+            rt.name()
+        );
+        assert_eq!(
+            workloads::taskbench::nqueens_tasks(rt.as_ref(), 7, 2),
+            workloads::taskbench::nqueens_seq(7),
+            "nqueens on {}",
+            rt.name()
+        );
+    }
+}
+
+#[test]
+fn intel_cutoff_respects_configured_value() {
+    for cutoff in [4usize, 16, 4096] {
+        let rt = IntelRuntime::new(OmpConfig::with_threads(2).task_cutoff(cutoff));
+        let done = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..200 {
+                    let done = &done;
+                    ctx.task(move |_| {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(done.into_inner(), 200);
+        let s = rt.counters().snapshot();
+        assert_eq!(s.tasks_queued + s.tasks_direct, 200);
+        if cutoff == 4096 {
+            assert_eq!(s.tasks_direct, 0, "queue never fills at cut-off 4096");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Work-sharing construct semantics across runtimes: schedules, nowait,
+//! single/sections/master interplay, ordered, and barrier memory effects —
+//! the §VI-C machinery under adversarial shapes.
+
+use glto_repro::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+fn all_runtimes(threads: usize) -> Vec<std::sync::Arc<dyn OmpRuntime>> {
+    RuntimeKind::all().iter().map(|k| k.build(OmpConfig::with_threads(threads))).collect()
+}
+
+#[test]
+fn every_schedule_covers_exactly_once() {
+    let scheds = [
+        Schedule::Static { chunk: None },
+        Schedule::Static { chunk: Some(1) },
+        Schedule::Static { chunk: Some(13) },
+        Schedule::Dynamic { chunk: 1 },
+        Schedule::Dynamic { chunk: 17 },
+        Schedule::Guided { chunk: 1 },
+        Schedule::Guided { chunk: 5 },
+    ];
+    for rt in all_runtimes(4) {
+        for sched in scheds {
+            let hits: Vec<AtomicUsize> = (0..777).map(|_| AtomicUsize::new(0)).collect();
+            rt.parallel(|ctx| {
+                ctx.for_each(0..777, sched, |i| {
+                    hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "iter {i} sched {sched:?} runtime {}",
+                    rt.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_tiny_ranges() {
+    for rt in all_runtimes(4) {
+        let hits = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            ctx.for_each(0..0, Schedule::Dynamic { chunk: 4 }, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.for_each(0..1, Schedule::Guided { chunk: 2 }, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.for_each(5..8, Schedule::Static { chunk: None }, |i| {
+                assert!((5..8).contains(&i));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.into_inner(), 0 + 1 + 3, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn consecutive_loops_in_one_region() {
+    // Many work-sharing constructs in one region: the per-team dispatch
+    // table must key each instance separately.
+    for rt in all_runtimes(3) {
+        let sums: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        rt.parallel(|ctx| {
+            for (k, sum) in sums.iter().enumerate() {
+                let sched = if k % 2 == 0 {
+                    Schedule::Dynamic { chunk: 3 }
+                } else {
+                    Schedule::Guided { chunk: 2 }
+                };
+                ctx.for_each(0..100, sched, |i| {
+                    sum.fetch_add(i + k as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        for (k, sum) in sums.iter().enumerate() {
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                4950 + 100 * k as u64,
+                "loop {k} on {}",
+                rt.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn nowait_loops_overlap_but_cover() {
+    for rt in all_runtimes(4) {
+        let a: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let b: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel(|ctx| {
+            ctx.for_each_nowait(0..200, Schedule::Dynamic { chunk: 7 }, |i| {
+                a[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.for_each_nowait(0..200, Schedule::Dynamic { chunk: 7 }, |i| {
+                b[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.barrier();
+        });
+        assert!(a.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{}", rt.name());
+        assert!(b.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{}", rt.name());
+    }
+}
+
+#[test]
+fn single_winners_are_exactly_one_per_instance() {
+    for rt in all_runtimes(4) {
+        let winners: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel(|ctx| {
+            for w in &winners {
+                ctx.single(|| {
+                    w.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        for (k, w) in winners.iter().enumerate() {
+            assert_eq!(w.load(Ordering::Relaxed), 1, "single #{k} on {}", rt.name());
+        }
+    }
+}
+
+#[test]
+fn sections_distribute_all_section_bodies() {
+    for rt in all_runtimes(3) {
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel(|ctx| {
+            let mk = |k: usize| -> Box<dyn FnOnce() + '_> {
+                let hits = &hits;
+                Box::new(move || {
+                    hits[k].fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            ctx.sections((0..5).map(mk).collect());
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{}", rt.name());
+    }
+}
+
+#[test]
+fn ordered_is_sequential_even_under_contention() {
+    for rt in all_runtimes(4) {
+        let log = std::sync::Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            ctx.for_each_ordered(0..100, |i, ord| {
+                // Unordered pre-work may interleave...
+                std::hint::black_box(i * i);
+                // ...but the ordered parts must serialize by index.
+                ord.ordered(|| log.lock().unwrap().push(i));
+            });
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log, (0..100).collect::<Vec<_>>(), "{}", rt.name());
+    }
+}
+
+#[test]
+fn barrier_publishes_writes_between_phases() {
+    for rt in all_runtimes(4) {
+        let n = 4;
+        let stage: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let ok = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            let me = ctx.thread_num();
+            stage[me].store(me as u64 + 1, Ordering::Relaxed);
+            ctx.barrier();
+            let total: u64 = stage.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+            if total == (1..=n as u64).sum::<u64>() {
+                ok.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(ok.into_inner(), n, "runtime {}", rt.name());
+    }
+}
+
+#[test]
+fn copyprivate_broadcasts_to_the_whole_team() {
+    for rt in all_runtimes(4) {
+        let ok = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            let token = ctx.single_copy(|| ctx.thread_num() * 1000 + 7);
+            // Everyone receives the winner's value (whoever that was).
+            if token % 1000 == 7 {
+                ok.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(ok.into_inner(), 4, "runtime {}", rt.name());
+    }
+}
