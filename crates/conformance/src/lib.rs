@@ -1,0 +1,674 @@
+//! # conformance — cross-runtime conformance harness
+//!
+//! The paper's Table I argument ("GLTO complies with the evaluated OpenMP
+//! constructs") is only as strong as the harness behind it. This crate
+//! turns the repository's semantics suites into a *matrix*: every case and
+//! the full validation suite run against **all seven** runtimes the stack
+//! can execute a region on ([`RuntimeKind::matrix`]):
+//!
+//! | runtime      | what it checks                                          |
+//! |--------------|---------------------------------------------------------|
+//! | `serial`     | the semantics themselves, minus concurrency             |
+//! | `gnu`        | pthread runtime, GNU-libgomp-like                       |
+//! | `intel`      | pthread runtime, hot teams + task deques                |
+//! | `glto-abt`   | GLT backend: private pools, no stealing                 |
+//! | `glto-qth`   | GLT backend: shepherds + FEB                            |
+//! | `glto-mth`   | GLT backend: work-first deques + stealing               |
+//! | `glto-det`   | deterministic seeded stepper (`glt-det`), many seeds    |
+//!
+//! On top of pass/fail, every case run ends with a **counter-invariant
+//! check**: after [`quiesce`], the runtime's counter snapshot must
+//! satisfy the conservation laws of
+//! [`CounterSnapshot::invariant_violations`] — a second, structural
+//! verdict that catches bookkeeping bugs even when a case's own assertion
+//! happens to pass.
+//!
+//! ## Seeded schedule exploration
+//!
+//! For `glto-det`, a case is not one run but a **seed sweep**
+//! ([`sweep_det`]): each u64 seed fully determines the interleaving, so a
+//! failing seed printed by the sweep is a complete reproduction recipe —
+//! [`replay_det`] reruns it, [`det_fingerprint`] proves two replays take
+//! the identical schedule, and [`shrink_det`] binary-searches the smallest
+//! randomized-decision budget that still fails, pinning the failure to a
+//! minimal prefix of schedule decisions.
+//!
+//! The planted-bug case [`planted_lost_update`] (an intentionally racy
+//! read-yield-write task pair) exists to prove the explorer has teeth: the
+//! sweep must find seeds that expose the lost update, and the failure must
+//! replay and shrink. See `TESTING.md` at the repository root.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use glt::CounterSnapshot;
+use glt_det::EventKind;
+use glto::{Backend, GltoRuntime};
+use omp::{OmpConfig, OmpLock, OmpRuntime, OmpRuntimeExt, Schedule};
+use workloads::RuntimeKind;
+
+/// A conformance case: exercises one construct cluster on any runtime and
+/// returns `true` on conforming behavior. Cases must signal failure by
+/// returning `false` (not by panicking) so failing seeds replay cleanly.
+pub type Case = fn(&dyn OmpRuntime) -> bool;
+
+// --------------------------------------------------------------- quiesce
+
+fn work_signature(s: &CounterSnapshot) -> [u64; 7] {
+    [
+        s.ults_created,
+        s.tasklets_created,
+        s.units_executed,
+        s.tasks_created,
+        s.tasks_queued,
+        s.tasks_direct,
+        s.steals,
+    ]
+}
+
+/// Wait until the runtime's work counters stop moving (all in-flight units
+/// have retired). Idle-probe counters (`steal_fails`, `parks`) are
+/// deliberately excluded from the stability check: spinning idle workers
+/// keep bumping them forever on stealing backends.
+pub fn quiesce(rt: &dyn OmpRuntime) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut prev = work_signature(&rt.counters().snapshot());
+    loop {
+        std::thread::sleep(Duration::from_micros(200));
+        let cur = work_signature(&rt.counters().snapshot());
+        if cur == prev || Instant::now() > deadline {
+            return;
+        }
+        prev = cur;
+    }
+}
+
+/// Quiesce-then-check: the counter conservation laws that must hold on any
+/// runtime once all joins have returned. Returns violation messages
+/// (empty = OK).
+#[must_use]
+pub fn check_counter_invariants(rt: &dyn OmpRuntime) -> Vec<String> {
+    quiesce(rt);
+    rt.counters().snapshot().invariant_violations(true)
+}
+
+// ------------------------------------------------------------ case runner
+
+/// Run one case on one runtime kind, then verify counter invariants.
+///
+/// # Errors
+///
+/// A human-readable description of the first failure: the case returned
+/// `false`, panicked, or left the counters violating a conservation law.
+pub fn run_case(kind: RuntimeKind, threads: usize, name: &str, case: Case) -> Result<(), String> {
+    let rt = kind.build(OmpConfig::with_threads(threads));
+    match catch_unwind(AssertUnwindSafe(|| case(rt.as_ref()))) {
+        Err(_) => return Err(format!("case `{name}` panicked on {}", kind.name())),
+        Ok(false) => return Err(format!("case `{name}` failed on {}", kind.name())),
+        Ok(true) => {}
+    }
+    let viol = check_counter_invariants(rt.as_ref());
+    if viol.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("case `{name}` on {}: counter invariants violated: {viol:?}", kind.name()))
+    }
+}
+
+// --------------------------------------------------------- seeded sweeps
+
+/// Outcome of one deterministic run of a case.
+#[derive(Debug, Clone)]
+pub struct DetRun {
+    /// Seed the schedule was drawn from.
+    pub seed: u64,
+    /// Randomized-decision budget the run was capped at.
+    pub budget: u64,
+    /// The case returned `true`.
+    pub ok: bool,
+    /// The case panicked (counts as a failure).
+    pub panicked: bool,
+    /// The stall watchdog fired (schedule no longer trustworthy).
+    pub stalled: bool,
+    /// Counter conservation-law violations after quiesce.
+    pub violations: Vec<String>,
+    /// Randomized decisions actually drawn.
+    pub decisions: u64,
+}
+
+impl DetRun {
+    /// Conforming run: case passed, no stall, no invariant violation.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.ok && !self.panicked && !self.stalled && self.violations.is_empty()
+    }
+}
+
+/// Run `case` once under `glto-det` with the given seed and
+/// randomized-decision budget (`u64::MAX` = fully randomized).
+#[must_use]
+pub fn run_det_once(case: Case, threads: usize, seed: u64, budget: u64) -> DetRun {
+    let rt = GltoRuntime::new(
+        Backend::Det { seed, max_random_decisions: budget },
+        OmpConfig::with_threads(threads),
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| case(&*rt)));
+    let (ok, panicked) = match outcome {
+        Ok(b) => (b, false),
+        Err(_) => (false, true),
+    };
+    let violations = if panicked {
+        Vec::new() // mid-unwind counters are legitimately mid-flight
+    } else {
+        check_counter_invariants(&*rt)
+    };
+    let det = rt.det_scheduler().expect("Det backend exposes its scheduler");
+    DetRun {
+        seed,
+        budget,
+        ok,
+        panicked,
+        stalled: det.stalled(),
+        violations,
+        decisions: det.decisions(),
+    }
+}
+
+/// Result of a seed sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Case name (for messages).
+    pub case_name: String,
+    /// Team size swept under.
+    pub threads: usize,
+    /// Seeds run.
+    pub seeds_run: usize,
+    /// Seeds whose run failed (case false/panic/stall/invariant).
+    pub failing: Vec<u64>,
+}
+
+impl SweepReport {
+    /// Every seed passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.failing.is_empty()
+    }
+}
+
+/// Sweep `case` across `seeds` under `glto-det`. Every failing seed is
+/// printed with a replay recipe — the seed alone reproduces the schedule.
+pub fn sweep_det(
+    name: &str,
+    case: Case,
+    threads: usize,
+    seeds: impl IntoIterator<Item = u64>,
+) -> SweepReport {
+    let mut failing = Vec::new();
+    let mut seeds_run = 0;
+    for seed in seeds {
+        seeds_run += 1;
+        let run = run_det_once(case, threads, seed, u64::MAX);
+        if !run.passed() {
+            eprintln!(
+                "conformance: case `{name}` FAILED on glto-det \
+                 (seed={seed} threads={threads} ok={} panicked={} stalled={} violations={:?})\n\
+                 conformance: replay with RuntimeKind::GltoDet {{ seed: {seed} }} \
+                 or conformance::replay_det(case, {threads}, {seed})",
+                run.ok, run.panicked, run.stalled, run.violations
+            );
+            failing.push(seed);
+        }
+    }
+    SweepReport { case_name: name.to_string(), threads, seeds_run, failing }
+}
+
+/// Deterministic seed stream for sweeps: `count` seeds derived from
+/// `stream` via SplitMix64 (so different sweeps explore different seeds
+/// without any wall-clock randomness).
+#[must_use]
+pub fn seed_stream(stream: u64, count: usize) -> Vec<u64> {
+    let mut s = stream.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1);
+    (0..count).map(|_| glt_det::splitmix64(&mut s)).collect()
+}
+
+/// Number of seeds to sweep: `CONFORMANCE_SEEDS` env override, else
+/// `default_n`. CI pins 64; local runs default to ≥256 (see TESTING.md).
+#[must_use]
+pub fn seeds_from_env(default_n: usize) -> usize {
+    std::env::var("CONFORMANCE_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default_n)
+        .max(1)
+}
+
+/// Re-run a failing seed at full randomness. Returns the run outcome; the
+/// same seed must reproduce the same verdict (see [`det_fingerprint`] for
+/// the stronger schedule-identity check).
+#[must_use]
+pub fn replay_det(case: Case, threads: usize, seed: u64) -> DetRun {
+    run_det_once(case, threads, seed, u64::MAX)
+}
+
+/// Shrink a failing seed: binary-search the smallest randomized-decision
+/// budget that still fails. After the budget, every schedule decision falls
+/// back to the fixed first alternative, so the returned budget bounds the
+/// prefix of "interesting" decisions needed to trigger the failure.
+/// Returns `None` if the seed does not fail at full randomness.
+#[must_use]
+pub fn shrink_det(case: Case, threads: usize, seed: u64) -> Option<u64> {
+    let full = run_det_once(case, threads, seed, u64::MAX);
+    if full.passed() {
+        return None;
+    }
+    // Budget == decisions-drawn reproduces the full run exactly; use it as
+    // the known-failing upper bound.
+    let mut lo = 0u64;
+    let mut hi = full.decisions;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if run_det_once(case, threads, seed, mid).passed() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+// ----------------------------------------------------------- fingerprints
+
+/// Identity of one deterministic schedule: the scheduler event log plus the
+/// timing-free counter snapshot, both captured *before* runtime teardown
+/// (teardown runs in free-run mode and is legitimately nondeterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetFingerprint {
+    /// Scheduler events (grants, pushes, pops, steals) in order.
+    pub events: Vec<EventKind>,
+    /// Counters with wall-clock-derived fields zeroed.
+    pub counters: CounterSnapshot,
+}
+
+/// Run `case` under `glto-det` and capture its schedule fingerprint.
+/// Two calls with the same `(case, threads, seed)` must return equal
+/// fingerprints — that equality *is* the determinism guarantee.
+///
+/// # Panics
+///
+/// If the case fails or the stall watchdog fires: a fingerprint of an
+/// uncontrolled schedule would be meaningless.
+#[must_use]
+pub fn det_fingerprint(case: Case, threads: usize, seed: u64) -> DetFingerprint {
+    let rt = GltoRuntime::new(Backend::det(seed), OmpConfig::with_threads(threads));
+    let ok = case(&*rt);
+    let det = rt.det_scheduler().expect("Det backend exposes its scheduler");
+    assert!(ok, "det_fingerprint requires a passing case (seed {seed})");
+    assert!(!det.stalled(), "stall watchdog fired under seed {seed}; schedule not controlled");
+    let events = det.events().into_iter().map(|e| e.kind).collect();
+    let counters = rt.counters().snapshot().without_timing();
+    DetFingerprint { events, counters }
+}
+
+// -------------------------------------------------------- curated cases
+
+/// The curated conformance cases: small, assertion-dense programs covering
+/// the synchronization-heavy constructs (the ones whose semantics depend on
+/// the schedule). Each runs on every [`RuntimeKind::matrix`] runtime and is
+/// swept across seeds on `glto-det`.
+#[must_use]
+pub fn cases() -> Vec<(&'static str, Case)> {
+    vec![
+        ("reduce-sum", case_reduce_sum as Case),
+        ("dynamic-for", case_dynamic_for as Case),
+        ("tasks-taskwait", case_tasks_taskwait as Case),
+        ("critical-rmw", case_critical_rmw as Case),
+        ("lock-rmw", case_lock_rmw as Case),
+        ("ordered-sequence", case_ordered_sequence as Case),
+        ("single-copy", case_single_copy as Case),
+        ("nested-region", case_nested_region as Case),
+    ]
+}
+
+fn team_size(rt: &dyn OmpRuntime) -> u64 {
+    let n = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        if ctx.thread_num() == 0 {
+            n.store(ctx.num_threads() as u64, Ordering::SeqCst);
+        }
+    });
+    n.load(Ordering::SeqCst)
+}
+
+fn case_reduce_sum(rt: &dyn OmpRuntime) -> bool {
+    let out = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        let s = ctx.for_reduce(
+            0..100,
+            Schedule::Static { chunk: None },
+            0u64,
+            |i, acc| *acc += i,
+            |a, b| a + b,
+        );
+        if ctx.thread_num() == 0 {
+            out.store(s, Ordering::SeqCst);
+        }
+    });
+    out.load(Ordering::SeqCst) == 4950
+}
+
+fn case_dynamic_for(rt: &dyn OmpRuntime) -> bool {
+    let sum = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        ctx.for_each(0..64, Schedule::Dynamic { chunk: 3 }, |i| {
+            sum.fetch_add(i, Ordering::SeqCst);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    sum.load(Ordering::SeqCst) == (0..64).sum::<u64>() && hits.load(Ordering::SeqCst) == 64
+}
+
+fn case_tasks_taskwait(rt: &dyn OmpRuntime) -> bool {
+    let done = AtomicU64::new(0);
+    let after_wait = AtomicU64::new(u64::MAX);
+    rt.parallel(|ctx| {
+        let done = &done;
+        ctx.single(|| {
+            for _ in 0..8 {
+                ctx.task(move |_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.taskwait();
+            after_wait.store(done.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+    });
+    // taskwait must have seen all 8 children complete.
+    after_wait.load(Ordering::SeqCst) == 8 && done.load(Ordering::SeqCst) == 8
+}
+
+fn case_critical_rmw(rt: &dyn OmpRuntime) -> bool {
+    let n = team_size(rt);
+    let cell = AtomicU64::new(0);
+    let reps = 16u64;
+    rt.parallel(|ctx| {
+        for _ in 0..reps {
+            ctx.critical("conformance-rmw", || {
+                // Non-atomic read-modify-write: correct only under mutual
+                // exclusion, which is exactly what's under test.
+                let v = cell.load(Ordering::Relaxed);
+                cell.store(v + 1, Ordering::Relaxed);
+            });
+        }
+    });
+    cell.load(Ordering::SeqCst) == reps * n
+}
+
+fn case_lock_rmw(rt: &dyn OmpRuntime) -> bool {
+    let n = team_size(rt);
+    let lock = OmpLock::new();
+    let cell = AtomicU64::new(0);
+    let reps = 16u64;
+    rt.parallel(|_| {
+        for _ in 0..reps {
+            lock.set();
+            let v = cell.load(Ordering::Relaxed);
+            cell.store(v + 1, Ordering::Relaxed);
+            lock.unset();
+        }
+    });
+    cell.load(Ordering::SeqCst) == reps * n
+}
+
+fn case_ordered_sequence(rt: &dyn OmpRuntime) -> bool {
+    let order = parking_lot::Mutex::new(Vec::new());
+    rt.parallel(|ctx| {
+        ctx.for_each_ordered(0..24, |i, scope| {
+            scope.ordered(|| order.lock().push(i));
+        });
+    });
+    let got = order.into_inner();
+    got == (0..24).collect::<Vec<u64>>()
+}
+
+fn case_single_copy(rt: &dyn OmpRuntime) -> bool {
+    let n = team_size(rt);
+    let agree = AtomicU64::new(0);
+    let singles = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        let v = ctx.single_copy(|| {
+            singles.fetch_add(1, Ordering::SeqCst);
+            0x5EED_u64
+        });
+        if v == 0x5EED {
+            agree.fetch_add(1, Ordering::SeqCst);
+        }
+        ctx.barrier();
+    });
+    // Exactly one thread ran the single; every thread got its value.
+    singles.load(Ordering::SeqCst) == 1 && agree.load(Ordering::SeqCst) == n
+}
+
+fn case_nested_region(rt: &dyn OmpRuntime) -> bool {
+    let inner_hits = AtomicU64::new(0);
+    let outer_hits = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        outer_hits.fetch_add(1, Ordering::SeqCst);
+        ctx.parallel_n(Some(2), |_| {
+            inner_hits.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    let outer = outer_hits.load(Ordering::SeqCst);
+    // Nested regions serialize to teams of 1 unless nesting is enabled;
+    // either way every outer thread runs at least one inner "team".
+    outer >= 1 && inner_hits.load(Ordering::SeqCst) >= outer
+}
+
+// ---------------------------------------------------------- planted bug
+
+/// The planted ordering bug: two sibling tasks each do a **non-atomic
+/// read-modify-write** of a shared cell with a task scheduling point
+/// (`taskyield`) between the read and the write. Correct final value is 2;
+/// an interleaving that switches tasks inside the window loses an update
+/// and yields 1.
+///
+/// This case is intentionally wrong — it exists to prove the `glto-det`
+/// seed sweep *finds* schedule-dependent bugs, and that a failing seed
+/// replays and shrinks. It is **not** part of [`cases`].
+pub fn planted_lost_update(rt: &dyn OmpRuntime) -> bool {
+    let cell = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        let cell = &cell;
+        ctx.single(|| {
+            for _ in 0..2 {
+                ctx.task(move |c| {
+                    let read = cell.load(Ordering::SeqCst);
+                    c.taskyield(); // scheduling point inside the RMW window
+                    cell.store(read + 1, Ordering::SeqCst);
+                });
+            }
+        });
+    });
+    cell.load(Ordering::SeqCst) == 2
+}
+
+// ------------------------------------------------------ validation suite
+
+/// Expected validation-suite pass count for each matrix runtime, with the
+/// reason for every deliberate shortfall from 123. Pinned so a regression
+/// in *any* runtime turns the matrix red.
+#[must_use]
+pub fn expected_suite_passes(kind: RuntimeKind) -> usize {
+    match kind {
+        // Cross-mode detector entries need a real second thread to
+        // demonstrate detection; the serialized baseline can't.
+        RuntimeKind::Serial => SERIAL_SUITE_PASSES,
+        // Table I: GNU and Intel both fail the five final/untied/taskyield
+        // entries (no mid-task migration, `final` runs deferred).
+        RuntimeKind::Gnu | RuntimeKind::Intel => 118,
+        // Help-first GLTO cannot migrate started untied tasks (DESIGN.md).
+        RuntimeKind::GltoAbt | RuntimeKind::GltoQth | RuntimeKind::GltoMth => 119,
+        // Same help-first model; additionally, race *detector* entries that
+        // rely on OS timeslicing see token-serialized execution and cannot
+        // demonstrate detection under the stepper.
+        RuntimeKind::GltoDet { .. } => DET_SUITE_PASSES,
+    }
+}
+
+/// See [`expected_suite_passes`]. The serialized baseline runs every
+/// entry with a team of one: entries that verify team size, cross-thread
+/// interaction, or race *detection* cannot pass by construction.
+pub const SERIAL_SUITE_PASSES: usize = 75;
+/// See [`expected_suite_passes`]: the stealing-GLTO count (119) minus the
+/// two cross-mode race-detector entries (`critical (cross)`,
+/// `atomic (cross)`) that cannot demonstrate detection under token
+/// serialization. This is a *floor*: the suite's `omp flush` consumer
+/// raw-spins and is released by the stall watchdog, after which the run
+/// continues under OS scheduling, where those two detector entries may
+/// nondeterministically pass (see `validation_suite_matrix_is_green`).
+pub const DET_SUITE_PASSES: usize = 117;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keep the det stall watchdog short in this test binary: one suite
+    /// entry (`omp flush`'s consumer) legitimately raw-spins without a
+    /// scheduler entry, and the watchdog is the designed escape hatch.
+    /// Every test sets the same value, so concurrent setting is benign.
+    fn fast_stall() {
+        std::env::set_var("GLT_DET_STALL_MS", "750");
+    }
+
+    #[test]
+    fn curated_cases_pass_on_every_matrix_runtime() {
+        fast_stall();
+        for kind in RuntimeKind::matrix() {
+            for (name, case) in cases() {
+                run_case(kind, 4, name, case).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn det_sweep_curated_cases() {
+        fast_stall();
+        let per_case = seeds_from_env(256).div_ceil(cases().len());
+        for (i, (name, case)) in cases().into_iter().enumerate() {
+            let report = sweep_det(name, case, 3, seed_stream(i as u64, per_case));
+            assert!(
+                report.all_passed(),
+                "case `{}` failed seeds {:?} of {} swept",
+                report.case_name,
+                report.failing,
+                report.seeds_run
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint_at_omp_level() {
+        fast_stall();
+        for seed in [0u64, 1, 42] {
+            let a = det_fingerprint(case_tasks_taskwait, 3, seed);
+            let b = det_fingerprint(case_tasks_taskwait, 3, seed);
+            assert_eq!(a.events, b.events, "event order must replay (seed {seed})");
+            assert_eq!(a.counters, b.counters, "counters must replay (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_omp_schedules() {
+        fast_stall();
+        let logs: std::collections::HashSet<String> = (0..8u64)
+            .map(|s| format!("{:?}", det_fingerprint(case_tasks_taskwait, 3, s).events))
+            .collect();
+        assert!(logs.len() >= 2, "8 seeds produced {} distinct schedules", logs.len());
+    }
+
+    #[test]
+    fn planted_bug_caught_replayed_and_shrunk() {
+        fast_stall();
+        let report = sweep_det("planted-lost-update", planted_lost_update, 2, 0..64);
+        assert!(
+            !report.failing.is_empty(),
+            "the seed sweep must expose the planted lost update in 64 seeds"
+        );
+        let seed = report.failing[0];
+        // A printed seed is a complete reproduction recipe.
+        let r1 = replay_det(planted_lost_update, 2, seed);
+        let r2 = replay_det(planted_lost_update, 2, seed);
+        assert!(!r1.passed() && !r2.passed(), "failing seed {seed} must replay");
+        assert_eq!(r1.decisions, r2.decisions, "replays must take the same schedule");
+        // And it shrinks to a minimal randomized-decision budget.
+        let budget = shrink_det(planted_lost_update, 2, seed).expect("seed fails, so it shrinks");
+        assert!(budget <= r1.decisions);
+        assert!(!run_det_once(planted_lost_update, 2, seed, budget).passed());
+        if budget > 0 {
+            assert!(run_det_once(planted_lost_update, 2, seed, budget - 1).passed());
+        }
+    }
+
+    #[test]
+    fn validation_suite_matrix_is_green() {
+        fast_stall();
+        for kind in RuntimeKind::matrix() {
+            let rt = kind.build(OmpConfig::with_threads(4));
+            let r = validation::run_suite(rt.as_ref());
+            if matches!(kind, RuntimeKind::GltoDet { .. }) {
+                // After the designed flush-consumer stall the det run
+                // free-runs under OS scheduling, where the two cross-mode
+                // race-detector entries may (machine-dependently) manage
+                // to demonstrate their race: accept [floor, stealing-GLTO
+                // count].
+                let range = DET_SUITE_PASSES..=expected_suite_passes(RuntimeKind::GltoMth);
+                assert!(
+                    range.contains(&r.passed),
+                    "{}: passed {} outside {range:?}: {}",
+                    kind.name(),
+                    r.passed,
+                    r.row()
+                );
+            } else {
+                assert_eq!(r.passed, expected_suite_passes(kind), "{}: {}", kind.name(), r.row());
+            }
+        }
+    }
+
+    #[test]
+    fn counter_invariants_hold_after_mixed_workload_on_every_runtime() {
+        fast_stall();
+        for kind in RuntimeKind::matrix() {
+            let rt = kind.build(OmpConfig::with_threads(4));
+            let hits = AtomicU64::new(0);
+            let hits = &hits;
+            rt.parallel(|ctx| {
+                ctx.for_each(0..32, Schedule::Dynamic { chunk: 4 }, |_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                ctx.single(|| {
+                    for _ in 0..6 {
+                        ctx.task(move |_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+                ctx.taskwait();
+            });
+            let viol = check_counter_invariants(rt.as_ref());
+            assert!(viol.is_empty(), "{}: {viol:?}", kind.name());
+        }
+    }
+
+    #[test]
+    fn seed_stream_is_deterministic_and_distinct() {
+        assert_eq!(seed_stream(3, 16), seed_stream(3, 16));
+        assert_ne!(seed_stream(3, 16), seed_stream(4, 16));
+        let s = seed_stream(0, 64);
+        let uniq: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(uniq.len(), s.len());
+    }
+}

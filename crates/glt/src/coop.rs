@@ -1,0 +1,135 @@
+//! Cooperative-wait registration for schedule-controlled threads.
+//!
+//! The deterministic stepper backend (`glt-det`) serializes all GLT_threads
+//! through a single run token: exactly one registered thread executes at a
+//! time, and the token only changes hands at scheduler entry points
+//! (`push`/`pop_own`/`steal`). That model breaks if a token holder blocks
+//! in an *OS-level* wait (a mutex or condvar) for a condition only another
+//! — currently suspended — thread can establish: the holder never reaches a
+//! scheduler entry, so the token never moves and the runtime deadlocks.
+//!
+//! The fix is this registry: a controlled thread carries a [`CoopWait`]
+//! handle, and every OS-blocking wait in the OpenMP layers (`critical`
+//! locks, `omp_set_lock`, `ordered` tickets) asks [`current`] first. If a
+//! handle is installed, the wait loops on its condition with
+//! [`CoopWait::coop_yield`] between probes — handing the token to another
+//! thread — instead of blocking in the kernel. Threads without a handle
+//! (every non-deterministic runtime) keep their normal blocking paths.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A cooperative yield point installed for schedule-controlled threads.
+pub trait CoopWait: Send + Sync {
+    /// Give other controlled threads a chance to run. Called by a thread
+    /// that is about to re-probe a condition outside the scheduler (lock
+    /// acquisition, ordered ticket, …). Must return once the caller is
+    /// allowed to run again; must not execute queued work units (lock
+    /// acquisition is not an OpenMP task scheduling point).
+    fn coop_yield(&self);
+}
+
+thread_local! {
+    /// Installed handles, newest last. A stack because one OS thread can be
+    /// registered with nested/successive runtimes; the innermost (latest)
+    /// controller wins.
+    static HANDLES: RefCell<Vec<(u64, Arc<dyn CoopWait>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Install a handle for the calling thread under controller id `id`
+/// (typically the scheduler instance's id). Replaces a previous handle
+/// with the same id.
+pub fn install(id: u64, handle: Arc<dyn CoopWait>) {
+    HANDLES.with(|h| {
+        let mut v = h.borrow_mut();
+        v.retain(|(i, _)| *i != id);
+        v.push((id, handle));
+    });
+}
+
+/// Remove the calling thread's handle for controller `id` (no-op if absent).
+pub fn uninstall(id: u64) {
+    HANDLES.with(|h| h.borrow_mut().retain(|(i, _)| *i != id));
+}
+
+/// The innermost handle installed for the calling thread, if any.
+#[must_use]
+pub fn current() -> Option<Arc<dyn CoopWait>> {
+    HANDLES.with(|h| h.borrow().last().map(|(_, c)| Arc::clone(c)))
+}
+
+/// Spin on `try_acquire` with cooperative yields until it succeeds, or
+/// return `None` immediately if the calling thread has no handle installed
+/// (the caller should then use its normal OS-blocking path).
+pub fn coop_acquire<T>(mut try_acquire: impl FnMut() -> Option<T>) -> Option<T> {
+    let handle = current()?;
+    loop {
+        if let Some(v) = try_acquire() {
+            return Some(v);
+        }
+        handle.coop_yield();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountYield(AtomicU64);
+    impl CoopWait for CountYield {
+        fn coop_yield(&self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn no_handle_means_none() {
+        assert!(current().is_none());
+        assert!(coop_acquire(|| Some(1)).is_none());
+    }
+
+    #[test]
+    fn install_stack_and_acquire() {
+        let a = Arc::new(CountYield(AtomicU64::new(0)));
+        install(1, a.clone());
+        let b = Arc::new(CountYield(AtomicU64::new(0)));
+        install(2, b.clone());
+
+        // Innermost handle is used and yields until the probe succeeds.
+        let mut tries = 0;
+        let got = coop_acquire(|| {
+            tries += 1;
+            (tries == 4).then_some("ok")
+        });
+        assert_eq!(got, Some("ok"));
+        assert_eq!(b.0.load(Ordering::Relaxed), 3);
+        assert_eq!(a.0.load(Ordering::Relaxed), 0);
+
+        uninstall(2);
+        assert!(coop_acquire(|| Some(())).is_some());
+        assert_eq!(a.0.load(Ordering::Relaxed), 0, "probe succeeded first try");
+        uninstall(1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn reinstall_same_id_replaces() {
+        let a = Arc::new(CountYield(AtomicU64::new(0)));
+        install(7, a.clone());
+        let b = Arc::new(CountYield(AtomicU64::new(0)));
+        install(7, b.clone());
+        let mut once = false;
+        coop_acquire(|| {
+            if once {
+                Some(())
+            } else {
+                once = true;
+                None
+            }
+        });
+        assert_eq!(a.0.load(Ordering::Relaxed), 0);
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
+        uninstall(7);
+    }
+}

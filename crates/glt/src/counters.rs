@@ -34,6 +34,11 @@ pub struct Counters {
     pub parks: AtomicU64,
     /// Full/empty-bit operations performed (Qthreads-like backend).
     pub feb_ops: AtomicU64,
+    /// Explicit tasks created (`#pragma omp task` instances reaching the
+    /// runtime). Every created task is either deferred (`tasks_queued`) or
+    /// executed undeferred (`tasks_direct`) — the conservation law the
+    /// conformance invariant checker asserts.
+    pub tasks_created: AtomicU64,
     /// Tasks enqueued through the runtime's deferred path (Table III).
     pub tasks_queued: AtomicU64,
     /// Tasks executed directly/undeferred (cut-off or `final`/`if(0)` path).
@@ -80,6 +85,7 @@ impl Counters {
             remote_pushes: self.remote_pushes.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             feb_ops: self.feb_ops.load(Ordering::Relaxed),
+            tasks_created: self.tasks_created.load(Ordering::Relaxed),
             tasks_queued: self.tasks_queued.load(Ordering::Relaxed),
             tasks_direct: self.tasks_direct.load(Ordering::Relaxed),
             assign_ns: self.assign_ns.load(Ordering::Relaxed),
@@ -87,7 +93,7 @@ impl Counters {
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 14] {
+    fn all(&self) -> [&AtomicU64; 15] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
@@ -99,6 +105,7 @@ impl Counters {
             &self.remote_pushes,
             &self.parks,
             &self.feb_ops,
+            &self.tasks_created,
             &self.tasks_queued,
             &self.tasks_direct,
             &self.assign_ns,
@@ -121,6 +128,7 @@ pub struct CounterSnapshot {
     pub remote_pushes: u64,
     pub parks: u64,
     pub feb_ops: u64,
+    pub tasks_created: u64,
     pub tasks_queued: u64,
     pub tasks_direct: u64,
     pub assign_ns: u64,
@@ -149,6 +157,71 @@ impl CounterSnapshot {
         } else {
             self.assign_ns as f64 / self.forks as f64
         }
+    }
+
+    /// A copy of this snapshot with wall-clock-derived fields zeroed, so two
+    /// runs of the same deterministic schedule compare equal (`assign_ns`
+    /// measures elapsed time and legitimately differs between replays).
+    #[must_use]
+    pub fn without_timing(&self) -> CounterSnapshot {
+        CounterSnapshot { assign_ns: 0, ..*self }
+    }
+
+    /// Check the conservation laws that must hold for *any* runtime once it
+    /// has quiesced. `drained` means the caller verified no units remain
+    /// queued (all joins returned and `queued_len() == 0`); only then do
+    /// the `==` forms of the laws apply — mid-flight, creations may exceed
+    /// executions.
+    ///
+    /// Returns one human-readable message per violated law (empty = OK):
+    ///
+    /// * units: `units_executed ≤ ults_created + tasklets_created`, with
+    ///   equality once drained (every created unit runs exactly once);
+    /// * steals: `steals ≤ units_executed` (a steal only counts when the
+    ///   stolen unit is handed to a worker that then runs it);
+    /// * tasks: `tasks_created == tasks_queued + tasks_direct` (every
+    ///   `omp task` is either deferred or executed undeferred);
+    /// * forks: `forks > 0 ⇒ assign_ns > 0` (every region fork records its
+    ///   work-assignment time).
+    #[must_use]
+    pub fn invariant_violations(&self, drained: bool) -> Vec<String> {
+        let mut v = Vec::new();
+        let created = self.ults_created + self.tasklets_created;
+        if self.units_executed > created {
+            v.push(format!(
+                "units_executed ({}) > ults_created + tasklets_created ({created}): \
+                 some unit ran more than once or was double-counted",
+                self.units_executed
+            ));
+        } else if drained && self.units_executed != created {
+            v.push(format!(
+                "drained but units_executed ({}) != ults_created + tasklets_created \
+                 ({created}): {} unit(s) were created and never executed",
+                self.units_executed,
+                created - self.units_executed
+            ));
+        }
+        if self.steals > self.units_executed {
+            v.push(format!(
+                "steals ({}) > units_executed ({}): counted a steal whose unit never ran",
+                self.steals, self.units_executed
+            ));
+        }
+        if self.tasks_created != self.tasks_queued + self.tasks_direct {
+            v.push(format!(
+                "tasks_created ({}) != tasks_queued ({}) + tasks_direct ({}): \
+                 a task was neither deferred nor run undeferred (or double-counted)",
+                self.tasks_created, self.tasks_queued, self.tasks_direct
+            ));
+        }
+        if self.forks > 0 && self.assign_ns == 0 {
+            v.push(format!(
+                "forks ({}) > 0 but assign_ns == 0: region forks did not record \
+                 work-assignment time",
+                self.forks
+            ));
+        }
+        v
     }
 }
 
@@ -192,5 +265,86 @@ mod tests {
         s.tasks_queued = 80;
         s.tasks_direct = 20;
         assert!((s.queued_task_percent() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariants_hold_on_consistent_snapshot() {
+        let s = CounterSnapshot {
+            ults_created: 10,
+            tasklets_created: 2,
+            units_executed: 12,
+            steals: 3,
+            tasks_created: 5,
+            tasks_queued: 4,
+            tasks_direct: 1,
+            forks: 2,
+            assign_ns: 800,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(true).is_empty());
+        assert!(s.invariant_violations(false).is_empty());
+    }
+
+    #[test]
+    fn mid_flight_allows_pending_units_but_drained_does_not() {
+        let s = CounterSnapshot {
+            ults_created: 10,
+            units_executed: 7,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(false).is_empty());
+        let v = s.invariant_violations(true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("never executed"), "got: {}", v[0]);
+    }
+
+    #[test]
+    fn overexecution_is_always_a_violation() {
+        let s = CounterSnapshot {
+            ults_created: 1,
+            units_executed: 2,
+            ..CounterSnapshot::default()
+        };
+        assert!(!s.invariant_violations(false).is_empty());
+        assert!(!s.invariant_violations(true).is_empty());
+    }
+
+    #[test]
+    fn steal_and_task_conservation_violations_detected() {
+        let s = CounterSnapshot {
+            ults_created: 4,
+            units_executed: 2,
+            steals: 3,
+            tasks_created: 3,
+            tasks_queued: 1,
+            tasks_direct: 1,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 2, "expected steal + task violations, got: {v:?}");
+        assert!(v.iter().any(|m| m.contains("steals")));
+        assert!(v.iter().any(|m| m.contains("tasks_created")));
+    }
+
+    #[test]
+    fn fork_without_assign_time_detected() {
+        let s = CounterSnapshot { forks: 1, ..CounterSnapshot::default() };
+        let v = s.invariant_violations(true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("assign_ns"));
+    }
+
+    #[test]
+    fn without_timing_zeroes_only_wall_clock_fields() {
+        let s = CounterSnapshot {
+            ults_created: 3,
+            assign_ns: 12345,
+            forks: 2,
+            ..CounterSnapshot::default()
+        };
+        let t = s.without_timing();
+        assert_eq!(t.assign_ns, 0);
+        assert_eq!(t.ults_created, 3);
+        assert_eq!(t.forks, 2);
     }
 }

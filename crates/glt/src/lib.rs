@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod coop;
 pub mod counters;
 pub mod feb;
 pub mod park;
@@ -133,6 +134,13 @@ impl<S: Scheduler> Scheduler for Pooled<S> {
         match self {
             Pooled::Backend(s) => s.on_worker_start(rank),
             Pooled::Shared(s) => s.on_worker_start(rank),
+        }
+    }
+
+    fn on_shutdown(&self) {
+        match self {
+            Pooled::Backend(s) => s.on_shutdown(),
+            Pooled::Shared(s) => s.on_shutdown(),
         }
     }
 

@@ -109,8 +109,11 @@ impl IdleWait {
     }
 
     /// Wait a little. Active policy: relax/yield; passive: spin a bounded
-    /// number of times, then park on the slot.
-    pub fn idle(&mut self) {
+    /// number of times, then park on the slot. Returns `true` when this
+    /// call actually parked the OS thread, so callers can account parks
+    /// live (the `parks` statistic must be observable while the runtime is
+    /// still running, not only after worker exit).
+    pub fn idle(&mut self) -> bool {
         match self.policy {
             WaitPolicy::Active => {
                 // Bounded spin with periodic OS yield so that on an
@@ -121,6 +124,7 @@ impl IdleWait {
                 for _ in 0..16 {
                     b.snooze();
                 }
+                false
             }
             WaitPolicy::Passive => {
                 if self.spins < self.spin_before_park {
@@ -129,10 +133,12 @@ impl IdleWait {
                     for _ in 0..4 {
                         b.snooze();
                     }
+                    false
                 } else {
                     self.parks += 1;
                     self.slot.park(self.park_timeout);
                     self.spins = 0;
+                    true
                 }
             }
         }

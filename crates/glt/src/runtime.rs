@@ -286,14 +286,17 @@ fn worker_loop<S: Scheduler>(shared: &Shared<S>, rank: usize) {
                 shared.run_unit(rank, &u);
                 idle.reset();
             }
-            None => idle.idle(),
+            None => {
+                if idle.idle() {
+                    Counters::bump(&shared.counters.parks, 1);
+                }
+            }
         }
     }
     // Drain anything still visible to this worker so no unit is lost.
     while let Some(u) = shared.take_work(rank) {
         shared.run_unit(rank, &u);
     }
-    Counters::bump(&shared.counters.parks, idle.parks());
     unregister_rank(shared.id);
 }
 
@@ -354,7 +357,11 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
                             self.shared.run_unit(rank, &u);
                             idle.reset();
                         }
-                        None => idle.idle(),
+                        None => {
+                            if idle.idle() {
+                                Counters::bump(&self.shared.counters.parks, 1);
+                            }
+                        }
                     }
                 }
             }
@@ -433,10 +440,13 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
         // Stolen rejects go toward a neighbour, not into this worker's own
         // pool: keeping them out of "my pool" preserves the meaning of the
         // `from_own_pool` allowance (units *I* forked), and some top-level
-        // loop will still run them.
+        // loop will still run them. The unit is also tainted as migrated —
+        // it may land in its creator's pool after going around the ring,
+        // and the creator must not mistake it for a unit it just forked.
         let n = self.shared.slots.len().max(1);
         for u in rejected_stolen {
             let target = (rank + 1) % n;
+            u.0.mark_migrated();
             self.shared.sched.push(Some(rank), Placement::To(target), u);
             self.shared.wake_for(Placement::To(target));
         }
@@ -468,6 +478,11 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
 
 impl<S: Scheduler> Drop for Runtime<S> {
     fn drop(&mut self) {
+        // Let cooperative schedulers release any worker they are holding at
+        // a scheduling decision before we ask those workers to observe the
+        // stop flag (otherwise a stepper-serialized worker could never
+        // reach its next stop-flag check).
+        self.shared.sched.on_shutdown();
         // Drain work still queued (structured callers joined everything, so
         // this is normally empty) on the dropping thread, then stop workers.
         if let Some(rank) = self.self_rank() {

@@ -50,6 +50,13 @@ pub trait Scheduler: Send + Sync + 'static {
     /// Hook invoked once per worker before its main loop (optional).
     fn on_worker_start(&self, _rank: usize) {}
 
+    /// Hook invoked once, on the thread dropping the runtime, before the
+    /// stop flag is raised and workers are joined (optional). Cooperative
+    /// schedulers (e.g. the deterministic stepper backend) use this to
+    /// release any worker they are holding at a scheduling decision, so
+    /// shutdown can never deadlock on the scheduler's own serialization.
+    fn on_shutdown(&self) {}
+
     /// Reconfigure hints from the runtime config (shared queues etc.) are
     /// passed at construction time by each backend's constructor; this
     /// accessor reports whether the backend is running in the paper's

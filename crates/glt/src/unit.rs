@@ -10,7 +10,7 @@
 //!   paper describes for Qthreads/MassiveThreads (§III-B).
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -70,6 +70,12 @@ pub struct UnitState {
     created_by: usize,
     /// Worker rank that executed the unit ([`NO_RANK`] until started).
     executed_by: AtomicUsize,
+    /// Set once the scheduler has moved this pending unit into a pool it
+    /// was not originally pushed to (stolen, rejected by a helper's
+    /// region filter, and forwarded). A migrated unit showing up in some
+    /// worker's own pool is *not* evidence that worker forked it there —
+    /// GLTO's sole-runner nesting allowance must ignore such units.
+    migrated: AtomicBool,
     /// Panic payload captured from the work closure, surfaced at join.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
@@ -111,6 +117,7 @@ impl UnitState {
             status: AtomicU8::new(ST_PENDING),
             created_by,
             executed_by: AtomicUsize::new(NO_RANK),
+            migrated: AtomicBool::new(false),
             panic: Mutex::new(None),
         })
     }
@@ -143,6 +150,19 @@ impl UnitState {
     #[must_use]
     pub fn executed_by(&self) -> usize {
         self.executed_by.load(Ordering::Acquire)
+    }
+
+    /// Whether the pending unit has ever been forwarded into a pool it was
+    /// not originally pushed to (see the `migrated` field).
+    #[must_use]
+    pub fn migrated(&self) -> bool {
+        self.migrated.load(Ordering::Acquire)
+    }
+
+    /// Record that the scheduler is about to forward this pending unit into
+    /// a pool it was not originally pushed to.
+    pub fn mark_migrated(&self) {
+        self.migrated.store(true, Ordering::Release);
     }
 
     /// Whether the unit has finished executing.

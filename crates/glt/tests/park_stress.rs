@@ -1,0 +1,113 @@
+//! Park/unpark race stress: lost-wakeup detection around `glt::park`.
+//!
+//! A lost wakeup is the classic check-then-sleep race: the waker stores its
+//! signal between the sleeper's check and its park, and the sleeper blocks
+//! with work pending. `WaitSlot` is designed to make that impossible (wake
+//! permits are remembered, and `park` re-checks under the lock), and the
+//! park timeout exists only as a last-resort backstop. These tests hammer
+//! the handoff path and use that timeout as a *watchdog*: any park that
+//! runs to the full timeout while its signal was already delivered is a
+//! detected lost wakeup, not a slow machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use glt::park::WaitSlot;
+use glt::{start_shared, GltConfig, GltRuntime, WaitPolicy};
+
+/// Long enough that no legitimate wait on any machine approaches it: a
+/// full-timeout park with the awaited value already published can only be
+/// a lost wakeup.
+const WATCHDOG: Duration = Duration::from_secs(3);
+
+/// Two threads ping-pong a counter through a pair of `WaitSlot`s. Every
+/// round is a fresh check-then-park window on each side, so `ROUNDS` rounds
+/// probe the race `2 * ROUNDS` times under real OS scheduling.
+#[test]
+fn ping_pong_hammer_detects_no_lost_wakeup() {
+    const ROUNDS: usize = 2_000;
+    let ping = Arc::new(WaitSlot::new());
+    let pong = Arc::new(WaitSlot::new());
+    let turn = Arc::new(AtomicUsize::new(0));
+    let lost = Arc::new(AtomicUsize::new(0));
+
+    // Wait until `turn` reaches `want`, parking on `slot` with the
+    // watchdog timeout; a timed-out park with `want` already published
+    // counts as a lost wakeup.
+    fn await_turn(slot: &WaitSlot, turn: &AtomicUsize, want: usize, lost: &AtomicUsize) {
+        while turn.load(Ordering::Acquire) < want {
+            let t0 = Instant::now();
+            slot.park(WATCHDOG);
+            if t0.elapsed() >= WATCHDOG && turn.load(Ordering::Acquire) >= want {
+                lost.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let peer = {
+        let (ping, pong, turn, lost) = (ping.clone(), pong.clone(), turn.clone(), lost.clone());
+        std::thread::spawn(move || {
+            for i in 0..ROUNDS {
+                await_turn(&ping, &turn, 2 * i + 1, &lost);
+                turn.store(2 * i + 2, Ordering::Release);
+                pong.wake();
+            }
+        })
+    };
+
+    for i in 0..ROUNDS {
+        turn.store(2 * i + 1, Ordering::Release);
+        ping.wake();
+        await_turn(&pong, &turn, 2 * i + 2, &lost);
+    }
+    peer.join().unwrap();
+    assert_eq!(lost.load(Ordering::Relaxed), 0, "lost wakeups detected");
+}
+
+/// Full-runtime variant: a passive-policy runtime whose workers park for
+/// real between waves of work, with the park timeout raised to the watchdog
+/// value so the backstop cannot mask a lost wakeup. Each wave of spawns
+/// must complete in a fraction of the watchdog; a wave that takes longer
+/// means a worker sat parked with queued work — the push-side `wake` was
+/// lost.
+#[test]
+fn passive_runtime_waves_never_ride_the_park_timeout() {
+    let mut cfg = GltConfig::with_threads(3).wait_policy(WaitPolicy::Passive);
+    cfg.spin_before_park = 0; // park immediately: maximize real parks
+    cfg.park_timeout = WATCHDOG; // backstop becomes the watchdog
+    let rt = start_shared(cfg);
+
+    for wave in 0..50 {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let hits = hits.clone();
+                let work: glt::WorkFn = Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                if i % 2 == 0 {
+                    rt.ult_create(work)
+                } else {
+                    rt.ult_create_to(i, work)
+                }
+            })
+            .collect();
+        for h in &handles {
+            rt.join(h);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        let dt = t0.elapsed();
+        assert!(
+            dt < WATCHDOG,
+            "wave {wave} took {dt:?} (≥ watchdog {WATCHDOG:?}): a parked worker \
+             missed its wake and was only rescued by the timeout backstop"
+        );
+        // Let workers drain their spin budget and park again before the
+        // next wave, so every wave re-probes the parked→woken path.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let parks = rt.counters().snapshot().parks;
+    assert!(parks > 0, "stress never parked — passive policy not exercised");
+}

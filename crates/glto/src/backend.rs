@@ -18,32 +18,56 @@ pub enum Backend {
     Qth,
     /// MassiveThreads-like: work-first deques + random stealing.
     Mth,
+    /// Deterministic seeded stepper (testing backend, not in the paper's
+    /// plots): the seed fully determines the schedule. See the `glt-det`
+    /// crate.
+    Det {
+        /// Seed of the scheduling-decision stream.
+        seed: u64,
+        /// Randomized-decision budget before the deterministic fallback
+        /// (`u64::MAX` = fully randomized; used by failing-seed shrinking).
+        max_random_decisions: u64,
+    },
 }
 
 impl Backend {
-    /// All backends, in the paper's plotting order.
+    /// The paper's three measured backends, in its plotting order. The
+    /// deterministic testing backend is deliberately *not* listed here —
+    /// `all()` drives benchmark sweeps and figures; use
+    /// [`Backend::det`] explicitly for schedule exploration.
     #[must_use]
     pub fn all() -> [Backend; 3] {
         [Backend::Abt, Backend::Qth, Backend::Mth]
     }
 
-    /// Paper series label: `GLTO(ABT)` / `GLTO(QTH)` / `GLTO(MTH)`.
+    /// The deterministic testing backend with a fully-randomized decision
+    /// budget.
+    #[must_use]
+    pub fn det(seed: u64) -> Backend {
+        Backend::Det { seed, max_random_decisions: u64::MAX }
+    }
+
+    /// Paper series label: `GLTO(ABT)` / `GLTO(QTH)` / `GLTO(MTH)`
+    /// (plus `GLTO(DET)` for the testing backend).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Backend::Abt => "GLTO(ABT)",
             Backend::Qth => "GLTO(QTH)",
             Backend::Mth => "GLTO(MTH)",
+            Backend::Det { .. } => "GLTO(DET)",
         }
     }
 
-    /// Short runtime name: `glto-abt` / `glto-qth` / `glto-mth`.
+    /// Short runtime name: `glto-abt` / `glto-qth` / `glto-mth` /
+    /// `glto-det`.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Backend::Abt => "glto-abt",
             Backend::Qth => "glto-qth",
             Backend::Mth => "glto-mth",
+            Backend::Det { .. } => "glto-det",
         }
     }
 }
@@ -56,6 +80,8 @@ pub enum AnyGlt {
     Qth(glt_qth::QthRuntime),
     /// MassiveThreads-like runtime.
     Mth(glt_mth::MthRuntime),
+    /// Deterministic seeded-stepper runtime (testing).
+    Det(glt_det::DetRuntime),
 }
 
 impl AnyGlt {
@@ -66,6 +92,10 @@ impl AnyGlt {
             Backend::Abt => AnyGlt::Abt(glt_abt::start(cfg)),
             Backend::Qth => AnyGlt::Qth(glt_qth::start(cfg)),
             Backend::Mth => AnyGlt::Mth(glt_mth::start(cfg)),
+            Backend::Det { seed, max_random_decisions } => AnyGlt::Det(glt_det::start(
+                cfg,
+                glt_det::DetConfig { seed, max_random_decisions, ..glt_det::DetConfig::default() },
+            )),
         }
     }
 
@@ -82,6 +112,17 @@ impl AnyGlt {
             AnyGlt::Abt(rt) => rt.queued_len(),
             AnyGlt::Qth(rt) => rt.queued_len(),
             AnyGlt::Mth(rt) => rt.queued_len(),
+            AnyGlt::Det(rt) => rt.queued_len(),
+        }
+    }
+
+    /// The deterministic scheduler, when running on the `Det` backend
+    /// (seed/event-log/stall accessors for test harnesses).
+    #[must_use]
+    pub fn det_scheduler(&self) -> Option<&glt_det::DetScheduler> {
+        match self {
+            AnyGlt::Det(rt) => Some(rt.scheduler()),
+            _ => None,
         }
     }
 }
@@ -92,6 +133,7 @@ macro_rules! dispatch {
             AnyGlt::Abt($rt) => $e,
             AnyGlt::Qth($rt) => $e,
             AnyGlt::Mth($rt) => $e,
+            AnyGlt::Det($rt) => $e,
         }
     };
 }
@@ -207,6 +249,23 @@ mod tests {
             rt.join(&h);
             assert!(h.is_done(), "backend {b:?}");
         }
+    }
+
+    #[test]
+    fn det_backend_starts_and_exposes_scheduler() {
+        let b = Backend::det(17);
+        assert_eq!(b.label(), "GLTO(DET)");
+        assert_eq!(b.name(), "glto-det");
+        let rt = AnyGlt::start(b, GltConfig::with_threads(2));
+        let h = rt.ult_create(Box::new(|| {}));
+        rt.join(&h);
+        assert!(h.is_done());
+        let det = rt.det_scheduler().expect("Det variant must expose its scheduler");
+        assert_eq!(det.seed(), 17);
+        assert!(!det.stalled());
+        // The non-det backends expose nothing.
+        let abt = AnyGlt::start(Backend::Abt, GltConfig::with_threads(1));
+        assert!(abt.det_scheduler().is_none());
     }
 
     #[test]

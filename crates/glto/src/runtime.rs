@@ -66,6 +66,13 @@ impl GltoRuntime {
         self.cfg.wait_policy
     }
 
+    /// The deterministic scheduler when running on [`Backend::Det`]
+    /// (seed/event-log/stall accessors for test harnesses), else `None`.
+    #[must_use]
+    pub fn det_scheduler(&self) -> Option<&glt_det::DetScheduler> {
+        self.glt.det_scheduler()
+    }
+
     /// §IV-G: under the MassiveThreads-like backend the primary GLT_thread
     /// (the OpenMP master) must not yield/help — MassiveThreads would let
     /// its work be stolen, displacing the master from GLT_thread 0. GLTO

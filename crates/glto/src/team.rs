@@ -80,11 +80,21 @@ impl Drop for ActiveTeamGuard {
 /// * A member of the *current innermost* team is safe at quiescent points
 ///   (`end_region`, the fork join): if that member had any barrier ahead
 ///   of it, the caller could not have reached quiescence — so its body is
-///   barrier-free from here. At a *barrier* wait it is only started when
-///   this thread forked it itself and holds it in its own pool (the
-///   sole-runner case: a creator whose nested members nobody else is
-///   guaranteed to run); bodies with two or more barriers nested on one
-///   worker remain a documented limitation of the help-first model.
+///   barrier-free from here. At a *barrier* wait it is started only in the
+///   sole-runner case — this thread forked it itself, still holds it in
+///   its own pool, and the unit has never **migrated**. Denying that case
+///   guarantees deadlock whenever no other rank is idle at its top-level
+///   loop (every rank blocked in a filtered helping wait), which happens
+///   even on stealing backends; allowing it is safe as long as the member
+///   body has at most one barrier wait beyond this point — bodies with
+///   more remain a documented limitation of the help-first model. The
+///   migration taint is load-bearing: stolen-and-rejected member units are
+///   forwarded around the pool ring, so a member created by this thread
+///   can land back in its own pool *mid-region*, after barriers this
+///   thread already passed — nested-starting such a unit at a barrier
+///   deadlocks on this stack at the member's next barrier (the nested
+///   frame waits for the buried one to arrive). Found by the deterministic
+///   schedule sweep (`glto-det`, single-copy case, seed 1).
 /// * A member of an ancestor team is never safe: its barriers need frames
 ///   buried beneath this one.
 fn region_nesting_allowed(
@@ -113,7 +123,10 @@ fn region_nesting_allowed(
                 // barrier) or as this thread's own fork (sole-runner).
                 return innermost_own == Some(tag)
                     && (at_quiescent_point
-                        || (from_own_pool && !shared_queues && u.created_by() == my_rank));
+                        || (from_own_pool
+                            && !shared_queues
+                            && !u.migrated()
+                            && u.created_by() == my_rank));
             }
         }
         true // unrelated lineage (sibling / deeper elsewhere)
@@ -251,9 +264,7 @@ impl<'rt> GltoTeam<'rt> {
         let glt = self.rt.glt();
         let Some(me) = glt.self_rank() else { return false };
         let shared = glt.config().shared_queues;
-        glt.help_once_filtered(&move |u, own| {
-            region_nesting_allowed(u, own, false, me, shared)
-        })
+        glt.help_once_filtered(&move |u, own| region_nesting_allowed(u, own, false, me, shared))
     }
 
     /// Help once from a quiescent point (`end_region` / fork join).
@@ -261,9 +272,7 @@ impl<'rt> GltoTeam<'rt> {
         let glt = self.rt.glt();
         let Some(me) = glt.self_rank() else { return false };
         let shared = glt.config().shared_queues;
-        glt.help_once_filtered(&move |u, own| {
-            region_nesting_allowed(u, own, true, me, shared)
-        })
+        glt.help_once_filtered(&move |u, own| region_nesting_allowed(u, own, true, me, shared))
     }
 }
 
@@ -451,13 +460,18 @@ mod tests {
         let mine = unit(2, 7); // created by rank 7
         // At a barrier-like wait, from a steal: never.
         assert!(!region_nesting_allowed(&mine, false, false, 7, false));
-        // At a barrier-like wait, own pool, own fork: sole-runner case.
+        // At a barrier-like wait, own pool, own fork: the sole-runner case.
         assert!(region_nesting_allowed(&mine, true, false, 7, false));
         // ... but not if someone else forked it.
         assert!(!region_nesting_allowed(&mine, true, false, 3, false));
         // ... and not in shared-queue mode (no pool ownership).
         assert!(!region_nesting_allowed(&mine, true, false, 7, true));
-        // At a quiescent point: always.
+        // ... and never once the unit has migrated between pools: it can
+        // wander back into its creator's pool mid-region, and nesting it
+        // there deadlocks two-barrier bodies (glto-det single-copy, seed 1).
+        mine.mark_migrated();
+        assert!(!region_nesting_allowed(&mine, true, false, 7, false));
+        // At a quiescent point: always, even migrated.
         assert!(region_nesting_allowed(&mine, false, true, 3, true));
     }
 

@@ -37,9 +37,18 @@ impl CriticalRegistry {
     }
 
     /// Run `f` inside the named critical section.
+    ///
+    /// Schedule-controlled threads (deterministic stepper backend) must not
+    /// block in the kernel while contending — the current holder may be
+    /// suspended at a scheduling decision and only runs again if this
+    /// thread yields its turn — so they spin on `try_lock` with cooperative
+    /// yields; everyone else takes the normal blocking path.
     pub fn enter(&self, name: &str, f: &mut dyn FnMut()) {
         let l = self.lock_for(name);
-        let _g = l.lock();
+        let _g = match glt::coop::coop_acquire(|| l.try_lock()) {
+            Some(g) => g,
+            None => l.lock(),
+        };
         f();
     }
 }

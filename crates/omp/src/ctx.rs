@@ -374,6 +374,10 @@ impl<'t, 'env> ParCtx<'t, 'env> {
         F: for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env,
     {
         let rt = self.team.runtime();
+        // Conservation law checked by `CounterSnapshot::invariant_violations`:
+        // every created task is counted exactly once here, and exactly once
+        // below as either direct (undeferred) or queued (deferred).
+        Counters::bump(&rt.counters().tasks_created, 1);
         let honors_final = rt.honors_final();
         let make_final = flags.final_clause && honors_final;
         let undeferred = !flags.if_clause || self.in_final || make_final;

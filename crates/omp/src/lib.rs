@@ -53,4 +53,5 @@ pub use runtime::{
     wtime, OmpRuntime, OmpRuntimeExt, RegionFn, TaskBody, TaskGroup, TaskMeta, TeamOps,
 };
 pub use schedule::Schedule;
+pub use serial::SerialRuntime;
 pub use workshare::{LoopState, ReduceState, SingleState, WorkshareTable};

@@ -21,7 +21,23 @@ impl OmpLock {
     }
 
     /// `omp_set_lock`: block until acquired.
+    ///
+    /// Schedule-controlled threads (see [`glt::coop`]) probe with
+    /// cooperative yields instead of a condvar wait, so a suspended holder
+    /// can be scheduled to release the lock.
     pub fn set(&self) {
+        let coop = glt::coop::coop_acquire(|| {
+            let mut g = self.held.lock();
+            if *g {
+                None
+            } else {
+                *g = true;
+                Some(())
+            }
+        });
+        if coop.is_some() {
+            return;
+        }
         let mut g = self.held.lock();
         while *g {
             self.cv.wait(&mut g);
@@ -85,6 +101,21 @@ impl OmpNestLock {
     /// `omp_set_nest_lock`: acquire or re-enter; returns nesting depth.
     pub fn set(&self) -> usize {
         let me = std::thread::current().id();
+        // Schedule-controlled threads probe cooperatively (see glt::coop).
+        if let Some(depth) = glt::coop::coop_acquire(|| {
+            let mut g = self.state.lock();
+            match g.owner {
+                None => {
+                    g.owner = Some(me);
+                    self.count.store(1, Ordering::Relaxed);
+                    Some(1)
+                }
+                Some(o) if o == me => Some(self.count.fetch_add(1, Ordering::Relaxed) + 1),
+                Some(_) => None,
+            }
+        }) {
+            return depth;
+        }
         let mut g = self.state.lock();
         loop {
             match g.owner {

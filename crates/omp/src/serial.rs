@@ -55,7 +55,9 @@ impl TeamOps for SerialTeam<'_> {
 
     fn spawn_task(&self, _meta: TaskMeta, body: TaskBody) {
         // One thread, nothing to overlap with: run the task immediately
-        // (its wrapper signals the parent group).
+        // (its wrapper signals the parent group). Counts as undeferred
+        // execution for the task-conservation invariant.
+        glt::Counters::bump(&self.rt.counters().tasks_direct, 1);
         self.running_tasks.fetch_add(1, Ordering::Relaxed);
         body(0);
         self.running_tasks.fetch_sub(1, Ordering::Relaxed);

@@ -77,10 +77,24 @@ impl LoopState {
     /// Callers must execute `ordered_step` exactly once per iteration of an
     /// `ordered` loop (as OpenMP requires).
     pub fn ordered_step<R>(&self, iter: u64, f: impl FnOnce() -> R) -> R {
-        let mut g = self.ordered_next.lock();
-        while *g != iter {
-            self.ordered_cv.wait(&mut g);
-        }
+        // Schedule-controlled threads (deterministic stepper backend) must
+        // not block in the kernel waiting for their ticket: the member
+        // owning the predecessor iteration may be suspended at a scheduling
+        // decision and only runs if this thread yields its turn. They probe
+        // with cooperative yields; everyone else waits on the condvar.
+        let mut g = match glt::coop::coop_acquire(|| {
+            let g = self.ordered_next.lock();
+            (*g == iter).then_some(g)
+        }) {
+            Some(g) => g,
+            None => {
+                let mut g = self.ordered_next.lock();
+                while *g != iter {
+                    self.ordered_cv.wait(&mut g);
+                }
+                g
+            }
+        };
         let out = f();
         *g = iter + 1;
         self.ordered_cv.notify_all();

@@ -10,9 +10,13 @@ use glto::{Backend, GltoRuntime};
 use omp::{OmpConfig, OmpRuntime};
 use pomp::{GnuRuntime, IntelRuntime};
 
-/// The five OpenMP implementations compared in the paper.
+/// The five OpenMP implementations compared in the paper, plus two
+/// testing-only kinds (a serialized baseline and the deterministic
+/// seeded-schedule GLTO backend) used by the conformance harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeKind {
+    /// Serialized team-of-one baseline (testing only, not a paper series).
+    Serial,
     /// GNU libgomp-like ("GCC").
     Gnu,
     /// Intel-like ("ICC").
@@ -23,10 +27,19 @@ pub enum RuntimeKind {
     GltoQth,
     /// GLTO over MassiveThreads-like ("GLTO(MTH)").
     GltoMth,
+    /// GLTO over the deterministic seeded stepper (testing only): the seed
+    /// fully determines the schedule. See the `glt-det` crate.
+    GltoDet {
+        /// Seed of the scheduling-decision stream.
+        seed: u64,
+    },
 }
 
 impl RuntimeKind {
-    /// All five, in the paper's plotting order.
+    /// The paper's five measured runtimes, in its plotting order. The
+    /// testing-only kinds (`Serial`, `GltoDet`) are deliberately excluded:
+    /// `all()` drives the benchmark sweeps and figures. Use
+    /// [`RuntimeKind::matrix`] for the conformance test matrix.
     #[must_use]
     pub fn all() -> [RuntimeKind; 5] {
         [
@@ -35,6 +48,23 @@ impl RuntimeKind {
             RuntimeKind::GltoAbt,
             RuntimeKind::GltoQth,
             RuntimeKind::GltoMth,
+        ]
+    }
+
+    /// The full conformance matrix: every runtime the stack can execute a
+    /// region on — the serialized baseline, both pthread runtimes, the
+    /// three paper GLTO backends, and the deterministic backend (seed 0;
+    /// harnesses substitute their own seeds).
+    #[must_use]
+    pub fn matrix() -> [RuntimeKind; 7] {
+        [
+            RuntimeKind::Serial,
+            RuntimeKind::Gnu,
+            RuntimeKind::Intel,
+            RuntimeKind::GltoAbt,
+            RuntimeKind::GltoQth,
+            RuntimeKind::GltoMth,
+            RuntimeKind::GltoDet { seed: 0 },
         ]
     }
 
@@ -48,11 +78,13 @@ impl RuntimeKind {
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
+            RuntimeKind::Serial => "Serial",
             RuntimeKind::Gnu => "GCC",
             RuntimeKind::Intel => "ICC",
             RuntimeKind::GltoAbt => "GLTO(ABT)",
             RuntimeKind::GltoQth => "GLTO(QTH)",
             RuntimeKind::GltoMth => "GLTO(MTH)",
+            RuntimeKind::GltoDet { .. } => "GLTO(DET)",
         }
     }
 
@@ -60,11 +92,13 @@ impl RuntimeKind {
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
+            RuntimeKind::Serial => "serial",
             RuntimeKind::Gnu => "gnu",
             RuntimeKind::Intel => "intel",
             RuntimeKind::GltoAbt => "glto-abt",
             RuntimeKind::GltoQth => "glto-qth",
             RuntimeKind::GltoMth => "glto-mth",
+            RuntimeKind::GltoDet { .. } => "glto-det",
         }
     }
 
@@ -72,11 +106,13 @@ impl RuntimeKind {
     #[must_use]
     pub fn parse(s: &str) -> Option<RuntimeKind> {
         match s.trim().to_ascii_lowercase().as_str() {
+            "serial" => Some(RuntimeKind::Serial),
             "gnu" | "gcc" | "gomp" => Some(RuntimeKind::Gnu),
             "intel" | "icc" | "iomp" => Some(RuntimeKind::Intel),
             "glto-abt" | "abt" | "argobots" => Some(RuntimeKind::GltoAbt),
             "glto-qth" | "qth" | "qthreads" => Some(RuntimeKind::GltoQth),
             "glto-mth" | "mth" | "massivethreads" => Some(RuntimeKind::GltoMth),
+            "glto-det" | "det" => Some(RuntimeKind::GltoDet { seed: 0 }),
             _ => None,
         }
     }
@@ -84,7 +120,13 @@ impl RuntimeKind {
     /// Whether this is an LWT-based (GLTO) runtime.
     #[must_use]
     pub fn is_glto(self) -> bool {
-        matches!(self, RuntimeKind::GltoAbt | RuntimeKind::GltoQth | RuntimeKind::GltoMth)
+        matches!(
+            self,
+            RuntimeKind::GltoAbt
+                | RuntimeKind::GltoQth
+                | RuntimeKind::GltoMth
+                | RuntimeKind::GltoDet { .. }
+        )
     }
 
     /// The GLT backend, for GLTO kinds.
@@ -94,6 +136,7 @@ impl RuntimeKind {
             RuntimeKind::GltoAbt => Some(Backend::Abt),
             RuntimeKind::GltoQth => Some(Backend::Qth),
             RuntimeKind::GltoMth => Some(Backend::Mth),
+            RuntimeKind::GltoDet { seed } => Some(Backend::det(seed)),
             _ => None,
         }
     }
@@ -102,11 +145,13 @@ impl RuntimeKind {
     #[must_use]
     pub fn build(self, cfg: OmpConfig) -> Arc<dyn OmpRuntime> {
         match self {
+            RuntimeKind::Serial => Arc::new(omp::SerialRuntime::new(cfg)),
             RuntimeKind::Gnu => GnuRuntime::new(cfg),
             RuntimeKind::Intel => IntelRuntime::new(cfg),
             RuntimeKind::GltoAbt => GltoRuntime::new(Backend::Abt, cfg),
             RuntimeKind::GltoQth => GltoRuntime::new(Backend::Qth, cfg),
             RuntimeKind::GltoMth => GltoRuntime::new(Backend::Mth, cfg),
+            RuntimeKind::GltoDet { seed } => GltoRuntime::new(Backend::det(seed), cfg),
         }
     }
 
@@ -153,6 +198,34 @@ mod tests {
             });
             assert_eq!(hits.load(Ordering::SeqCst), 2, "runtime {}", k.name());
         }
+    }
+
+    #[test]
+    fn matrix_is_seven_and_every_runtime_runs_a_region() {
+        let m = RuntimeKind::matrix();
+        assert_eq!(m.len(), 7);
+        for k in m {
+            let rt = k.build(OmpConfig::with_threads(2));
+            let hits = AtomicUsize::new(0);
+            rt.parallel(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            // The serialized baseline runs a team of one; every real
+            // runtime honors the requested team size.
+            let expect = if k == RuntimeKind::Serial { 1 } else { 2 };
+            assert_eq!(hits.load(Ordering::SeqCst), expect, "runtime {}", k.name());
+        }
+    }
+
+    #[test]
+    fn det_kind_carries_seed_and_parses() {
+        assert_eq!(RuntimeKind::parse("det"), Some(RuntimeKind::GltoDet { seed: 0 }));
+        assert_eq!(RuntimeKind::parse("serial"), Some(RuntimeKind::Serial));
+        let k = RuntimeKind::GltoDet { seed: 9 };
+        assert_eq!(k.backend(), Some(Backend::det(9)));
+        assert!(k.is_glto());
+        assert_eq!(k.label(), "GLTO(DET)");
+        assert!(!RuntimeKind::Serial.is_glto());
     }
 
     #[test]

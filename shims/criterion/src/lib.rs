@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the bench targets use (`Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`) with a simple wall-clock measurement loop: warm up,
+//! then run samples for roughly the configured measurement time and print
+//! mean/min per-iteration times. No statistics beyond that — this exists so
+//! the benches compile and give usable numbers without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+
+    /// Bench outside a group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Total time to spend collecting samples per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time to spend warming up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Number of samples to aim for within the measurement time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure one benchmark routine.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: repeat single-iteration calls until the budget is spent.
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            b.iters = 1;
+            f(&mut b);
+        }
+
+        // Calibrate iterations per sample from the last warm-up call.
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let budget = self.measurement_time.max(Duration::from_millis(1));
+        let per_sample = budget / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_until = Instant::now() + budget;
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "{}/{id}: mean {} min {} ({} samples x {iters} iters)",
+            self.name,
+            fmt_time(mean),
+            fmt_time(min),
+            samples.len(),
+        );
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timing handle passed to the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque-value helper, re-exported for parity with criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a bench group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.measurement_time(Duration::from_millis(20));
+        g.warm_up_time(Duration::from_millis(2));
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

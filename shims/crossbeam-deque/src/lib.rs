@@ -1,0 +1,174 @@
+//! Offline stand-in for `crossbeam-deque`: owner deque + stealer handles
+//! with the Chase–Lev surface the workspace uses (`new_lifo`/`new_fifo`,
+//! `push`/`pop`, `stealer`, `Stealer::steal`/`len`).
+//!
+//! Backed by a mutexed `VecDeque` shared between the worker and its
+//! stealers. The owner pops from the back in LIFO mode (front in FIFO
+//! mode); thieves always take from the opposite (oldest) end, preserving
+//! the work-first / steal-oldest discipline real Chase–Lev gives.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Lifo,
+    Fifo,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Shared<T> {
+    fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Owner side of the deque.
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Worker<T> {
+    /// Owner pops newest-first (work-first / child-first order).
+    #[must_use]
+    pub fn new_lifo() -> Self {
+        Worker {
+            shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()), flavor: Flavor::Lifo }),
+        }
+    }
+
+    /// Owner pops oldest-first.
+    #[must_use]
+    pub fn new_fifo() -> Self {
+        Worker {
+            shared: Arc::new(Shared { queue: Mutex::new(VecDeque::new()), flavor: Flavor::Fifo }),
+        }
+    }
+
+    /// Push a value on the owner end.
+    pub fn push(&self, value: T) {
+        self.shared.guard().push_back(value);
+    }
+
+    /// Owner pop (end depends on flavor).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.shared.guard();
+        match self.shared.flavor {
+            Flavor::Lifo => q.pop_back(),
+            Flavor::Fifo => q.pop_front(),
+        }
+    }
+
+    /// Create a stealer handle for this deque.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Number of queued elements (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.shared.guard().len()
+    }
+
+    /// Whether the deque is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.shared.guard().is_empty()
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("flavor", &self.shared.flavor).finish()
+    }
+}
+
+/// Thief side of the deque; clone freely.
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal one value from the oldest end.
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.guard().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued elements (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.shared.guard().len()
+    }
+
+    /// Whether the deque is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.shared.guard().is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stealer").field("len", &self.len()).finish()
+    }
+}
+
+/// Outcome of a steal attempt. The mutex-backed shim never needs `Retry`,
+/// but callers match on it, so the variant exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A value was stolen.
+    Success(T),
+    /// The deque was empty.
+    Empty,
+    /// A race was lost; try again (never produced by this shim).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `Some` on success, `None` otherwise.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_pop_fifo_steal() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops newest");
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn fifo_owner_pop() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+}

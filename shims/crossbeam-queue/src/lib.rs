@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam-queue`: an unbounded MPMC FIFO with the
+//! `SegQueue` API the workspace uses (`new`/`push`/`pop`/`len`/`is_empty`).
+//!
+//! Backed by a mutexed `VecDeque` rather than a lock-free segment list —
+//! semantically identical (linearizable FIFO), slower under contention,
+//! which is acceptable for an offline build shim.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// Unbounded multi-producer multi-consumer FIFO queue.
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Create an empty queue.
+    #[must_use]
+    pub const fn new() -> Self {
+        SegQueue { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueue at the back.
+    pub fn push(&self, value: T) {
+        self.guard().push_back(value);
+    }
+
+    /// Dequeue from the front; `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.guard().pop_front()
+    }
+
+    /// Number of queued elements (racy snapshot, like crossbeam's).
+    pub fn len(&self) -> usize {
+        self.guard().len()
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.guard().is_empty()
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegQueue").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q = Arc::new(SegQueue::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    q.push(t * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4000);
+        assert!(q.is_empty());
+    }
+}

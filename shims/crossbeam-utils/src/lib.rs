@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam-utils`: just the [`Backoff`] helper the
+//! workspace uses for spin/yield escalation in wait loops.
+
+use std::cell::Cell;
+
+/// Exponential backoff for spin loops: short busy-spins first, then
+/// escalating `yield_now` calls; [`Backoff::is_completed`] tells callers
+/// when blocking (parking) would be better than further spinning.
+#[derive(Debug)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Fresh backoff state.
+    #[must_use]
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Reset to the initial (cheapest) state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spin only; never yields the thread.
+    pub fn spin(&self) {
+        for _ in 0..(1u32 << self.step.get().min(SPIN_LIMIT)) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spin for short waits, yield the OS thread once spinning has been
+    /// exhausted.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step.get()) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Whether backoff has escalated past the point where spinning helps.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_escalation() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro over `arg in strategy` bindings, range and `any`
+//! strategies, `proptest::collection::vec`, `ProptestConfig::with_cases`,
+//! and `prop_assert!`/`prop_assert_eq!`. Case generation is seeded
+//! deterministically from the test name and case index, so failures
+//! reproduce across runs (`PROPTEST_CASES` can scale the case count).
+//! Input shrinking is not implemented; failures print the exact arguments.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Error carried out of a failing property body by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG used to drive strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG; same seed, same stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift bound; bias is negligible for test generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A value generator. The shim samples directly (no shrink trees).
+pub trait Strategy {
+    /// Type of generated values.
+    type Value: Debug;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as u64;
+                let hi = self.end as u64;
+                assert!(hi > lo, "empty range strategy");
+                (lo + rng.below(hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy for the full value domain of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vec of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-property seed base.
+#[must_use]
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Driver behind the `proptest!` macro: runs `cases` deterministic cases,
+/// panicking with the offending arguments on the first failure.
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng, &mut Vec<String>) -> Result<(), TestCaseError>,
+{
+    let cases = match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(cfg.cases),
+        Err(_) => cfg.cases,
+    };
+    let base = name_seed(name);
+    for case in 0..u64::from(cases) {
+        let mut rng = TestRng::new(base ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut args = Vec::new();
+        if let Err(e) = body(&mut rng, &mut args) {
+            panic!(
+                "proptest property `{name}` failed at case {case}: {e}\n  inputs: {}",
+                args.join(", ")
+            );
+        }
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}` ({})",
+                left,
+                right,
+                concat!(stringify!($left), " == ", stringify!($right)),
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                left, right,
+            )));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&cfg, stringify!($name), |rng, arg_log| {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strat), rng);
+                    arg_log.push(format!(
+                        concat!(stringify!($arg), " = {:?}"),
+                        $arg
+                    ));
+                )+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Shim of proptest's `proptest!` macro: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `fn name(arg in
+/// strategy, ..) { body }` properties.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::new(7);
+        for n in [1u64, 2, 3, 100, 1 << 40] {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_ranges(x in 3u64..10, n in 1usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn macro_binds_any(b in any::<bool>(), v in crate::collection::vec(0u64..5, 1..9)) {
+            prop_assert!(b || !b);
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: x = ")]
+    fn failure_reports_inputs() {
+        run_cases(&ProptestConfig::with_cases(4), "failing", |rng, args| {
+            let x = Strategy::sample(&(0u64..100), rng);
+            args.push(format!("x = {x:?}"));
+            prop_assert!(x > 1_000);
+            Ok(())
+        });
+    }
+}
