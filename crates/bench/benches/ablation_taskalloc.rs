@@ -1,0 +1,110 @@
+//! Ablation: slab-recycled task frames vs per-task boxing.
+//!
+//! The unified task core allocates task frames from a recycling slab
+//! (`omp::TaskSlab`): after warm-up, spawning a deferred task performs no
+//! heap allocation. Before the refactor every spawn boxed its body. Two
+//! views of the cost:
+//!
+//! * `engine_spawn_*` — the allocation delta in isolation: spawn+run of
+//!   one undeferred task through a slab-backed engine, with the body
+//!   either captured inline in the recycled frame (`slab`, allocation-free
+//!   after warm-up) or boxed per spawn as before the refactor (`boxed`);
+//! * `<runtime>_slab` / `<runtime>_boxed` — end-to-end spawn+drain of a
+//!   task batch per runtime, where the `boxed` arm re-adds exactly the
+//!   allocation the slab removed (one `Box<dyn FnOnce>` per spawn).
+//!
+//! Recorded in EXPERIMENTS.md ("Ablations").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omp::{DirectPolicy, OmpConfig, OmpRuntimeExt, TaskEngine, TaskMeta};
+use std::sync::atomic::{AtomicU64, Ordering};
+use workloads::RuntimeKind;
+
+const BATCH: u64 = 128;
+
+fn alloc_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_taskalloc");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    static SINK: AtomicU64 = AtomicU64::new(0);
+    let counters = glt::Counters::new();
+    let engine = TaskEngine::new(DirectPolicy, &counters);
+    let meta = TaskMeta { creator: 0, untied: false, from_single_or_master: false };
+    g.bench_function("engine_spawn_slab", |b| {
+        b.iter(|| {
+            let node = engine.core().slab().make(&counters, move |t| {
+                SINK.fetch_add(t as u64 + 1, Ordering::Relaxed);
+            });
+            engine.spawn(meta, &[], node);
+        });
+    });
+    g.bench_function("engine_spawn_boxed", |b| {
+        b.iter(|| {
+            // Pre-refactor cost model: the body is boxed at spawn time; the
+            // frame then carries only the fat pointer.
+            let body: Box<dyn FnOnce(usize) + Send> = Box::new(move |t| {
+                SINK.fetch_add(t as u64 + 1, Ordering::Relaxed);
+            });
+            let node = engine.core().slab().make(&counters, body);
+            engine.spawn(meta, &[], node);
+        });
+    });
+    g.finish();
+}
+
+fn per_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_taskalloc");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+
+    let kinds = [RuntimeKind::Serial, RuntimeKind::Gnu, RuntimeKind::Intel, RuntimeKind::GltoAbt];
+    for kind in kinds {
+        let rt = kind.build(OmpConfig::with_threads(2));
+        rt.parallel(|_| {}); // warm pools and the frame slab
+
+        g.bench_function(format!("{}_slab", kind.name()), |b| {
+            b.iter(|| {
+                let sink = AtomicU64::new(0);
+                rt.parallel(|ctx| {
+                    ctx.single(|| {
+                        for i in 0..BATCH {
+                            let sink = &sink;
+                            ctx.task(move |_| {
+                                sink.fetch_add(i | 1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    ctx.taskwait();
+                });
+                assert!(sink.into_inner() >= BATCH - 1);
+            });
+        });
+        g.bench_function(format!("{}_boxed", kind.name()), |b| {
+            b.iter(|| {
+                let sink = AtomicU64::new(0);
+                rt.parallel(|ctx| {
+                    ctx.single(|| {
+                        for i in 0..BATCH {
+                            let sink = &sink;
+                            // Re-add the pre-refactor cost: one boxed body
+                            // allocated per spawn, invoked through the fat
+                            // pointer inside the task.
+                            let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+                                sink.fetch_add(i | 1, Ordering::Relaxed);
+                            });
+                            ctx.task(move |_| body());
+                        }
+                    });
+                    ctx.taskwait();
+                });
+                assert!(sink.into_inner() >= BATCH - 1);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, alloc_only, per_runtime);
+criterion_main!(benches);

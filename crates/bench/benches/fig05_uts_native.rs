@@ -26,8 +26,9 @@ fn bench(c: &mut Criterion) {
         g.bench_function(backend.label(), |b| {
             b.iter(|| {
                 let lock = match &rt {
-                    AnyGlt::Qth(q) => glt_qth::feb_of(q)
-                        .map_or(uts::StackLock::Mutex, uts::StackLock::Feb),
+                    AnyGlt::Qth(q) => {
+                        glt_qth::feb_of(q).map_or(uts::StackLock::Mutex, uts::StackLock::Feb)
+                    }
                     _ => uts::StackLock::Mutex,
                 };
                 assert_eq!(uts::run_glt(&rt, &p, lock), expected);

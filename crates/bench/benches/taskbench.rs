@@ -27,9 +27,7 @@ fn bench(c: &mut Criterion) {
     let rt = workloads::RuntimeKind::GltoAbt
         .build(OmpConfig::with_threads(2).wait_policy(WaitPolicy::Passive));
     g.bench_function("GLTO(ABT)::fib18_undeferred", |b| {
-        b.iter(|| {
-            assert_eq!(taskbench::fib_tasks_undeferred(rt.as_ref(), 18, 10), fib_expect)
-        });
+        b.iter(|| assert_eq!(taskbench::fib_tasks_undeferred(rt.as_ref(), 18, 10), fib_expect));
     });
     g.finish();
 }

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures as CSV.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro -- <target> [--paper] [--threads a,b,c] [--reps N]
+//! cargo run -p bench --release --bin repro -- <target> [--paper] \
+//!     [--threads a,b,c] [--runtimes gnu,glto-abt,...] [--reps N]
 //!
 //! targets:
 //!   table1          validation suite results
@@ -29,6 +30,7 @@ struct Opts {
     scale: Scale,
     threads_override: Option<Vec<usize>>,
     reps_override: Option<usize>,
+    runtimes_override: Option<Vec<RuntimeKind>>,
 }
 
 impl Opts {
@@ -39,12 +41,32 @@ impl Opts {
     fn reps(&self, quick: usize, paper: usize) -> usize {
         self.reps_override.unwrap_or_else(|| self.scale.reps(quick, paper))
     }
+
+    /// Runtimes a series target sweeps: `--runtimes` if given, else the
+    /// paper's five.
+    fn runtimes(&self) -> Vec<RuntimeKind> {
+        self.runtimes_override.clone().unwrap_or_else(|| RuntimeKind::all().to_vec())
+    }
+
+    /// Same filter applied to the task figures' runtime set (Figs. 10-14
+    /// omit GNU; see `task_figure_runtimes`).
+    fn task_runtimes(&self) -> Vec<RuntimeKind> {
+        let base = task_figure_runtimes();
+        match &self.runtimes_override {
+            Some(sel) => base.into_iter().filter(|k| sel.contains(k)).collect(),
+            None => base,
+        }
+    }
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts =
-        Opts { scale: Scale::Quick, threads_override: None, reps_override: None };
+    let mut opts = Opts {
+        scale: Scale::Quick,
+        threads_override: None,
+        reps_override: None,
+        runtimes_override: None,
+    };
     let mut targets: Vec<String> = Vec::new();
     let i = 0;
     while i < args.len() {
@@ -62,6 +84,24 @@ fn main() {
             "--reps" => {
                 let v = args.remove(i + 1);
                 opts.reps_override = v.trim().parse().ok();
+                args.remove(i);
+            }
+            "--runtimes" => {
+                let v = args.remove(i + 1);
+                let kinds: Vec<RuntimeKind> = v
+                    .split(',')
+                    .map(|s| {
+                        RuntimeKind::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!(
+                                "unknown runtime `{}`; valid: serial, gnu, intel, \
+                                 glto-abt, glto-qth, glto-mth, glto-det",
+                                s.trim()
+                            );
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                opts.runtimes_override = Some(kinds);
                 args.remove(i);
             }
             _ => {
@@ -176,9 +216,7 @@ fn shape_check(opts: &Opts) {
         report(
             "tasks: ICC cut-off engages at fine grain, not coarse; GLTO never",
             intel_fine < 95.0 && intel_coarse > 99.0 && abt_fine > 99.0,
-            format!(
-                "icc queued% g10={intel_fine:.0} g100={intel_coarse:.0} abt g10={abt_fine:.0}"
-            ),
+            format!("icc queued% g10={intel_fine:.0} g100={intel_coarse:.0} abt g10={abt_fine:.0}"),
         );
     }
 
@@ -255,7 +293,7 @@ fn shape_check(opts: &Opts) {
 fn table1(opts: &Opts) {
     println!("# table1 — OpenUH-style validation suite (paper Table I)");
     println!("table,runtime,constructs,tests,successful,failed");
-    for kind in RuntimeKind::all() {
+    for kind in opts.runtimes() {
         let rt = kind.build(paper_config(4, WaitPolicy::Passive));
         let r = validation::run_suite(rt.as_ref());
         println!(
@@ -274,11 +312,15 @@ fn table1(opts: &Opts) {
 
 fn fig4(opts: &Opts) {
     // §VI-B: OMP as environment creator; work-sharing setting ⇒ active.
-    let p = if opts.scale == Scale::Paper { uts::UtsParams::t1_paper() } else { uts::UtsParams::t1_scaled() };
+    let p = if opts.scale == Scale::Paper {
+        uts::UtsParams::t1_paper()
+    } else {
+        uts::UtsParams::t1_scaled()
+    };
     let (expected, _) = uts::count_sequential(&p);
     let reps = opts.reps(3, 50);
     print_series_header("fig4 — UTS (environment creator) over OpenMP runtimes", "seconds");
-    for kind in RuntimeKind::all() {
+    for kind in opts.runtimes() {
         for &n in &opts.threads() {
             let rt = kind.build(paper_config(n, WaitPolicy::Active));
             let st = time_reps(reps, || {
@@ -292,7 +334,11 @@ fn fig4(opts: &Opts) {
 // ------------------------------------------------- Fig 5 (UTS, native APIs)
 
 fn fig5(opts: &Opts) {
-    let p = if opts.scale == Scale::Paper { uts::UtsParams::t1_paper() } else { uts::UtsParams::t1_scaled() };
+    let p = if opts.scale == Scale::Paper {
+        uts::UtsParams::t1_paper()
+    } else {
+        uts::UtsParams::t1_scaled()
+    };
     let (expected, _) = uts::count_sequential(&p);
     let reps = opts.reps(3, 50);
     print_series_header("fig5 — UTS over pthreads and native LWT APIs", "seconds");
@@ -310,8 +356,9 @@ fn fig5(opts: &Opts) {
             // plain mutex (paper Fig. 5's native ports).
             let st = time_reps(reps, || {
                 let lock = match &rt {
-                    glto::AnyGlt::Qth(q) => glt_qth::feb_of(q)
-                        .map_or(uts::StackLock::Mutex, uts::StackLock::Feb),
+                    glto::AnyGlt::Qth(q) => {
+                        glt_qth::feb_of(q).map_or(uts::StackLock::Mutex, uts::StackLock::Feb)
+                    }
                     _ => uts::StackLock::Mutex,
                 };
                 assert_eq!(uts::run_glt(&rt, &p, lock), expected);
@@ -324,10 +371,14 @@ fn fig5(opts: &Opts) {
 // ------------------------------------------------------- Fig 6 (CloverLeaf)
 
 fn fig6(opts: &Opts) {
-    let p = if opts.scale == Scale::Paper { clover::CloverParams::bm_paper() } else { clover::CloverParams::bm_scaled() };
+    let p = if opts.scale == Scale::Paper {
+        clover::CloverParams::bm_paper()
+    } else {
+        clover::CloverParams::bm_scaled()
+    };
     let reps = opts.reps(2, 50);
     print_series_header("fig6 — CloverLeaf-like mini-app (compute-bound parallel for)", "seconds");
-    for kind in RuntimeKind::all() {
+    for kind in opts.runtimes() {
         for &n in &opts.threads() {
             let rt = kind.build(paper_config(n, WaitPolicy::Active));
             let st = time_reps(reps, || {
@@ -345,7 +396,7 @@ fn fig7(opts: &Opts) {
     let reps = opts.reps(2000, 20_000);
     println!("# fig7 — work-assignment time inside the runtime (per region fork)");
     println!("figure,runtime,threads,assign_ns,empty_region_ns,forks");
-    for kind in RuntimeKind::all() {
+    for kind in opts.runtimes() {
         for &n in &opts.threads() {
             let rt = kind.build(paper_config(n, WaitPolicy::Active));
             // Warm the pools (hot teams) so creation cost is excluded,
@@ -371,11 +422,8 @@ fn nested_fig(opts: &Opts, name: &str, outer: u64) {
     // §VI-D: iterations == outer for both loops in the paper's listing.
     let inner = outer;
     let reps = opts.reps(2, 1000);
-    print_series_header(
-        &format!("{name} — nested null parallel-for, outer={outer}"),
-        "seconds",
-    );
-    for kind in RuntimeKind::all() {
+    print_series_header(&format!("{name} — nested null parallel-for, outer={outer}"), "seconds");
+    for kind in opts.runtimes() {
         for &n in &opts.threads() {
             let rt = kind.build(paper_config(n, WaitPolicy::Active));
             let st = time_reps(reps, || {
@@ -394,7 +442,7 @@ fn table2(opts: &Opts) {
     let outer = 100;
     println!("# table2 — created/reused threads and ULTs, nested case (paper Table II)");
     println!("table,runtime,created_threads,reused_threads,created_ults");
-    for kind in RuntimeKind::all() {
+    for kind in opts.runtimes() {
         let rt = kind.build(paper_config(n, WaitPolicy::Active));
         rt.counters().reset();
         let _ = micro::nested_null(rt.as_ref(), outer, outer);
@@ -429,7 +477,7 @@ fn cg_fig(opts: &Opts, name: &str, granularity: usize) {
         ),
         "seconds",
     );
-    for kind in task_figure_runtimes() {
+    for kind in opts.task_runtimes() {
         for &n in &opts.threads() {
             // §VI-A: task codes use the default (passive) wait policy.
             let rt = kind.build(paper_config(n, WaitPolicy::Passive));
@@ -478,12 +526,7 @@ fn fig14(opts: &Opts) {
             let st = time_reps(reps, || {
                 let _ = micro::producer_consumer_tasks(rt.as_ref(), ntasks, work);
             });
-            println!(
-                "fig14,{cutoff},{n},{:.6e},{:.2e},{}",
-                st.mean(),
-                st.stddev(),
-                st.count()
-            );
+            println!("fig14,{cutoff},{n},{:.6e},{:.2e},{}", st.mean(), st.stddev(), st.count());
         }
     }
 }

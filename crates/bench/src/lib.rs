@@ -84,12 +84,7 @@ pub fn print_series_header(figure: &str, unit: &str) {
 /// streams during long sweeps).
 pub fn print_series_row(figure: &str, runtime: &str, threads: usize, st: &Stats) {
     use std::io::Write;
-    println!(
-        "{figure},{runtime},{threads},{:.6e},{:.2e},{}",
-        st.mean(),
-        st.stddev(),
-        st.count()
-    );
+    println!("{figure},{runtime},{threads},{:.6e},{:.2e},{}", st.mean(), st.stddev(), st.count());
     let _ = std::io::stdout().flush();
 }
 
@@ -97,12 +92,7 @@ pub fn print_series_row(figure: &str, runtime: &str, threads: usize, st: &Stats)
 /// from the CG study, §VI-E).
 #[must_use]
 pub fn task_figure_runtimes() -> Vec<RuntimeKind> {
-    vec![
-        RuntimeKind::Intel,
-        RuntimeKind::GltoAbt,
-        RuntimeKind::GltoQth,
-        RuntimeKind::GltoMth,
-    ]
+    vec![RuntimeKind::Intel, RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth]
 }
 
 #[cfg(test)]

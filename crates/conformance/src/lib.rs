@@ -33,10 +33,13 @@
 //! randomized-decision budget that still fails, pinning the failure to a
 //! minimal prefix of schedule decisions.
 //!
-//! The planted-bug case [`planted_lost_update`] (an intentionally racy
-//! read-yield-write task pair) exists to prove the explorer has teeth: the
-//! sweep must find seeds that expose the lost update, and the failure must
-//! replay and shrink. See `TESTING.md` at the repository root.
+//! The planted-bug cases [`planted_lost_update`] (an intentionally racy
+//! read-yield-write task pair) and [`planted_depend_race`] (the same pair
+//! with its `depend` clauses deliberately weakened from `inout` to `in`)
+//! exist to prove the explorer has teeth: the sweep must find seeds that
+//! expose the lost update, and the failure must replay and shrink. The
+//! second one makes the sweep the race detector for the task core's
+//! dependency resolver. See `TESTING.md` at the repository root.
 
 #![warn(missing_docs)]
 
@@ -47,7 +50,7 @@ use std::time::{Duration, Instant};
 use glt::CounterSnapshot;
 use glt_det::EventKind;
 use glto::{Backend, GltoRuntime};
-use omp::{OmpConfig, OmpLock, OmpRuntime, OmpRuntimeExt, Schedule};
+use omp::{Dep, OmpConfig, OmpLock, OmpRuntime, OmpRuntimeExt, Schedule};
 use workloads::RuntimeKind;
 
 /// A conformance case: exercises one construct cluster on any runtime and
@@ -104,7 +107,22 @@ pub fn check_counter_invariants(rt: &dyn OmpRuntime) -> Vec<String> {
 /// A human-readable description of the first failure: the case returned
 /// `false`, panicked, or left the counters violating a conservation law.
 pub fn run_case(kind: RuntimeKind, threads: usize, name: &str, case: Case) -> Result<(), String> {
-    let rt = kind.build(OmpConfig::with_threads(threads));
+    run_case_cfg(kind, OmpConfig::with_threads(threads), name, case)
+}
+
+/// [`run_case`] with an explicit [`OmpConfig`] — how the shared-queue
+/// (`GLT_SHARED_QUEUES=1`, §IV-F) variants of the matrix are exercised.
+///
+/// # Errors
+///
+/// Same contract as [`run_case`].
+pub fn run_case_cfg(
+    kind: RuntimeKind,
+    cfg: OmpConfig,
+    name: &str,
+    case: Case,
+) -> Result<(), String> {
+    let rt = kind.build(cfg);
     match catch_unwind(AssertUnwindSafe(|| case(rt.as_ref()))) {
         Err(_) => return Err(format!("case `{name}` panicked on {}", kind.name())),
         Ok(false) => return Err(format!("case `{name}` failed on {}", kind.name())),
@@ -324,6 +342,7 @@ pub fn cases() -> Vec<(&'static str, Case)> {
         ("reduce-sum", case_reduce_sum as Case),
         ("dynamic-for", case_dynamic_for as Case),
         ("tasks-taskwait", case_tasks_taskwait as Case),
+        ("depend-chain", case_depend_chain as Case),
         ("critical-rmw", case_critical_rmw as Case),
         ("lock-rmw", case_lock_rmw as Case),
         ("ordered-sequence", case_ordered_sequence as Case),
@@ -388,6 +407,41 @@ fn case_tasks_taskwait(rt: &dyn OmpRuntime) -> bool {
     });
     // taskwait must have seen all 8 children complete.
     after_wait.load(Ordering::SeqCst) == 8 && done.load(Ordering::SeqCst) == 8
+}
+
+fn case_depend_chain(rt: &dyn OmpRuntime) -> bool {
+    // `depend(inout: x)` must serialize the chain in creation order on
+    // every runtime and under every det schedule: each link applies the
+    // non-commutative update `acc ← acc·3 + i`, with a scheduling point
+    // inside the read-modify-write window to invite reordering. Trailing
+    // `depend(in: x)` readers must all see the chain's final value.
+    const LINKS: u64 = 4;
+    let expected = (0..LINKS).fold(1, |acc, i| acc * 3 + i);
+    let acc = AtomicU64::new(1);
+    let bad_reads = AtomicU64::new(0);
+    let x = 0u8;
+    rt.parallel(|ctx| {
+        let acc = &acc;
+        let bad_reads = &bad_reads;
+        ctx.single(|| {
+            for i in 0..LINKS {
+                ctx.task_depend(&[Dep::readwrite(&x)], move |c| {
+                    let read = acc.load(Ordering::SeqCst);
+                    c.taskyield(); // scheduling point inside the RMW window
+                    acc.store(read * 3 + i, Ordering::SeqCst);
+                });
+            }
+            for _ in 0..2 {
+                ctx.task_depend(&[Dep::read(&x)], move |_| {
+                    if acc.load(Ordering::SeqCst) != expected {
+                        bad_reads.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            ctx.taskwait();
+        });
+    });
+    acc.load(Ordering::SeqCst) == expected && bad_reads.load(Ordering::SeqCst) == 0
 }
 
 fn case_critical_rmw(rt: &dyn OmpRuntime) -> bool {
@@ -495,10 +549,53 @@ pub fn planted_lost_update(rt: &dyn OmpRuntime) -> bool {
     cell.load(Ordering::SeqCst) == 2
 }
 
+/// The planted out-of-order `depend` bug: the same read-yield-write task
+/// pair as [`planted_lost_update`], but each task *declares* a dependence
+/// on the shared cell — deliberately weakened from the `inout` the access
+/// pattern requires to `in`. `in` deps do not order readers against each
+/// other, so the dependency resolver correctly runs the tasks
+/// concurrently and a schedule that switches tasks inside the RMW window
+/// loses an update.
+///
+/// This case is intentionally wrong — it exists to prove the `glto-det`
+/// seed sweep detects under-declared dependences (the classic `depend`
+/// misuse), making the sweep the race detector for the task core's
+/// dependency resolver. It is **not** part of [`cases`].
+pub fn planted_depend_race(rt: &dyn OmpRuntime) -> bool {
+    let cell = AtomicU64::new(0);
+    let x = 0u8;
+    rt.parallel(|ctx| {
+        let cell = &cell;
+        ctx.single(|| {
+            for _ in 0..2 {
+                // BUG under test: should be `Dep::readwrite(&x)`.
+                ctx.task_depend(&[Dep::read(&x)], move |c| {
+                    let read = cell.load(Ordering::SeqCst);
+                    c.taskyield(); // scheduling point inside the RMW window
+                    cell.store(read + 1, Ordering::SeqCst);
+                });
+            }
+        });
+    });
+    cell.load(Ordering::SeqCst) == 2
+}
+
+// -------------------------------------------------- shared-queue matrix
+
+/// The §IV-F shared-queue (`GLT_SHARED_QUEUES=1`) variants of the three
+/// GLTO runtimes. Sharing ready queues changes *scheduling*, never
+/// *results*: the curated cases and the validation-suite pass counts
+/// (pinned by [`expected_suite_passes`]) must match the private-queue
+/// matrix exactly.
+#[must_use]
+pub fn shared_queue_matrix() -> [RuntimeKind; 3] {
+    [RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth]
+}
+
 // ------------------------------------------------------ validation suite
 
 /// Expected validation-suite pass count for each matrix runtime, with the
-/// reason for every deliberate shortfall from 123. Pinned so a regression
+/// reason for every deliberate shortfall from 126. Pinned so a regression
 /// in *any* runtime turns the matrix red.
 #[must_use]
 pub fn expected_suite_passes(kind: RuntimeKind) -> usize {
@@ -508,9 +605,9 @@ pub fn expected_suite_passes(kind: RuntimeKind) -> usize {
         RuntimeKind::Serial => SERIAL_SUITE_PASSES,
         // Table I: GNU and Intel both fail the five final/untied/taskyield
         // entries (no mid-task migration, `final` runs deferred).
-        RuntimeKind::Gnu | RuntimeKind::Intel => 118,
+        RuntimeKind::Gnu | RuntimeKind::Intel => 121,
         // Help-first GLTO cannot migrate started untied tasks (DESIGN.md).
-        RuntimeKind::GltoAbt | RuntimeKind::GltoQth | RuntimeKind::GltoMth => 119,
+        RuntimeKind::GltoAbt | RuntimeKind::GltoQth | RuntimeKind::GltoMth => 122,
         // Same help-first model; additionally, race *detector* entries that
         // rely on OS timeslicing see token-serialized execution and cannot
         // demonstrate detection under the stepper.
@@ -521,15 +618,15 @@ pub fn expected_suite_passes(kind: RuntimeKind) -> usize {
 /// See [`expected_suite_passes`]. The serialized baseline runs every
 /// entry with a team of one: entries that verify team size, cross-thread
 /// interaction, or race *detection* cannot pass by construction.
-pub const SERIAL_SUITE_PASSES: usize = 75;
-/// See [`expected_suite_passes`]: the stealing-GLTO count (119) minus the
+pub const SERIAL_SUITE_PASSES: usize = 78;
+/// See [`expected_suite_passes`]: the stealing-GLTO count (122) minus the
 /// two cross-mode race-detector entries (`critical (cross)`,
 /// `atomic (cross)`) that cannot demonstrate detection under token
 /// serialization. This is a *floor*: the suite's `omp flush` consumer
 /// raw-spins and is released by the stall watchdog, after which the run
 /// continues under OS scheduling, where those two detector entries may
 /// nondeterministically pass (see `validation_suite_matrix_is_green`).
-pub const DET_SUITE_PASSES: usize = 117;
+pub const DET_SUITE_PASSES: usize = 120;
 
 #[cfg(test)]
 mod tests {
@@ -550,6 +647,33 @@ mod tests {
             for (name, case) in cases() {
                 run_case(kind, 4, name, case).unwrap();
             }
+        }
+    }
+
+    #[test]
+    fn curated_cases_pass_under_shared_queues() {
+        fast_stall();
+        for kind in shared_queue_matrix() {
+            for (name, case) in cases() {
+                let cfg = OmpConfig::with_threads(4).shared_queues(true);
+                run_case_cfg(kind, cfg, name, case).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn shared_queue_suite_passes_are_pinned() {
+        fast_stall();
+        for kind in shared_queue_matrix() {
+            let rt = kind.build(OmpConfig::with_threads(4).shared_queues(true));
+            let r = validation::run_suite(rt.as_ref());
+            assert_eq!(
+                r.passed,
+                expected_suite_passes(kind),
+                "{} (shared queues): {}",
+                kind.name(),
+                r.row()
+            );
         }
     }
 
@@ -609,6 +733,32 @@ mod tests {
         assert!(!run_det_once(planted_lost_update, 2, seed, budget).passed());
         if budget > 0 {
             assert!(run_det_once(planted_lost_update, 2, seed, budget - 1).passed());
+        }
+    }
+
+    #[test]
+    fn planted_depend_race_caught_replayed_and_shrunk() {
+        fast_stall();
+        // The correctly-declared chain must survive the same sweep the
+        // under-declared one fails: the detector blames the declaration,
+        // not the resolver.
+        let clean = sweep_det("depend-chain", case_depend_chain, 2, 0..64);
+        assert!(clean.all_passed(), "inout chain failed seeds {:?}", clean.failing);
+        let report = sweep_det("planted-depend-race", planted_depend_race, 2, 0..64);
+        assert!(
+            !report.failing.is_empty(),
+            "the seed sweep must expose the under-declared `in` dependence in 64 seeds"
+        );
+        let seed = report.failing[0];
+        let r1 = replay_det(planted_depend_race, 2, seed);
+        let r2 = replay_det(planted_depend_race, 2, seed);
+        assert!(!r1.passed() && !r2.passed(), "failing seed {seed} must replay");
+        assert_eq!(r1.decisions, r2.decisions, "replays must take the same schedule");
+        let budget = shrink_det(planted_depend_race, 2, seed).expect("seed fails, so it shrinks");
+        assert!(budget <= r1.decisions);
+        assert!(!run_det_once(planted_depend_race, 2, seed, budget).passed());
+        if budget > 0 {
+            assert!(run_det_once(planted_depend_race, 2, seed, budget - 1).passed());
         }
     }
 

@@ -30,9 +30,7 @@ impl AbtScheduler {
     /// One private pool per GLT_thread.
     #[must_use]
     pub fn new(cfg: &GltConfig) -> Self {
-        AbtScheduler {
-            pools: (0..cfg.num_threads.max(1)).map(|_| SegQueue::new()).collect(),
-        }
+        AbtScheduler { pools: (0..cfg.num_threads.max(1)).map(|_| SegQueue::new()).collect() }
     }
 
     /// Queue length of one execution stream's pool (tests/diagnostics).
@@ -135,9 +133,12 @@ mod tests {
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let c = count.clone();
-                rt.ult_create_to(i % 4, Box::new(move || {
-                    c.fetch_add(1, Ordering::SeqCst);
-                }))
+                rt.ult_create_to(
+                    i % 4,
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }),
+                )
             })
             .collect();
         for h in &handles {
@@ -154,9 +155,12 @@ mod tests {
         let rt = start(GltConfig::with_threads(2));
         let hit = Arc::new(AtomicUsize::new(0));
         let c = hit.clone();
-        let h = rt.tasklet_create_to(1, Box::new(move || {
-            c.fetch_add(1, Ordering::SeqCst);
-        }));
+        let h = rt.tasklet_create_to(
+            1,
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         rt.join(&h);
         assert_eq!(hit.load(Ordering::SeqCst), 1);
         assert_eq!(rt.counters().snapshot().tasklets_created, 1);
@@ -174,8 +178,7 @@ mod tests {
     #[test]
     fn no_steals_counted_in_private_mode() {
         let rt = start(GltConfig::with_threads(3));
-        let handles: Vec<_> =
-            (0..30).map(|i| rt.ult_create_to(i % 3, Box::new(|| {}))).collect();
+        let handles: Vec<_> = (0..30).map(|i| rt.ult_create_to(i % 3, Box::new(|| {}))).collect();
         for h in &handles {
             rt.join(h);
         }

@@ -473,11 +473,8 @@ impl Scheduler for DetScheduler {
         // Seeded LIFO/FIFO choice widens the explored schedule space; the
         // post-budget fallback (0) is LIFO.
         let back = self.stepper.decide(&mut st, 2) == 0;
-        let (token, unit) = if back {
-            q.pop_back().expect("non-empty")
-        } else {
-            q.pop_front().expect("non-empty")
-        };
+        let (token, unit) =
+            if back { q.pop_back().expect("non-empty") } else { q.pop_front().expect("non-empty") };
         self.stepper.record(&mut st, EventKind::Pop { by: rank, token });
         Some(unit)
     }
@@ -661,8 +658,7 @@ mod tests {
         // Two controlled threads; the granted one never re-enters the
         // scheduler, so the other's wait must time out, flip free_run, and
         // mark the stepper stalled instead of hanging.
-        let det =
-            DetConfig { stall_timeout: Duration::from_millis(50), ..DetConfig::with_seed(3) };
+        let det = DetConfig { stall_timeout: Duration::from_millis(50), ..DetConfig::with_seed(3) };
         let stepper = Arc::new(Stepper::new(2, det));
         let s2 = Arc::clone(&stepper);
         let t = std::thread::spawn(move || {

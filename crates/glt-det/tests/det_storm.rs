@@ -26,7 +26,7 @@ fn storm(threads: usize, seed: u64) -> (u64, u64, u64) {
                 let work: glt::WorkFn = Box::new(move || {
                     hits.fetch_add(1, Ordering::SeqCst);
                 });
-                if (i + wave as usize) % 2 == 0 {
+                if (i + wave as usize).is_multiple_of(2) {
                     rt.ult_create_to(i % threads, work)
                 } else {
                     rt.ult_create(work)

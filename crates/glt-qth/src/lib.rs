@@ -152,9 +152,12 @@ mod tests {
         let handles: Vec<_> = (0..20)
             .map(|i| {
                 let c = count.clone();
-                rt.ult_create_to(i % 2, Box::new(move || {
-                    c.fetch_add(1, Ordering::SeqCst);
-                }))
+                rt.ult_create_to(
+                    i % 2,
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }),
+                )
             })
             .collect();
         for h in &handles {

@@ -145,9 +145,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = GltConfig::with_threads(3)
-            .shared_queues(true)
-            .wait_policy(WaitPolicy::Active);
+        let c = GltConfig::with_threads(3).shared_queues(true).wait_policy(WaitPolicy::Active);
         assert_eq!(c.num_threads, 3);
         assert!(c.shared_queues);
         assert_eq!(c.wait_policy, WaitPolicy::Active);

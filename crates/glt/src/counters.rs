@@ -43,6 +43,14 @@ pub struct Counters {
     pub tasks_queued: AtomicU64,
     /// Tasks executed directly/undeferred (cut-off or `final`/`if(0)` path).
     pub tasks_direct: AtomicU64,
+    /// Task frames allocated fresh by the slab (free list was empty).
+    pub task_slab_fresh: AtomicU64,
+    /// Task frames recycled from the slab free list (steady-state path:
+    /// no allocation per task).
+    pub task_slab_reused: AtomicU64,
+    /// Deferred tasks carrying at least one `depend` clause (routed through
+    /// the dependency resolver before dispatch).
+    pub dep_tasks: AtomicU64,
     /// Nanoseconds the master spent in the work-assignment step of region
     /// forks (handing the body to team members), accumulated across
     /// regions — the quantity Fig. 7 of the paper plots.
@@ -88,12 +96,15 @@ impl Counters {
             tasks_created: self.tasks_created.load(Ordering::Relaxed),
             tasks_queued: self.tasks_queued.load(Ordering::Relaxed),
             tasks_direct: self.tasks_direct.load(Ordering::Relaxed),
+            task_slab_fresh: self.task_slab_fresh.load(Ordering::Relaxed),
+            task_slab_reused: self.task_slab_reused.load(Ordering::Relaxed),
+            dep_tasks: self.dep_tasks.load(Ordering::Relaxed),
             assign_ns: self.assign_ns.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 15] {
+    fn all(&self) -> [&AtomicU64; 18] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
@@ -108,6 +119,9 @@ impl Counters {
             &self.tasks_created,
             &self.tasks_queued,
             &self.tasks_direct,
+            &self.task_slab_fresh,
+            &self.task_slab_reused,
+            &self.dep_tasks,
             &self.assign_ns,
             &self.forks,
         ]
@@ -131,6 +145,9 @@ pub struct CounterSnapshot {
     pub tasks_created: u64,
     pub tasks_queued: u64,
     pub tasks_direct: u64,
+    pub task_slab_fresh: u64,
+    pub task_slab_reused: u64,
+    pub dep_tasks: u64,
     pub assign_ns: u64,
     pub forks: u64,
 }
@@ -177,10 +194,17 @@ impl CounterSnapshot {
     ///
     /// * units: `units_executed ≤ ults_created + tasklets_created`, with
     ///   equality once drained (every created unit runs exactly once);
-    /// * steals: `steals ≤ units_executed` (a steal only counts when the
-    ///   stolen unit is handed to a worker that then runs it);
+    /// * steals: `steals ≤ units_executed + tasks_queued` (a steal only
+    ///   counts when the thief takes a schedulable unit: a GLT unit — which
+    ///   shows up in `units_executed` once run — or a deferred task taken
+    ///   from another thread's queue);
     /// * tasks: `tasks_created == tasks_queued + tasks_direct` (every
     ///   `omp task` is either deferred or executed undeferred);
+    /// * slab: `task_slab_fresh + task_slab_reused ≥ tasks_queued` (every
+    ///   deferred task occupies a slab frame; undeferred tasks may run
+    ///   inline without one);
+    /// * deps: `dep_tasks ≤ tasks_created` (a dependent task is still a
+    ///   created task);
     /// * forks: `forks > 0 ⇒ assign_ns > 0` (every region fork records its
     ///   work-assignment time).
     #[must_use]
@@ -201,10 +225,12 @@ impl CounterSnapshot {
                 created - self.units_executed
             ));
         }
-        if self.steals > self.units_executed {
+        if self.steals > self.units_executed + self.tasks_queued {
             v.push(format!(
-                "steals ({}) > units_executed ({}): counted a steal whose unit never ran",
-                self.steals, self.units_executed
+                "steals ({}) > units_executed + tasks_queued ({}): counted a steal \
+                 that took neither a GLT unit nor a deferred task",
+                self.steals,
+                self.units_executed + self.tasks_queued
             ));
         }
         if self.tasks_created != self.tasks_queued + self.tasks_direct {
@@ -212,6 +238,21 @@ impl CounterSnapshot {
                 "tasks_created ({}) != tasks_queued ({}) + tasks_direct ({}): \
                  a task was neither deferred nor run undeferred (or double-counted)",
                 self.tasks_created, self.tasks_queued, self.tasks_direct
+            ));
+        }
+        let frames = self.task_slab_fresh + self.task_slab_reused;
+        if frames < self.tasks_queued {
+            v.push(format!(
+                "task_slab_fresh + task_slab_reused ({frames}) < tasks_queued ({}): \
+                 a deferred task was queued without a slab frame",
+                self.tasks_queued
+            ));
+        }
+        if self.dep_tasks > self.tasks_created {
+            v.push(format!(
+                "dep_tasks ({}) > tasks_created ({}): a dependent task was \
+                 counted without being created",
+                self.dep_tasks, self.tasks_created
             ));
         }
         if self.forks > 0 && self.assign_ns == 0 {
@@ -277,6 +318,9 @@ mod tests {
             tasks_created: 5,
             tasks_queued: 4,
             tasks_direct: 1,
+            task_slab_fresh: 3,
+            task_slab_reused: 1,
+            dep_tasks: 2,
             forks: 2,
             assign_ns: 800,
             ..CounterSnapshot::default()
@@ -287,11 +331,8 @@ mod tests {
 
     #[test]
     fn mid_flight_allows_pending_units_but_drained_does_not() {
-        let s = CounterSnapshot {
-            ults_created: 10,
-            units_executed: 7,
-            ..CounterSnapshot::default()
-        };
+        let s =
+            CounterSnapshot { ults_created: 10, units_executed: 7, ..CounterSnapshot::default() };
         assert!(s.invariant_violations(false).is_empty());
         let v = s.invariant_violations(true);
         assert_eq!(v.len(), 1);
@@ -300,11 +341,8 @@ mod tests {
 
     #[test]
     fn overexecution_is_always_a_violation() {
-        let s = CounterSnapshot {
-            ults_created: 1,
-            units_executed: 2,
-            ..CounterSnapshot::default()
-        };
+        let s =
+            CounterSnapshot { ults_created: 1, units_executed: 2, ..CounterSnapshot::default() };
         assert!(!s.invariant_violations(false).is_empty());
         assert!(!s.invariant_violations(true).is_empty());
     }
@@ -314,16 +352,32 @@ mod tests {
         let s = CounterSnapshot {
             ults_created: 4,
             units_executed: 2,
-            steals: 3,
+            steals: 4,
             tasks_created: 3,
             tasks_queued: 1,
             tasks_direct: 1,
+            task_slab_fresh: 1,
             ..CounterSnapshot::default()
         };
         let v = s.invariant_violations(false);
         assert_eq!(v.len(), 2, "expected steal + task violations, got: {v:?}");
         assert!(v.iter().any(|m| m.contains("steals")));
         assert!(v.iter().any(|m| m.contains("tasks_created")));
+    }
+
+    #[test]
+    fn slab_and_dep_conservation_violations_detected() {
+        let s = CounterSnapshot {
+            tasks_created: 2,
+            tasks_queued: 2,
+            task_slab_fresh: 1,
+            dep_tasks: 3,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 2, "expected slab + dep violations, got: {v:?}");
+        assert!(v.iter().any(|m| m.contains("slab")));
+        assert!(v.iter().any(|m| m.contains("dep_tasks")));
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl FebTable {
     fn stripe(&self, key: usize) -> &Stripe {
         // Fibonacci hash spreads consecutive addresses across stripes.
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.stripes[(h >> (usize::BITS - 7)) as usize % STRIPES]
+        &self.stripes[(h >> (usize::BITS - 7)) % STRIPES]
     }
 
     fn bump(&self) {

@@ -56,7 +56,7 @@ pub use runtime::{start_shared, GltRuntime, Runtime, SharedRuntime};
 pub use sched::{Placement, Scheduler, SharedQueueScheduler};
 pub use scope::{scope, GltScope};
 pub use timer::{wtick, GltTimer};
-pub use unit::{Unit, UnitClass, UnitKind, UnitState, UltHandle, WorkFn, NO_RANK};
+pub use unit::{UltHandle, Unit, UnitClass, UnitKind, UnitState, WorkFn, NO_RANK};
 
 /// Backends either implement their own policy or — when the user sets
 /// `GLT_SHARED_QUEUES` (paper §IV-F) — fall back to one shared queue.

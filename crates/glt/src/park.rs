@@ -185,12 +185,7 @@ mod tests {
     #[test]
     fn passive_idle_parks_after_spin_budget() {
         let slot = Arc::new(WaitSlot::new());
-        let mut w = IdleWait::new(
-            WaitPolicy::Passive,
-            2,
-            Duration::from_millis(1),
-            slot,
-        );
+        let mut w = IdleWait::new(WaitPolicy::Passive, 2, Duration::from_millis(1), slot);
         for _ in 0..5 {
             w.idle();
         }

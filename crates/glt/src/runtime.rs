@@ -29,7 +29,7 @@ use crate::config::GltConfig;
 use crate::counters::Counters;
 use crate::park::{IdleWait, WaitSlot};
 use crate::sched::{Placement, Scheduler, SharedQueueScheduler};
-use crate::unit::{Unit, UnitClass, UnitKind, UnitState, UltHandle, WorkFn};
+use crate::unit::{UltHandle, Unit, UnitClass, UnitKind, UnitState, WorkFn};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -50,9 +50,7 @@ fn unregister_rank(id: u64) {
 }
 
 fn lookup_rank(id: u64) -> Option<usize> {
-    RANKS.with(|r| {
-        r.borrow().iter().rev().find(|&&(i, _)| i == id).map(|&(_, rk)| rk)
-    })
+    RANKS.with(|r| r.borrow().iter().rev().find(|&&(i, _)| i == id).map(|&(_, rk)| rk))
 }
 
 /// Object-safe view of a GLT runtime, independent of backend type.

@@ -23,9 +23,7 @@ use crate::unit::{UltHandle, WorkFn};
 /// The caller must guarantee the closure finishes executing before `'env`
 /// ends. [`GltScope`] enforces this by joining every handle before the
 /// scope returns (normally or by unwind).
-pub(crate) unsafe fn erase_lifetime<'env>(
-    f: Box<dyn FnOnce() + Send + 'env>,
-) -> WorkFn {
+pub(crate) unsafe fn erase_lifetime<'env>(f: Box<dyn FnOnce() + Send + 'env>) -> WorkFn {
     // SAFETY: transmute only changes the lifetime parameter of the trait
     // object; layout of Box<dyn FnOnce()> is lifetime-independent. The
     // 'env-outlives-execution obligation is discharged by the caller.

@@ -265,9 +265,13 @@ mod tests {
     fn run_executes_once_and_records_rank() {
         let hits = Arc::new(AtomicUsize::new(0));
         let h2 = hits.clone();
-        let st = UnitState::new(UnitKind::Ult, 0, Box::new(move || {
-            h2.fetch_add(1, Ordering::SeqCst);
-        }));
+        let st = UnitState::new(
+            UnitKind::Ult,
+            0,
+            Box::new(move || {
+                h2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         let u = Unit(st.clone());
         assert!(!st.is_done());
         u.run(3);
@@ -304,9 +308,13 @@ mod tests {
     fn done_flag_publishes_closure_writes() {
         let flag = Arc::new(AtomicBool::new(false));
         let f2 = flag.clone();
-        let st = UnitState::new(UnitKind::Ult, 0, Box::new(move || {
-            f2.store(true, Ordering::Relaxed);
-        }));
+        let st = UnitState::new(
+            UnitKind::Ult,
+            0,
+            Box::new(move || {
+                f2.store(true, Ordering::Relaxed);
+            }),
+        );
         Unit(st.clone()).run(0);
         if st.is_done() {
             assert!(flag.load(Ordering::Relaxed));

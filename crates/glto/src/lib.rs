@@ -39,6 +39,7 @@
 
 mod backend;
 mod runtime;
+mod tasking;
 mod team;
 
 pub use backend::{AnyGlt, Backend};

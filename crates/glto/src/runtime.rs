@@ -33,13 +33,7 @@ impl GltoRuntime {
         };
         let glt = AnyGlt::start(backend, glt_cfg);
         let icvs = Icvs::new(&cfg);
-        Arc::new(GltoRuntime {
-            cfg,
-            icvs,
-            criticals: CriticalRegistry::new(),
-            backend,
-            glt,
-        })
+        Arc::new(GltoRuntime { cfg, icvs, criticals: CriticalRegistry::new(), backend, glt })
     }
 
     /// The underlying GLT runtime.

@@ -1,0 +1,73 @@
+//! GLTO's task queue policy: `omp task` → `GLT_ult` (§IV-D).
+//!
+//! GLTO owns no task queue of its own — every deferred task becomes a ULT
+//! handed to the GLT scheduler, which is why [`GltoPolicy::pop`] returns
+//! `None` and task execution happens through GLT help points instead
+//! (`GltoTeam::try_run_task` → `help_at_wait`). The §IV-D single-producer
+//! optimization lives here: tasks created inside `single`/`master` are
+//! dispatched round-robin across the `GLT_thread`s with `ult_create_to`,
+//! while tasks created by a whole team stay local to their creator.
+//!
+//! Everything else — slab allocation, `depend` resolution, Table III
+//! accounting, completion bookkeeping — is the shared `omp::TaskEngine`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use glt::GltRuntime;
+use omp::{Popped, PushResult, RunnerRef, TaskMeta, TaskNode, TaskQueuePolicy, TaskRunner};
+
+use crate::runtime::GltoRuntime;
+
+/// Task→ULT dispatch policy of one GLTO team.
+pub(crate) struct GltoPolicy<'rt> {
+    rt: &'rt GltoRuntime,
+    nthreads: usize,
+    /// Round-robin cursor for the §IV-D single-producer dispatch.
+    rr: AtomicUsize,
+}
+
+impl<'rt> GltoPolicy<'rt> {
+    pub(crate) fn new(rt: &'rt GltoRuntime, nthreads: usize) -> Self {
+        GltoPolicy { rt, nthreads: nthreads.max(1), rr: AtomicUsize::new(0) }
+    }
+}
+
+impl TaskQueuePolicy for GltoPolicy<'_> {
+    fn push(&self, meta: &TaskMeta, task: TaskNode, runner: &dyn TaskRunner) -> PushResult {
+        let glt = self.rt.glt();
+        let n = self.nthreads;
+        let w = glt.num_threads();
+        // SAFETY: the region epilogue waits for all tasks before the team
+        // (and with it the engine behind `runner`) is dropped, and the
+        // runtime outlives its regions — both references outlive the ULT.
+        let runner = unsafe { RunnerRef::erase(runner) };
+        let rt: &'static GltoRuntime =
+            unsafe { std::mem::transmute::<&GltoRuntime, &'static GltoRuntime>(self.rt) };
+        let work = Box::new(move || {
+            // The executing OMP thread is the GLT_thread the ULT landed on.
+            // `run_node` completes its bookkeeping (outstanding count,
+            // dependence releases, parent TaskGroup via the wrapper's
+            // guards) even if the body panics: the re-raised panic is
+            // caught by the GLT unit, and the region epilogue terminates.
+            let tid = rt.glt().self_rank().unwrap_or(0) % n;
+            runner.get().run_node(task, tid);
+        });
+        // §IV-D: single-producer pattern ⇒ round-robin dispatch so every
+        // GLT_thread gets tasks; otherwise keep tasks on their creator.
+        let h = if meta.from_single_or_master {
+            let target = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+            glt.ult_create_to(target % w, work)
+        } else {
+            glt.ult_create(work)
+        };
+        // The handle is intentionally dropped: completion is tracked by
+        // the engine's outstanding count and the task's parent TaskGroup.
+        drop(h);
+        PushResult::Deferred
+    }
+
+    fn pop(&self, _tid: usize) -> Option<Popped> {
+        // No engine-owned queue: execution happens through GLT help points.
+        None
+    }
+}

@@ -22,11 +22,12 @@ use std::time::Instant;
 use glt::{Counters, GltRuntime, UltHandle, WaitPolicy};
 use omp::serial::SerialTeam;
 use omp::{
-    run_region_member, CentralBarrier, OmpRuntime, RegionFn, TaskBody, TaskMeta, TeamOps,
-    WorkshareTable,
+    run_region_member, CentralBarrier, Dep, OmpRuntime, RegionFn, TaskCore, TaskEngine, TaskMeta,
+    TaskNode, TeamOps, WorkshareTable,
 };
 
 use crate::runtime::GltoRuntime;
+use crate::tasking::GltoPolicy;
 
 /// Raw-pointer capsule for the fork: the region ULTs reference the
 /// master's stack frame (team + body), valid until the master has joined
@@ -143,8 +144,7 @@ pub(crate) struct GltoTeam<'rt> {
     nthreads: usize,
     barrier: CentralBarrier,
     ws: WorkshareTable,
-    outstanding: AtomicUsize,
-    rr: AtomicUsize,
+    engine: TaskEngine<'rt, GltoPolicy<'rt>>,
     region_arrivals: AtomicUsize,
 }
 
@@ -173,8 +173,7 @@ impl<'rt> GltoTeam<'rt> {
             nthreads,
             barrier: CentralBarrier::new(nthreads),
             ws: WorkshareTable::new(),
-            outstanding: AtomicUsize::new(0),
-            rr: AtomicUsize::new(0),
+            engine: TaskEngine::new(GltoPolicy::new(rt, nthreads), rt.counters()),
             region_arrivals: AtomicUsize::new(0),
         }
     }
@@ -288,8 +287,11 @@ impl TeamOps for GltoTeam<'_> {
     fn barrier(&self, tid: usize) {
         let trace = std::env::var("GLT_TRACE").is_ok();
         if trace {
-            eprintln!("[team] barrier-arrive team={} tid={tid} thread={:?}",
-                self.tag, std::thread::current().id());
+            eprintln!(
+                "[team] barrier-arrive team={} tid={tid} thread={:?}",
+                self.tag,
+                std::thread::current().id()
+            );
         }
         let help = self.may_help();
         let t0 = std::time::Instant::now();
@@ -344,45 +346,14 @@ impl TeamOps for GltoTeam<'_> {
         self.rt.criticals().enter(name, f);
     }
 
-    fn spawn_task(&self, meta: TaskMeta, body: TaskBody) {
-        let glt = self.rt.glt();
-        let counters = self.rt.counters();
-        let n = self.nthreads;
-        let w = glt.num_threads();
-        self.outstanding.fetch_add(1, Ordering::AcqRel);
-        Counters::bump(&counters.tasks_queued, 1);
-        // SAFETY: the region epilogue waits for all tasks before the team
-        // is dropped, and the runtime outlives its regions, so both
-        // references outlive the task.
-        let outstanding: &'static AtomicUsize =
-            unsafe { &*std::ptr::from_ref(&self.outstanding) };
-        let rt: &'static GltoRuntime =
-            unsafe { std::mem::transmute::<&GltoRuntime, &'static GltoRuntime>(self.rt) };
-        let work = Box::new(move || {
-            // Decrement even if the body panics (the GLT unit catches the
-            // panic; the region epilogue must still terminate).
-            struct Guard(&'static AtomicUsize);
-            impl Drop for Guard {
-                fn drop(&mut self) {
-                    self.0.fetch_sub(1, Ordering::AcqRel);
-                }
-            }
-            let _g = Guard(outstanding);
-            // The executing OMP thread is the GLT_thread the ULT landed on.
-            let tid = rt.glt().self_rank().unwrap_or(0) % n.max(1);
-            body(tid);
-        });
-        // §IV-D: single-producer pattern ⇒ round-robin dispatch so every
-        // GLT_thread gets tasks; otherwise keep tasks on their creator.
-        let h = if meta.from_single_or_master {
-            let target = self.rr.fetch_add(1, Ordering::Relaxed) % n.max(1);
-            glt.ult_create_to(target % w, work)
-        } else {
-            glt.ult_create(work)
-        };
-        // The handle is intentionally dropped: completion is tracked by
-        // `outstanding` and the task's parent TaskGroup.
-        drop(h);
+    fn taskcore(&self) -> &TaskCore {
+        self.engine.core()
+    }
+
+    fn spawn_task(&self, meta: TaskMeta, deps: &[Dep], task: TaskNode) {
+        // The engine gates on `deps`, then `GltoPolicy::push` turns the
+        // ready task into a GLT_ult (§IV-D dispatch).
+        self.engine.spawn(meta, deps, task);
     }
 
     fn try_run_task(&self, _tid: usize) -> bool {
@@ -390,10 +361,6 @@ impl TeamOps for GltoTeam<'_> {
             return false;
         }
         self.help_at_wait()
-    }
-
-    fn outstanding_tasks(&self) -> usize {
-        self.outstanding.load(Ordering::Acquire)
     }
 
     fn taskyield(&self, _tid: usize) {
@@ -421,14 +388,19 @@ impl TeamOps for GltoTeam<'_> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use glt::{UnitClass, UnitKind, UnitState};
 
     fn unit(tag: u64, created_by: usize) -> std::sync::Arc<UnitState> {
-        UnitState::new_with_class(UnitKind::Ult, UnitClass::Region, tag, created_by, Box::new(|| {}))
+        UnitState::new_with_class(
+            UnitKind::Ult,
+            UnitClass::Region,
+            tag,
+            created_by,
+            Box::new(|| {}),
+        )
     }
 
     fn lineage(tags: &[u64]) -> std::sync::Arc<Vec<u64>> {
@@ -458,7 +430,7 @@ mod tests {
     fn current_team_allowed_only_at_quiescence_or_as_own_fork() {
         let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
         let mine = unit(2, 7); // created by rank 7
-        // At a barrier-like wait, from a steal: never.
+                               // At a barrier-like wait, from a steal: never.
         assert!(!region_nesting_allowed(&mine, false, false, 7, false));
         // At a barrier-like wait, own pool, own fork: the sole-runner case.
         assert!(region_nesting_allowed(&mine, true, false, 7, false));

@@ -55,7 +55,7 @@ impl CentralBarrier {
 
     /// Convenience for tests: wait with no help and a spin-loop idle.
     pub fn wait_spin(&self) {
-        self.wait(|| false, || std::hint::spin_loop());
+        self.wait(|| false, std::hint::spin_loop);
     }
 }
 

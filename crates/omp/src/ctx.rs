@@ -15,6 +15,7 @@
 //! | `#pragma omp sections` | `ctx.sections(vec![…])` |
 //! | `#pragma omp barrier` | `ctx.barrier()` |
 //! | `#pragma omp task [clauses]` | `ctx.task(…)` / `ctx.task_with(flags, …)` |
+//! | `#pragma omp task depend(in/out/inout: x)` | `ctx.task_depend(&[Dep::read(&x), …], …)` |
 //! | `#pragma omp taskloop grainsize(g)` | `ctx.taskloop(range, g, …)` |
 //! | `#pragma omp taskgroup` | `ctx.taskgroup(\|\| …)` |
 //! | `#pragma omp taskwait` | `ctx.taskwait()` |
@@ -33,8 +34,9 @@ use std::sync::Arc;
 
 use glt::Counters;
 
-use crate::runtime::{RegionFn, TaskBody, TaskGroup, TaskMeta, TeamOps};
+use crate::runtime::{RegionFn, TaskGroup, TaskMeta, TeamOps};
 use crate::schedule::{static_block, static_cyclic, Schedule};
+use crate::taskcore::Dep;
 use crate::workshare::LoopState;
 
 /// Clauses of `#pragma omp task`.
@@ -47,11 +49,15 @@ pub struct TaskFlags {
     /// `final(expr)` — `true` makes this task and its descendants
     /// undeferred/included.
     pub final_clause: bool,
+    /// `mergeable` — when the task executes undeferred, it may run as a
+    /// *merged* task sharing the parent's task environment (its children
+    /// count as the parent's children for `taskwait`).
+    pub mergeable: bool,
 }
 
 impl Default for TaskFlags {
     fn default() -> Self {
-        TaskFlags { if_clause: true, untied: false, final_clause: false }
+        TaskFlags { if_clause: true, untied: false, final_clause: false, mergeable: false }
     }
 }
 
@@ -230,16 +236,11 @@ impl<'t, 'env> ParCtx<'t, 'env> {
     /// `#pragma omp for ordered`: iterations distributed dynamically; the
     /// body receives an [`OrderedScope`] whose `ordered` method serializes
     /// in iteration order. Implicit barrier at the end.
-    pub fn for_each_ordered(
-        &self,
-        range: Range<u64>,
-        mut f: impl FnMut(u64, &OrderedScope<'_>),
-    ) {
+    pub fn for_each_ordered(&self, range: Range<u64>, mut f: impl FnMut(u64, &OrderedScope<'_>)) {
         let seq = self.next_seq();
         let total = range.end.saturating_sub(range.start);
         let n = self.num_threads();
-        let slot =
-            self.team.workshares().loop_slot(seq, || LoopState::new(total, 1, false, n));
+        let slot = self.team.workshares().loop_slot(seq, || LoopState::new(total, 1, false, n));
         while let Some((lo, hi)) = slot.next_chunk() {
             for i in lo..hi {
                 let scope = OrderedScope { slot: &slot, iter: i };
@@ -344,8 +345,7 @@ impl<'t, 'env> ParCtx<'t, 'env> {
         let n = self.num_threads();
         let mut sections: Vec<Option<Box<dyn FnOnce() + '_>>> =
             sections.into_iter().map(Some).collect();
-        let slot =
-            self.team.workshares().loop_slot(seq, || LoopState::new(total, 1, false, n));
+        let slot = self.team.workshares().loop_slot(seq, || LoopState::new(total, 1, false, n));
         while let Some((lo, hi)) = slot.next_chunk() {
             for i in lo..hi {
                 let f = sections[i as usize].take().expect("section dispatched once");
@@ -368,30 +368,79 @@ impl<'t, 'env> ParCtx<'t, 'env> {
         self.task_with(TaskFlags::default(), f);
     }
 
-    /// `#pragma omp task if(..) untied final(..)`.
+    /// `#pragma omp task if(..) untied final(..) mergeable`.
     pub fn task_with<F>(&self, flags: TaskFlags, f: F)
+    where
+        F: for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env,
+    {
+        self.task_full(flags, &[], f);
+    }
+
+    /// `#pragma omp task depend(…)`: a deferred task ordered against its
+    /// siblings through the team's dependence table. Build `deps` with
+    /// [`Dep::read`] (`depend(in:)`), [`Dep::write`] (`depend(out:)`), and
+    /// [`Dep::readwrite`] (`depend(inout:)`).
+    pub fn task_depend<F>(&self, deps: &[Dep], f: F)
+    where
+        F: for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env,
+    {
+        self.task_full(TaskFlags::default(), deps, f);
+    }
+
+    /// `#pragma omp task` with the full clause set: flags plus `depend`
+    /// items.
+    pub fn task_full<F>(&self, flags: TaskFlags, deps: &[Dep], f: F)
     where
         F: for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env,
     {
         let rt = self.team.runtime();
         // Conservation law checked by `CounterSnapshot::invariant_violations`:
         // every created task is counted exactly once here, and exactly once
-        // below as either direct (undeferred) or queued (deferred).
+        // as either direct (undeferred — below) or queued/direct at dispatch
+        // (deferred — in the shared `TaskEngine`).
         Counters::bump(&rt.counters().tasks_created, 1);
         let honors_final = rt.honors_final();
         let make_final = flags.final_clause && honors_final;
         let undeferred = !flags.if_clause || self.in_final || make_final;
         if undeferred {
-            // Included task: runs immediately on the creating thread, in a
-            // fresh task context (final-ness inherited).
+            // An undeferred task still obeys its `depend` clauses: wait for
+            // every predecessor access to retire (predecessors are deferred
+            // siblings, hence runnable from here) before running inline.
+            if !deps.is_empty() {
+                let core = self.team.taskcore();
+                while !core.deps_ready(deps) {
+                    if !self.team.try_run_task(self.tid) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
             Counters::bump(&rt.counters().tasks_direct, 1);
-            let child = ParCtx::for_task(
-                self.team,
-                self.tid,
-                self.in_final || make_final,
-                self.taskgroup.borrow().clone(),
-            );
-            f(&child);
+            if flags.mergeable {
+                // Merged task: shares the parent's task environment, so
+                // tasks it spawns register as the *parent's* children (a
+                // parent `taskwait` covers them).
+                let child = ParCtx {
+                    team: self.team,
+                    tid: self.tid,
+                    group: Arc::clone(&self.group),
+                    taskgroup: std::cell::RefCell::new(self.taskgroup.borrow().clone()),
+                    construct_seq: Cell::new(0),
+                    in_single: Cell::new(false),
+                    in_final: self.in_final || make_final,
+                    _env: PhantomData,
+                };
+                f(&child);
+            } else {
+                // Included task: runs immediately on the creating thread,
+                // in a fresh task context (final-ness inherited).
+                let child = ParCtx::for_task(
+                    self.team,
+                    self.tid,
+                    self.in_final || make_final,
+                    self.taskgroup.borrow().clone(),
+                );
+                f(&child);
+            }
             // Deferred children it spawned stay tracked by the team-wide
             // outstanding count and are drained at the region epilogue —
             // `taskwait` waits for *direct* children only, per the spec.
@@ -407,21 +456,14 @@ impl<'t, 'env> ParCtx<'t, 'env> {
         if let Some(tg) = &taskgroup {
             tg.add();
         }
-        // SAFETY (lifetime erasures): the region's implicit barrier — which
+        // SAFETY (lifetime erasure): the region's implicit barrier — which
         // every runtime implements via `region_epilogue` — waits for all
         // tasks before the region returns, so neither the team reference
         // nor the captured `'env` data can be outlived by this task.
         let team_static: &'static dyn TeamOps =
             unsafe { std::mem::transmute::<&dyn TeamOps, &'static dyn TeamOps>(self.team) };
         let team_ref = TeamRef(team_static);
-        let boxed: Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env> = Box::new(f);
-        let boxed: Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'static>) + Send + 'static> = unsafe {
-            std::mem::transmute::<
-                Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'env>) + Send + 'env>,
-                Box<dyn for<'t2> FnOnce(&ParCtx<'t2, 'static>) + Send + 'static>,
-            >(boxed)
-        };
-        let body: TaskBody = Box::new(move |exec_tid: usize| {
+        let wrapper = move |exec_tid: usize| {
             let team = team_ref.0;
             // Signal the parent (and any enclosing taskgroup) even if the
             // task body panics (the panic is contained by the executing
@@ -436,14 +478,19 @@ impl<'t, 'env> ParCtx<'t, 'env> {
             let _guard = DoneGuard(group);
             let _tg_guard = taskgroup.clone().map(DoneGuard);
             let child = ParCtx::for_task(team, exec_tid, false, taskgroup);
-            boxed(&child);
-        });
+            f(&child);
+        };
+        // SAFETY: the wrapper captures `'env` data (through `f`); the same
+        // region-epilogue contract as above discharges `make_erased`'s
+        // run-before-`'env`-dies obligation. The closure is written into a
+        // recycled slab frame — no per-task allocation on the steady path.
+        let node = unsafe { self.team.taskcore().slab().make_erased(rt.counters(), wrapper) };
         let meta = TaskMeta {
             creator: self.tid,
             untied: flags.untied,
             from_single_or_master: self.in_single.get(),
         };
-        self.team.spawn_task(meta, body);
+        self.team.spawn_task(meta, deps, node);
     }
 
     /// `#pragma omp taskloop grainsize(g)` (OpenMP 4.5): split `range`

@@ -39,13 +39,13 @@ impl Default for OmpConfig {
     fn default() -> Self {
         OmpConfig {
             num_threads: 4,
-            nested: true,       // paper: OMP_NESTED=true for all tests
+            nested: true, // paper: OMP_NESTED=true for all tests
             max_active_levels: 8,
             wait_policy: WaitPolicy::Passive,
-            proc_bind: true,    // paper: OMP_PROC_BIND=true for all tests
+            proc_bind: true, // paper: OMP_PROC_BIND=true for all tests
             runtime_schedule: Schedule::Static { chunk: None },
             shared_queues: false,
-            task_cutoff: 256,   // paper: Intel default cut-off
+            task_cutoff: 256, // paper: Intel default cut-off
         }
     }
 }
@@ -86,7 +86,8 @@ impl OmpConfig {
             }
         }
         if let Ok(v) = std::env::var("GLT_SHARED_QUEUES") {
-            c.shared_queues = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+            c.shared_queues =
+                matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
         }
         if let Ok(v) = std::env::var("KMP_TASK_CUTOFF") {
             if let Ok(n) = v.trim().parse::<usize>() {

@@ -42,6 +42,7 @@ pub mod lock;
 pub mod runtime;
 pub mod schedule;
 pub mod serial;
+pub mod taskcore;
 pub mod workshare;
 
 pub use barrier::CentralBarrier;
@@ -49,9 +50,11 @@ pub use critical::CriticalRegistry;
 pub use ctx::{region_epilogue, run_region_member, OrderedScope, ParCtx, TaskFlags};
 pub use env::{Icvs, OmpConfig};
 pub use lock::{OmpLock, OmpNestLock};
-pub use runtime::{
-    wtime, OmpRuntime, OmpRuntimeExt, RegionFn, TaskBody, TaskGroup, TaskMeta, TeamOps,
-};
+pub use runtime::{wtime, OmpRuntime, OmpRuntimeExt, RegionFn, TaskGroup, TaskMeta, TeamOps};
 pub use schedule::Schedule;
 pub use serial::SerialRuntime;
+pub use taskcore::{
+    Dep, DepKind, DepTable, DirectPolicy, Popped, PushResult, RunnerRef, TaskCore, TaskEngine,
+    TaskNode, TaskQueuePolicy, TaskRunner, TaskSlab,
+};
 pub use workshare::{LoopState, ReduceState, SingleState, WorkshareTable};

@@ -7,24 +7,21 @@
 //! runs over any `dyn OmpRuntime`, reproducing the linkage choice of the
 //! paper's Fig. 2.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
 use glt::Counters;
 
 use crate::ctx::ParCtx;
 use crate::env::{Icvs, OmpConfig};
+use crate::taskcore::{Dep, TaskCore, TaskNode};
 use crate::workshare::WorkshareTable;
+
+// The descendant-count engine lives in the unified task core; re-exported
+// here because it is part of the runtime interface.
+pub use crate::taskcore::TaskGroup;
 
 /// A parallel-region body: called once per team thread with that thread's
 /// context. The `'env` parameter ties every borrow in the closure to data
 /// that outlives the region.
 pub type RegionFn<'env> = dyn for<'t> Fn(&ParCtx<'t, 'env>) + Sync + 'env;
-
-/// An explicit-task body as handed to a runtime: invoked with the
-/// executing thread's team index. Produced only by [`ParCtx::task`], which
-/// owns the lifetime-erasure obligations.
-pub type TaskBody = Box<dyn FnOnce(usize) + Send>;
 
 /// Metadata for a deferred task handed to [`TeamOps::spawn_task`].
 #[derive(Debug, Clone, Copy)]
@@ -36,38 +33,6 @@ pub struct TaskMeta {
     /// Whether the creating code was inside a `single`/`master` construct
     /// — GLTO switches to round-robin dispatch in that case (§IV-D).
     pub from_single_or_master: bool,
-}
-
-/// Counts outstanding child tasks of one (implicit or explicit) task, for
-/// `taskwait`.
-#[derive(Debug, Default)]
-pub struct TaskGroup {
-    count: AtomicUsize,
-}
-
-impl TaskGroup {
-    /// Fresh empty group.
-    #[must_use]
-    pub fn new() -> Arc<Self> {
-        Arc::new(Self::default())
-    }
-
-    /// Register one child.
-    pub fn add(&self) {
-        self.count.fetch_add(1, Ordering::AcqRel);
-    }
-
-    /// Mark one child complete.
-    pub fn done(&self) {
-        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0, "TaskGroup underflow");
-    }
-
-    /// Outstanding children.
-    #[must_use]
-    pub fn pending(&self) -> usize {
-        self.count.load(Ordering::Acquire)
-    }
 }
 
 /// Team-level operations each runtime implements. One instance exists per
@@ -93,15 +58,23 @@ pub trait TeamOps: Sync {
     fn workshares(&self) -> &WorkshareTable;
     /// Named critical section (name registry is per-runtime).
     fn critical(&self, name: &str, f: &mut dyn FnMut());
-    /// Enqueue a deferred task. The runtime decides queueing (shared queue,
-    /// per-thread deque + stealing + cut-off, ULT round-robin …) and MUST
-    /// eventually invoke the body exactly once with the executing tid.
-    fn spawn_task(&self, meta: TaskMeta, body: TaskBody);
+    /// The team's shared task state (frame slab, dependence table,
+    /// outstanding count). Every runtime routes tasks through one
+    /// [`TaskCore`]-backed engine; only the queue policy differs.
+    fn taskcore(&self) -> &TaskCore;
+    /// Admit a task node built from this team's slab. The team's engine
+    /// gates it on `deps`, then defers it through the runtime's queue
+    /// policy (shared queue, per-thread deque + stealing + cut-off, ULT
+    /// round-robin …) or runs it inline if rejected; the body runs exactly
+    /// once with the executing tid.
+    fn spawn_task(&self, meta: TaskMeta, deps: &[Dep], task: TaskNode);
     /// Execute one pending task on this thread if any is available.
     /// Returns whether a task was executed (task scheduling point).
     fn try_run_task(&self, tid: usize) -> bool;
     /// Team-wide count of spawned-but-unfinished tasks.
-    fn outstanding_tasks(&self) -> usize;
+    fn outstanding_tasks(&self) -> usize {
+        self.taskcore().outstanding()
+    }
     /// `omp taskyield`: give the runtime a chance to run something else.
     fn taskyield(&self, tid: usize);
     /// Run a nested parallel region from team member `tid`.
@@ -165,9 +138,8 @@ pub trait OmpRuntimeExt: OmpRuntime {
         // SAFETY: lifetime erasure only. `parallel_erased` contractually
         // completes the whole region (body + tasks) before returning, so
         // nothing referencing `'env` survives this call.
-        let body: &RegionFn<'static> = unsafe {
-            std::mem::transmute::<&RegionFn<'env>, &RegionFn<'static>>(body)
-        };
+        let body: &RegionFn<'static> =
+            unsafe { std::mem::transmute::<&RegionFn<'env>, &RegionFn<'static>>(body) };
         self.parallel_erased(nthreads, body);
     }
 
@@ -187,8 +159,8 @@ impl<R: OmpRuntime + ?Sized> OmpRuntimeExt for R {}
 /// `omp_get_wtime` analog: seconds since an arbitrary epoch.
 #[must_use]
 pub fn wtime() -> f64 {
-    use std::time::Instant;
     use std::sync::OnceLock;
+    use std::time::Instant;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = *EPOCH.get_or_init(Instant::now);
     epoch.elapsed().as_secs_f64()

@@ -123,8 +123,12 @@ mod tests {
     #[test]
     fn static_block_balance_within_one() {
         let n = 5;
-        let sizes: Vec<u64> =
-            (0..n).map(|t| { let (l, h) = static_block(23, t, n); h - l }).collect();
+        let sizes: Vec<u64> = (0..n)
+            .map(|t| {
+                let (l, h) = static_block(23, t, n);
+                h - l
+            })
+            .collect();
         let mx = *sizes.iter().max().unwrap();
         let mn = *sizes.iter().min().unwrap();
         assert!(mx - mn <= 1);

@@ -2,11 +2,10 @@
 //! when nesting is disabled or `max_active_levels` is exceeded, and the
 //! reference `TeamOps` used by this crate's own tests.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use crate::critical::CriticalRegistry;
 use crate::ctx::run_region_member;
-use crate::runtime::{OmpRuntime, RegionFn, TaskBody, TaskMeta, TeamOps};
+use crate::runtime::{OmpRuntime, RegionFn, TaskMeta, TeamOps};
+use crate::taskcore::{Dep, DirectPolicy, TaskCore, TaskEngine, TaskNode};
 use crate::workshare::WorkshareTable;
 
 /// A degenerate team of one thread. Tasks execute immediately; barriers
@@ -16,14 +15,20 @@ pub struct SerialTeam<'rt> {
     criticals: &'rt CriticalRegistry,
     level: usize,
     ws: WorkshareTable,
-    running_tasks: AtomicUsize,
+    engine: TaskEngine<'rt, DirectPolicy>,
 }
 
 impl<'rt> SerialTeam<'rt> {
     /// A serialized team at nesting depth `level`.
     #[must_use]
     pub fn new(rt: &'rt dyn OmpRuntime, criticals: &'rt CriticalRegistry, level: usize) -> Self {
-        SerialTeam { rt, criticals, level, ws: WorkshareTable::new(), running_tasks: AtomicUsize::new(0) }
+        SerialTeam {
+            rt,
+            criticals,
+            level,
+            ws: WorkshareTable::new(),
+            engine: TaskEngine::new(DirectPolicy, rt.counters()),
+        }
     }
 
     /// Run a whole serialized region (body of thread 0 + epilogue).
@@ -53,22 +58,19 @@ impl TeamOps for SerialTeam<'_> {
         self.criticals.enter(name, f);
     }
 
-    fn spawn_task(&self, _meta: TaskMeta, body: TaskBody) {
-        // One thread, nothing to overlap with: run the task immediately
-        // (its wrapper signals the parent group). Counts as undeferred
-        // execution for the task-conservation invariant.
-        glt::Counters::bump(&self.rt.counters().tasks_direct, 1);
-        self.running_tasks.fetch_add(1, Ordering::Relaxed);
-        body(0);
-        self.running_tasks.fetch_sub(1, Ordering::Relaxed);
+    fn taskcore(&self) -> &TaskCore {
+        self.engine.core()
     }
 
-    fn try_run_task(&self, _tid: usize) -> bool {
-        false // nothing is ever queued
+    fn spawn_task(&self, meta: TaskMeta, deps: &[Dep], task: TaskNode) {
+        // One thread, nothing to overlap with: `DirectPolicy` rejects every
+        // push, so the engine runs the task immediately and counts it as
+        // undeferred execution (task-conservation invariant).
+        self.engine.spawn(meta, deps, task);
     }
 
-    fn outstanding_tasks(&self) -> usize {
-        0
+    fn try_run_task(&self, tid: usize) -> bool {
+        self.engine.try_run(tid) // always false: nothing is ever queued
     }
 
     fn taskyield(&self, _tid: usize) {}
@@ -96,7 +98,12 @@ impl SerialRuntime {
     #[must_use]
     pub fn new(cfg: crate::env::OmpConfig) -> Self {
         let icvs = crate::env::Icvs::new(&cfg);
-        SerialRuntime { cfg, icvs, counters: glt::Counters::new(), criticals: CriticalRegistry::new() }
+        SerialRuntime {
+            cfg,
+            icvs,
+            counters: glt::Counters::new(),
+            criticals: CriticalRegistry::new(),
+        }
     }
 }
 
@@ -132,7 +139,7 @@ mod tests {
     use crate::env::OmpConfig;
     use crate::runtime::OmpRuntimeExt;
     use crate::schedule::Schedule;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     fn rt() -> SerialRuntime {
         SerialRuntime::new(OmpConfig::with_threads(1))
@@ -167,8 +174,13 @@ mod tests {
     fn for_reduce_serial() {
         let r = rt();
         r.parallel(|ctx| {
-            let s =
-                ctx.for_reduce(1..11, Schedule::Static { chunk: None }, 0u64, |i, acc| *acc += i, |a, b| a + b);
+            let s = ctx.for_reduce(
+                1..11,
+                Schedule::Static { chunk: None },
+                0u64,
+                |i, acc| *acc += i,
+                |a, b| a + b,
+            );
             assert_eq!(s, 55);
         });
     }

@@ -1,0 +1,815 @@
+//! The unified explicit-task engine.
+//!
+//! Before this module, the task machinery was implemented four times —
+//! `pomp::gnu`'s lock-protected shared queue, `pomp::intel`'s per-thread
+//! deques + cut-off, `glto`'s task→ULT round-robin, and `omp::serial` —
+//! each with its own bookkeeping and a heap `Box<dyn FnOnce>` per task on
+//! the hot path (the decisive scenario of the paper's Figs. 10–14 and
+//! Table III). Now there is exactly one core:
+//!
+//! * [`TaskSlab`] — slab-allocated task frames with a recycled free list.
+//!   A task body is written in place into a fixed-size inline payload (or
+//!   a spill allocation for oversized captures) and invoked through a
+//!   monomorphized function pointer; on the steady-state path no
+//!   allocation happens per task.
+//! * [`TaskGroup`] — the descendant-count engine behind `taskwait` and
+//!   `taskgroup`, shared by every runtime.
+//! * [`DepTable`] — `depend(in/out/inout)` resolution through a
+//!   per-region address map: a task with unfinished predecessors is
+//!   parked and dispatched by the completion of its last predecessor.
+//! * [`TaskQueuePolicy`] — the *only* thing a runtime still implements:
+//!   the queueing discipline the paper attributes to it (GNU: one mutex
+//!   queue; Intel: deques + steal + cut-off; GLTO: `ult_create_to`
+//!   round-robin per §IV-D; serial: immediate execution).
+//! * [`TaskEngine`] — glues the above together and owns the Table III
+//!   accounting (`tasks_queued` / `tasks_direct` / `steals`) so the
+//!   counters mean the same thing on every runtime.
+
+use std::collections::HashMap;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use glt::Counters;
+
+use crate::runtime::TaskMeta;
+
+// ----------------------------------------------------------------------
+// Task groups (taskwait / taskgroup descendant counting)
+// ----------------------------------------------------------------------
+
+/// Counts outstanding child tasks of one (implicit or explicit) task, for
+/// `taskwait`; also used per construct instance for `taskgroup`.
+#[derive(Debug, Default)]
+pub struct TaskGroup {
+    count: AtomicUsize,
+}
+
+impl TaskGroup {
+    /// Fresh empty group.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register one child.
+    pub fn add(&self) {
+        self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Mark one child complete.
+    pub fn done(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "TaskGroup underflow");
+    }
+
+    /// Outstanding children.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Slab-allocated task frames
+// ----------------------------------------------------------------------
+
+/// Inline payload capacity in machine words. The standard task wrapper
+/// (team pointer + parent group + optional taskgroup + a small user
+/// closure) fits here; larger captures spill to one heap allocation.
+const INLINE_WORDS: usize = 10;
+
+/// Frames kept on the free list per slab; beyond this, retired frames are
+/// simply freed.
+const FREE_LIST_CAP: usize = 256;
+
+unsafe fn invoke_raw<F: FnOnce(usize)>(p: *mut u8, tid: usize) {
+    // Move the closure out of the frame, then call it: the payload bytes
+    // are dead before user code runs, so a panic cannot double-drop them.
+    (unsafe { p.cast::<F>().read() })(tid)
+}
+
+unsafe fn drop_raw<F>(p: *mut u8) {
+    unsafe { p.cast::<F>().drop_in_place() }
+}
+
+unsafe fn dealloc_raw<F>(p: *mut u8) {
+    // Free the spill allocation without dropping `F` (already consumed or
+    // separately dropped): `MaybeUninit<F>` has `F`'s layout and no drop.
+    drop(unsafe { Box::from_raw(p.cast::<MaybeUninit<F>>()) })
+}
+
+/// One reusable task frame: erased closure storage plus its vtable-free
+/// invoke/drop function pointers. Lives in a [`TaskSlab`].
+pub struct Frame {
+    payload: [MaybeUninit<usize>; INLINE_WORDS],
+    /// Non-null when the payload spilled to its own allocation.
+    spill: *mut u8,
+    invoke: Option<unsafe fn(*mut u8, usize)>,
+    drop_payload: Option<unsafe fn(*mut u8)>,
+    dealloc_spill: Option<unsafe fn(*mut u8)>,
+    /// Dependency-graph node to complete when this task finishes. Attached
+    /// only while the task is in flight (set at dispatch, taken at run) so
+    /// parked tasks never form an `Arc` cycle with their [`DepNode`].
+    dep: Option<Arc<DepNode>>,
+}
+
+// SAFETY: the payload (inline or spilled) is only ever written through
+// `TaskSlab::make_erased`, which bounds it by `F: Send`; the spill pointer
+// is uniquely owned by the frame.
+unsafe impl Send for Frame {}
+
+impl Frame {
+    fn empty() -> Self {
+        Frame {
+            payload: [MaybeUninit::uninit(); INLINE_WORDS],
+            spill: ptr::null_mut(),
+            invoke: None,
+            drop_payload: None,
+            dealloc_spill: None,
+            dep: None,
+        }
+    }
+
+    fn payload_ptr(&mut self) -> *mut u8 {
+        if self.spill.is_null() {
+            self.payload.as_mut_ptr().cast()
+        } else {
+            self.spill
+        }
+    }
+
+    /// Run the stored body with executing-thread index `tid`. Consumes the
+    /// payload and leaves the frame clean for recycling (even on panic:
+    /// the spill allocation is freed by a drop guard).
+    fn run(&mut self, tid: usize) {
+        let invoke = self.invoke.take().expect("task frame already run");
+        self.drop_payload = None; // consumed by `invoke` below
+        let p = self.payload_ptr();
+        struct SpillGuard(*mut u8, Option<unsafe fn(*mut u8)>);
+        impl Drop for SpillGuard {
+            fn drop(&mut self) {
+                if let Some(dealloc) = self.1 {
+                    // SAFETY: pointer came from `Box::into_raw` in
+                    // `make_erased`; freed exactly once, here.
+                    unsafe { dealloc(self.0) }
+                }
+            }
+        }
+        let _spill = SpillGuard(self.spill, self.dealloc_spill.take());
+        self.spill = ptr::null_mut();
+        // SAFETY: `invoke` was installed by `make_erased` for the exact
+        // closure type written at `p`; cleared above so it runs once.
+        unsafe { invoke(p, tid) }
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        // A frame dropped before running still owns its closure.
+        if self.invoke.take().is_some() {
+            if let Some(drop_payload) = self.drop_payload.take() {
+                // SAFETY: payload is initialized iff `invoke` was set.
+                unsafe { drop_payload(self.payload_ptr()) }
+            }
+            if let Some(dealloc) = self.dealloc_spill.take() {
+                // SAFETY: spill allocated in `make_erased`, freed once.
+                unsafe { dealloc(self.spill) }
+            }
+        }
+    }
+}
+
+/// An allocated, ready-to-dispatch task: one boxed [`Frame`] (the box
+/// keeps the payload address stable while the node moves between queues).
+pub struct TaskNode {
+    frame: Box<Frame>,
+}
+
+/// Free list of recycled task frames. One per [`TaskCore`], i.e. per
+/// team/region: steady-state task spawn pops a frame instead of
+/// allocating ([`Counters::task_slab_reused`] vs `task_slab_fresh`).
+#[derive(Default)]
+pub struct TaskSlab {
+    // The boxes ARE the recycled allocations: `take` hands one back out
+    // verbatim, so an unboxed `Vec<Frame>` would re-allocate per reuse.
+    #[allow(clippy::vec_box)]
+    free: Mutex<Vec<Box<Frame>>>,
+}
+
+impl TaskSlab {
+    fn take(&self, counters: &Counters) -> Box<Frame> {
+        let recycled = self.free.lock().unwrap().pop();
+        match recycled {
+            Some(f) => {
+                Counters::bump(&counters.task_slab_reused, 1);
+                f
+            }
+            None => {
+                Counters::bump(&counters.task_slab_fresh, 1);
+                Box::new(Frame::empty())
+            }
+        }
+    }
+
+    fn recycle(&self, frame: Box<Frame>) {
+        debug_assert!(frame.invoke.is_none() && frame.spill.is_null() && frame.dep.is_none());
+        let mut free = self.free.lock().unwrap();
+        if free.len() < FREE_LIST_CAP {
+            free.push(frame);
+        }
+    }
+
+    /// Frames currently parked on the free list (tests/diagnostics).
+    #[must_use]
+    pub fn free_len(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Build a task node around `f` without requiring `'static`.
+    ///
+    /// # Safety
+    /// `f` may capture non-`'static` data. The caller must guarantee the
+    /// node is run (or dropped) before anything it borrows dies — in this
+    /// crate that is the region-epilogue contract: every runtime drains
+    /// all tasks before the team or the `'env` data is torn down.
+    pub unsafe fn make_erased<F: FnOnce(usize) + Send>(
+        &self,
+        counters: &Counters,
+        f: F,
+    ) -> TaskNode {
+        let mut frame = self.take(counters);
+        let inline = std::mem::size_of::<F>() <= INLINE_WORDS * std::mem::size_of::<usize>()
+            && std::mem::align_of::<F>() <= std::mem::align_of::<usize>();
+        if inline {
+            // SAFETY: size/align checked; frame payload is uninitialized.
+            unsafe { frame.payload.as_mut_ptr().cast::<F>().write(f) };
+            frame.spill = ptr::null_mut();
+            frame.dealloc_spill = None;
+        } else {
+            frame.spill = Box::into_raw(Box::new(f)).cast();
+            frame.dealloc_spill = Some(dealloc_raw::<F>);
+        }
+        frame.invoke = Some(invoke_raw::<F>);
+        frame.drop_payload = Some(drop_raw::<F>);
+        TaskNode { frame }
+    }
+
+    /// Safe constructor for `'static` bodies (benches, tests).
+    pub fn make<F: FnOnce(usize) + Send + 'static>(&self, counters: &Counters, f: F) -> TaskNode {
+        // SAFETY: `F: 'static`, so there is nothing to outlive.
+        unsafe { self.make_erased(counters, f) }
+    }
+}
+
+// ----------------------------------------------------------------------
+// depend(in/out/inout) resolution
+// ----------------------------------------------------------------------
+
+/// Dependence type of one `depend` clause item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// `depend(in: x)` — ordered after the last writer of `x`.
+    In,
+    /// `depend(out: x)` — ordered after the last writer and all readers
+    /// since.
+    Out,
+    /// `depend(inout: x)` — same ordering as [`DepKind::Out`].
+    InOut,
+}
+
+/// One `depend` clause item: a storage location (by address, as in the
+/// OpenMP list-item rules) and how this task accesses it.
+#[derive(Debug, Clone, Copy)]
+pub struct Dep {
+    /// Address identifying the list item.
+    pub addr: usize,
+    /// Access kind.
+    pub kind: DepKind,
+}
+
+impl Dep {
+    /// `depend(in: *v)`.
+    pub fn read<T: ?Sized>(v: &T) -> Dep {
+        Dep { addr: ptr::from_ref(v).cast::<u8>() as usize, kind: DepKind::In }
+    }
+
+    /// `depend(out: *v)`.
+    pub fn write<T: ?Sized>(v: &T) -> Dep {
+        Dep { addr: ptr::from_ref(v).cast::<u8>() as usize, kind: DepKind::Out }
+    }
+
+    /// `depend(inout: *v)`.
+    pub fn readwrite<T: ?Sized>(v: &T) -> Dep {
+        Dep { addr: ptr::from_ref(v).cast::<u8>() as usize, kind: DepKind::InOut }
+    }
+}
+
+/// Node in the task dependence graph: predecessor count plus the parked
+/// task (if still waiting) and the tasks waiting on *this* one.
+pub(crate) struct DepNode {
+    /// Unfinished predecessors, plus one registration guard that keeps the
+    /// count positive until the creating thread finishes linking.
+    remaining: AtomicUsize,
+    inner: Mutex<DepInner>,
+}
+
+#[derive(Default)]
+struct DepInner {
+    finished: bool,
+    dependents: Vec<Arc<DepNode>>,
+    parked: Option<(TaskMeta, TaskNode)>,
+}
+
+fn add_pred(preds: &mut Vec<Arc<DepNode>>, me: &Arc<DepNode>, p: &Arc<DepNode>) {
+    if !Arc::ptr_eq(p, me) && !preds.iter().any(|q| Arc::ptr_eq(q, p)) {
+        preds.push(Arc::clone(p));
+    }
+}
+
+/// Per-region address map implementing the OpenMP `depend` ordering
+/// rules among sibling tasks: `in` waits for the last `out`/`inout`
+/// writer of the same address; `out`/`inout` additionally wait for every
+/// reader registered since that writer.
+#[derive(Default)]
+pub struct DepTable {
+    map: Mutex<HashMap<usize, AddrState>>,
+}
+
+#[derive(Default)]
+struct AddrState {
+    last_writer: Option<Arc<DepNode>>,
+    readers: Vec<Arc<DepNode>>,
+}
+
+impl DepTable {
+    /// Register a deferred task with its `depend` items. Returns the task
+    /// back if it has no unfinished predecessors (dispatch now); otherwise
+    /// parks it — the completion of its last predecessor dispatches it.
+    fn register(
+        &self,
+        meta: TaskMeta,
+        deps: &[Dep],
+        node: TaskNode,
+    ) -> Option<(TaskMeta, TaskNode)> {
+        let me = Arc::new(DepNode { remaining: AtomicUsize::new(1), inner: Mutex::default() });
+        let mut preds: Vec<Arc<DepNode>> = Vec::new();
+        {
+            let mut map = self.map.lock().unwrap();
+            for d in deps {
+                let st = map.entry(d.addr).or_default();
+                match d.kind {
+                    DepKind::In => {
+                        if let Some(w) = &st.last_writer {
+                            add_pred(&mut preds, &me, w);
+                        }
+                        st.readers.push(Arc::clone(&me));
+                    }
+                    DepKind::Out | DepKind::InOut => {
+                        if let Some(w) = &st.last_writer {
+                            add_pred(&mut preds, &me, w);
+                        }
+                        for r in &st.readers {
+                            add_pred(&mut preds, &me, r);
+                        }
+                        st.last_writer = Some(Arc::clone(&me));
+                        st.readers.clear();
+                    }
+                }
+            }
+        }
+        // Park first, then link: a predecessor finishing mid-link must
+        // find the task already parked. The registration guard keeps
+        // `remaining` positive until the final decrement below, so only
+        // one side can bring it to zero and dispatch.
+        me.inner.lock().unwrap().parked = Some((meta, node));
+        for p in &preds {
+            let mut pi = p.inner.lock().unwrap();
+            if !pi.finished {
+                me.remaining.fetch_add(1, Ordering::AcqRel);
+                pi.dependents.push(Arc::clone(&me));
+            }
+        }
+        if me.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let parked = me.inner.lock().unwrap().parked.take();
+            parked.map(|(m, mut n)| {
+                n.frame.dep = Some(Arc::clone(&me));
+                (m, n)
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Mark `node`'s task finished and collect every dependent task that
+    /// became ready.
+    fn complete(&self, node: &Arc<DepNode>) -> Vec<(TaskMeta, TaskNode)> {
+        let dependents = {
+            let mut inner = node.inner.lock().unwrap();
+            inner.finished = true;
+            std::mem::take(&mut inner.dependents)
+        };
+        let mut released = Vec::new();
+        for d in dependents {
+            if d.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let parked = d.inner.lock().unwrap().parked.take();
+                if let Some((m, mut n)) = parked {
+                    n.frame.dep = Some(Arc::clone(&d));
+                    released.push((m, n));
+                }
+            }
+        }
+        released
+    }
+
+    /// Whether every predecessor access of `deps` has retired — the wait
+    /// condition for an *undeferred* task with `depend` clauses (which
+    /// runs inline and therefore never parks).
+    #[must_use]
+    pub fn ready(&self, deps: &[Dep]) -> bool {
+        let map = self.map.lock().unwrap();
+        deps.iter().all(|d| {
+            let Some(st) = map.get(&d.addr) else { return true };
+            let writer_done =
+                st.last_writer.as_ref().is_none_or(|w| w.inner.lock().unwrap().finished);
+            match d.kind {
+                DepKind::In => writer_done,
+                DepKind::Out | DepKind::InOut => {
+                    writer_done && st.readers.iter().all(|r| r.inner.lock().unwrap().finished)
+                }
+            }
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Queue policies
+// ----------------------------------------------------------------------
+
+/// What a policy did with a pushed task.
+pub enum PushResult {
+    /// Accepted into a queue (or handed to an external scheduler); counts
+    /// as `tasks_queued`.
+    Deferred,
+    /// Refused (cut-off, serial execution): the engine runs it inline on
+    /// the pushing thread and counts it as `tasks_direct`.
+    Rejected(TaskNode),
+}
+
+/// A task taken out of a policy's queues.
+pub struct Popped {
+    /// The task to run.
+    pub task: TaskNode,
+    /// Whether it came from another thread's queue (bumps `steals`).
+    pub stolen: bool,
+}
+
+/// Executes fully-built task nodes; implemented by [`TaskEngine`]. Policies
+/// that hand tasks to an external scheduler (GLTO's ULTs) capture this to
+/// run the node from the scheduled unit.
+pub trait TaskRunner: Sync {
+    /// Run `task` as thread `tid` and perform completion bookkeeping.
+    fn run_node(&self, task: TaskNode, tid: usize);
+}
+
+/// A lifetime-erased [`TaskRunner`] handle, for policies whose execution
+/// happens on another stack (GLTO ULTs).
+#[derive(Clone, Copy)]
+pub struct RunnerRef(&'static dyn TaskRunner);
+
+impl RunnerRef {
+    /// Erase `r`'s lifetime.
+    ///
+    /// # Safety
+    /// The runner (i.e. the team's engine) must outlive every task that
+    /// uses this handle — guaranteed by the region epilogue, which drains
+    /// all tasks before team teardown.
+    #[must_use]
+    pub unsafe fn erase(r: &dyn TaskRunner) -> RunnerRef {
+        // SAFETY: lifetime erasure only; see above.
+        RunnerRef(unsafe { std::mem::transmute::<&dyn TaskRunner, &'static dyn TaskRunner>(r) })
+    }
+
+    /// The underlying runner.
+    #[must_use]
+    pub fn get(&self) -> &dyn TaskRunner {
+        self.0
+    }
+}
+
+/// The queueing discipline of one runtime — the only task-related code a
+/// runtime still owns. Everything else (allocation, dependence tracking,
+/// accounting, execution bookkeeping) lives in the shared [`TaskEngine`].
+pub trait TaskQueuePolicy: Sync {
+    /// Accept a ready task for deferred execution, or reject it to run
+    /// inline (cut-off / serial semantics).
+    fn push(&self, meta: &TaskMeta, task: TaskNode, runner: &dyn TaskRunner) -> PushResult;
+    /// Take one pending task for thread `tid`, if the policy keeps its own
+    /// queues (external-scheduler policies return `None`).
+    fn pop(&self, tid: usize) -> Option<Popped>;
+}
+
+/// Serial policy: every task is rejected back to the engine and runs
+/// immediately on the creating thread (undeferred), like a one-thread
+/// OpenMP implementation with no task queue at all.
+pub struct DirectPolicy;
+
+impl TaskQueuePolicy for DirectPolicy {
+    fn push(&self, _meta: &TaskMeta, task: TaskNode, _runner: &dyn TaskRunner) -> PushResult {
+        PushResult::Rejected(task)
+    }
+
+    fn pop(&self, _tid: usize) -> Option<Popped> {
+        None
+    }
+}
+
+// ----------------------------------------------------------------------
+// The engine
+// ----------------------------------------------------------------------
+
+/// Policy-independent task state of one team: the frame slab, the
+/// dependence table, and the team-wide outstanding count the region
+/// epilogue waits on. Reachable through `TeamOps::taskcore`.
+#[derive(Default)]
+pub struct TaskCore {
+    slab: TaskSlab,
+    deps: DepTable,
+    outstanding: AtomicUsize,
+}
+
+impl TaskCore {
+    /// Fresh core (empty slab, empty dependence table).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The frame slab (task-node construction).
+    #[must_use]
+    pub fn slab(&self) -> &TaskSlab {
+        &self.slab
+    }
+
+    /// Team-wide count of spawned-but-unfinished tasks (including parked
+    /// dependent tasks).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Whether all predecessor accesses of `deps` have retired (the wait
+    /// condition for undeferred tasks with `depend` clauses).
+    #[must_use]
+    pub fn deps_ready(&self, deps: &[Dep]) -> bool {
+        self.deps.ready(deps)
+    }
+}
+
+/// The shared task engine: one per team, parameterized by the runtime's
+/// [`TaskQueuePolicy`].
+pub struct TaskEngine<'rt, P> {
+    core: TaskCore,
+    policy: P,
+    counters: &'rt Counters,
+}
+
+impl<'rt, P: TaskQueuePolicy> TaskEngine<'rt, P> {
+    /// Build an engine around `policy`, accounting into `counters`.
+    pub fn new(policy: P, counters: &'rt Counters) -> Self {
+        TaskEngine { core: TaskCore::new(), policy, counters }
+    }
+
+    /// Policy-independent task state.
+    #[must_use]
+    pub fn core(&self) -> &TaskCore {
+        &self.core
+    }
+
+    /// The runtime's queue policy.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Team-wide count of spawned-but-unfinished tasks.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.core.outstanding()
+    }
+
+    /// Admit a task: gate it on its `depend` items, then queue it (or run
+    /// it inline if the policy rejects it).
+    pub fn spawn(&self, meta: TaskMeta, deps: &[Dep], node: TaskNode) {
+        self.core.outstanding.fetch_add(1, Ordering::AcqRel);
+        if deps.is_empty() {
+            self.dispatch(meta, node);
+        } else {
+            Counters::bump(&self.counters.dep_tasks, 1);
+            if let Some((meta, node)) = self.core.deps.register(meta, deps, node) {
+                self.dispatch(meta, node);
+            }
+        }
+    }
+
+    /// Hand a ready task to the policy; Table III accounting happens here
+    /// (`tasks_queued` for deferred, `tasks_direct` + inline run for
+    /// rejected).
+    fn dispatch(&self, meta: TaskMeta, node: TaskNode) {
+        match self.policy.push(&meta, node, self) {
+            PushResult::Deferred => Counters::bump(&self.counters.tasks_queued, 1),
+            PushResult::Rejected(node) => {
+                Counters::bump(&self.counters.tasks_direct, 1);
+                self.run_node(node, meta.creator);
+            }
+        }
+    }
+
+    /// Pop and run one pending task for `tid`. Returns whether one ran.
+    /// Panics from the task body propagate (callers that contain panics —
+    /// pomp — catch at their `try_run_task` boundary).
+    pub fn try_run(&self, tid: usize) -> bool {
+        match self.policy.pop(tid) {
+            Some(p) => {
+                if p.stolen {
+                    Counters::bump(&self.counters.steals, 1);
+                }
+                self.run_node(p.task, tid);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<P: TaskQueuePolicy> TaskRunner for TaskEngine<'_, P> {
+    fn run_node(&self, task: TaskNode, tid: usize) {
+        let TaskNode { mut frame } = task;
+        let dep = frame.dep.take();
+        // Catch so the completion bookkeeping below always happens — a
+        // panicking task must still release its dependents, recycle its
+        // frame, and drop the outstanding count, or waits would hang. The
+        // panic is re-raised after; containment (or not) is each caller's
+        // existing policy.
+        let result = catch_unwind(AssertUnwindSafe(|| frame.run(tid)));
+        self.core.slab.recycle(frame);
+        let mut deferred_panic = None;
+        if let Some(dn) = dep {
+            for (meta, node) in self.core.deps.complete(&dn) {
+                // Isolate each release: a released task that the policy
+                // rejects runs inline here, and its panic must not skip
+                // the remaining releases.
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| self.dispatch(meta, node))) {
+                    deferred_panic.get_or_insert(p);
+                }
+            }
+        }
+        self.core.outstanding.fetch_sub(1, Ordering::AcqRel);
+        if let Err(p) = result {
+            resume_unwind(p);
+        }
+        if let Some(p) = deferred_panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn meta() -> TaskMeta {
+        TaskMeta { creator: 0, untied: false, from_single_or_master: false }
+    }
+
+    #[test]
+    fn slab_recycles_frames() {
+        let c = Counters::new();
+        let engine = TaskEngine::new(DirectPolicy, &c);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let hits = Arc::clone(&hits);
+            let node = engine.core().slab().make(&c, move |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            engine.spawn(meta(), &[], node);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+        let s = c.snapshot();
+        // One fresh frame, then nine reuses of it.
+        assert_eq!(s.task_slab_fresh, 1);
+        assert_eq!(s.task_slab_reused, 9);
+        assert_eq!(s.tasks_direct, 10);
+        assert_eq!(engine.outstanding(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_spills_and_runs() {
+        let c = Counters::new();
+        let slab = TaskSlab::default();
+        let big = [7u64; 64]; // way past the inline capacity
+        let out = Arc::new(AtomicU64::new(0));
+        let out2 = Arc::clone(&out);
+        let node = slab.make(&c, move |_| {
+            out2.store(big.iter().sum(), Ordering::Relaxed);
+        });
+        let TaskNode { mut frame } = node;
+        assert!(!frame.spill.is_null(), "64x u64 capture must spill");
+        frame.run(3);
+        slab.recycle(frame);
+        assert_eq!(out.load(Ordering::Relaxed), 7 * 64);
+    }
+
+    #[test]
+    fn unrun_frames_drop_their_payload() {
+        let c = Counters::new();
+        let slab = TaskSlab::default();
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        // Inline payload.
+        let small = Canary(Arc::clone(&drops));
+        drop(slab.make(&c, move |_| drop(small)));
+        // Spilled payload.
+        let big = (Canary(Arc::clone(&drops)), [0u64; 32]);
+        drop(slab.make(&c, move |_| drop(big)));
+        assert_eq!(drops.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dep_chain_runs_in_registration_order() {
+        let c = Counters::new();
+        let engine = TaskEngine::new(DirectPolicy, &c);
+        let x = 0u64; // dependence list item (address only)
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let log = Arc::clone(&log);
+            let node = engine.core().slab().make(&c, move |_| {
+                log.lock().unwrap().push(i);
+            });
+            engine.spawn(meta(), &[Dep::readwrite(&x)], node);
+        }
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        let s = c.snapshot();
+        assert_eq!(s.dep_tasks, 5);
+        assert_eq!(s.tasks_direct, 5);
+        assert_eq!(engine.outstanding(), 0);
+    }
+
+    #[test]
+    fn readers_do_not_order_against_each_other() {
+        // in,in then out: both readers become predecessors of the writer,
+        // but with DirectPolicy each task completes at spawn, so we assert
+        // through the table directly.
+        let table = DepTable::default();
+        let c = Counters::new();
+        let slab = TaskSlab::default();
+        let x = 0u64;
+        let r1 = table.register(meta(), &[Dep::read(&x)], slab.make(&c, |_| {}));
+        let r2 = table.register(meta(), &[Dep::read(&x)], slab.make(&c, |_| {}));
+        // Two concurrent readers: both ready immediately (no writer yet).
+        assert!(r1.is_some() && r2.is_some());
+        // A writer now waits on both unfinished readers.
+        let w = table.register(meta(), &[Dep::write(&x)], slab.make(&c, |_| {}));
+        assert!(w.is_none(), "writer must park behind the two readers");
+        assert!(!table.ready(&[Dep::write(&x)]));
+        // Finish reader 1: writer still parked behind reader 2.
+        let (_, mut n1) = r1.unwrap();
+        let d1 = n1.frame.dep.take().unwrap();
+        assert!(table.complete(&d1).is_empty());
+        // Finish reader 2: the writer is released.
+        let (_, mut n2) = r2.unwrap();
+        let d2 = n2.frame.dep.take().unwrap();
+        let released = table.complete(&d2);
+        assert_eq!(released.len(), 1);
+        // In-deps on x are ready only once the writer finishes too.
+        assert!(!table.ready(&[Dep::read(&x)]));
+        let (_, mut nw) = released.into_iter().next().unwrap();
+        let dw = nw.frame.dep.take().unwrap();
+        table.complete(&dw);
+        assert!(table.ready(&[Dep::read(&x)]));
+    }
+
+    #[test]
+    fn duplicate_deps_on_same_addr_do_not_double_count() {
+        let table = DepTable::default();
+        let c = Counters::new();
+        let slab = TaskSlab::default();
+        let x = 0u64;
+        let w = table.register(meta(), &[Dep::write(&x)], slab.make(&c, |_| {})).unwrap();
+        // in + inout on the same address: the writer is one predecessor.
+        let t = table.register(meta(), &[Dep::read(&x), Dep::readwrite(&x)], slab.make(&c, |_| {}));
+        assert!(t.is_none());
+        let (_, mut nw) = w;
+        let dw = nw.frame.dep.take().unwrap();
+        let released = table.complete(&dw);
+        assert_eq!(released.len(), 1, "one completion must fully release the task");
+    }
+}

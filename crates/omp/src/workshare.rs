@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn dynamic_chunks_cover_exactly() {
         let ls = LoopState::new(103, 10, false, 4);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         while let Some((lo, hi)) = ls.next_chunk() {
             for i in lo..hi {
                 assert!(!seen[i as usize]);

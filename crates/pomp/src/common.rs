@@ -15,8 +15,9 @@ use std::time::{Duration, Instant};
 use glt::park::WaitSlot;
 use glt::{Counters, WaitPolicy};
 use omp::{
-    run_region_member, CentralBarrier, CriticalRegistry, OmpRuntime, RegionFn, TaskBody,
-    TaskMeta, TeamOps, WorkshareTable,
+    run_region_member, CentralBarrier, CriticalRegistry, Dep, OmpRuntime, Popped, PushResult,
+    RegionFn, TaskCore, TaskEngine, TaskMeta, TaskNode, TaskQueuePolicy, TaskRunner, TeamOps,
+    WorkshareTable,
 };
 use parking_lot::Mutex;
 
@@ -139,8 +140,7 @@ impl ThreadPool {
         let t0 = Instant::now();
         for (i, slot) in self.slots.iter().take(k).enumerate() {
             // Lifetime erasure of the team pointer; see `Cmd` safety note.
-            let team_ptr =
-                std::ptr::from_ref(team).cast::<PompTeam<'static>>();
+            let team_ptr = std::ptr::from_ref(team).cast::<PompTeam<'static>>();
             *slot.cmd.lock() = Some(Cmd {
                 team: team_ptr,
                 body: std::ptr::from_ref(body),
@@ -213,8 +213,8 @@ pub(crate) fn run_region_fresh_threads(
             .name(format!("pomp-fresh-{tid}"))
             .spawn(move || {
                 let cmd = cmd; // capture the whole (Send) Cmd, not raw fields
-                // SAFETY: fork/join protocol (see `Cmd`); additionally the
-                // master `join()`s every handle before returning.
+                               // SAFETY: fork/join protocol (see `Cmd`); additionally the
+                               // master `join()`s every handle before returning.
                 let team: &PompTeam<'_> = unsafe { &*cmd.team };
                 let body: &RegionFn<'static> = unsafe { &*cmd.body };
                 run_region_member(team, cmd.tid, body);
@@ -232,25 +232,75 @@ pub(crate) fn run_region_fresh_threads(
     }
 }
 
-/// Task-queueing policy: the axis the paper contrasts in §III-A.
-pub(crate) enum TaskSys {
+/// Task-queueing policy: the axis the paper contrasts in §III-A. Only the
+/// queueing discipline lives here — allocation, dependence tracking,
+/// accounting, and execution are the shared `omp::TaskEngine`'s.
+pub(crate) enum PompPolicy {
     /// GNU: "a single shared task queue for all the threads".
-    Gnu { queue: Mutex<VecDeque<TaskBody>> },
+    Gnu { queue: Mutex<VecDeque<TaskNode>> },
     /// Intel: "one task queue for each thread and ... work-stealing", plus
     /// the cut-off: when the creator's deque already holds `cutoff` tasks,
     /// the new task executes directly (§VI-E).
-    Intel { deques: Vec<Mutex<VecDeque<TaskBody>>>, cutoff: usize },
+    Intel { deques: Vec<Mutex<VecDeque<TaskNode>>>, cutoff: usize },
 }
 
-impl TaskSys {
+impl PompPolicy {
     pub(crate) fn gnu() -> Self {
-        TaskSys::Gnu { queue: Mutex::new(VecDeque::new()) }
+        PompPolicy::Gnu { queue: Mutex::new(VecDeque::new()) }
     }
 
     pub(crate) fn intel(nthreads: usize, cutoff: usize) -> Self {
-        TaskSys::Intel {
+        PompPolicy::Intel {
             deques: (0..nthreads).map(|_| Mutex::new(VecDeque::new())).collect(),
             cutoff: cutoff.max(1),
+        }
+    }
+}
+
+impl TaskQueuePolicy for PompPolicy {
+    fn push(&self, meta: &TaskMeta, task: TaskNode, _runner: &dyn TaskRunner) -> PushResult {
+        match self {
+            PompPolicy::Gnu { queue } => {
+                queue.lock().push_back(task);
+                PushResult::Deferred
+            }
+            PompPolicy::Intel { deques, cutoff } => {
+                let len = deques[meta.creator].lock().len();
+                // Cut-off (§VI-E): a full creator deque makes the new task
+                // execute immediately as sequential code. A team of one has
+                // no consumers to keep pace with; the runtime lets the
+                // deque grow instead (Table III row 1 is 100% queued).
+                if len >= *cutoff && deques.len() > 1 {
+                    PushResult::Rejected(task)
+                } else {
+                    deques[meta.creator].lock().push_back(task);
+                    PushResult::Deferred
+                }
+            }
+        }
+    }
+
+    fn pop(&self, tid: usize) -> Option<Popped> {
+        match self {
+            PompPolicy::Gnu { queue } => {
+                queue.lock().pop_front().map(|task| Popped { task, stolen: false })
+            }
+            PompPolicy::Intel { deques, .. } => {
+                // Own deque first (newest — LIFO), then steal oldest from a
+                // victim, scanning from the next thread.
+                if let Some(task) = deques[tid].lock().pop_back() {
+                    return Some(Popped { task, stolen: false });
+                }
+                let n = deques.len();
+                for off in 1..n {
+                    let v = (tid + off) % n;
+                    let stolen = deques[v].lock().pop_front();
+                    if let Some(task) = stolen {
+                        return Some(Popped { task, stolen: true });
+                    }
+                }
+                None
+            }
         }
     }
 }
@@ -261,7 +311,7 @@ pub(crate) trait PompRt: OmpRuntime {
     fn wait_policy(&self) -> WaitPolicy;
     /// Run a nested region at `level + 1` from a member of an existing team.
     fn nested_region(&self, level: usize, nthreads: Option<usize>, body: &RegionFn<'static>);
-    fn make_tasks(&self, nthreads: usize) -> TaskSys;
+    fn make_task_policy(&self, nthreads: usize) -> PompPolicy;
 }
 
 /// A pthread-style OpenMP team.
@@ -271,8 +321,7 @@ pub(crate) struct PompTeam<'rt> {
     nthreads: usize,
     barrier: CentralBarrier,
     ws: WorkshareTable,
-    tasks: TaskSys,
-    outstanding: AtomicUsize,
+    engine: TaskEngine<'rt, PompPolicy>,
     region_arrivals: AtomicUsize,
 }
 
@@ -285,32 +334,8 @@ impl<'rt> PompTeam<'rt> {
             nthreads,
             barrier: CentralBarrier::new(nthreads),
             ws: WorkshareTable::new(),
-            tasks: rt.make_tasks(nthreads),
-            outstanding: AtomicUsize::new(0),
+            engine: TaskEngine::new(rt.make_task_policy(nthreads), rt.counters()),
             region_arrivals: AtomicUsize::new(0),
-        }
-    }
-
-    fn pop_task(&self, tid: usize) -> Option<TaskBody> {
-        match &self.tasks {
-            TaskSys::Gnu { queue } => queue.lock().pop_front(),
-            TaskSys::Intel { deques, .. } => {
-                // Own deque first (newest — LIFO), then steal oldest from a
-                // victim, scanning from the next thread.
-                if let Some(t) = deques[tid].lock().pop_back() {
-                    return Some(t);
-                }
-                let n = deques.len();
-                for off in 1..n {
-                    let v = (tid + off) % n;
-                    let stolen = deques[v].lock().pop_front();
-                    if let Some(t) = stolen {
-                        Counters::bump(&self.rt.counters().steals, 1);
-                        return Some(t);
-                    }
-                }
-                None
-            }
         }
     }
 }
@@ -351,51 +376,26 @@ impl TeamOps for PompTeam<'_> {
         self.rt.criticals().enter(name, f);
     }
 
-    fn spawn_task(&self, meta: TaskMeta, body: TaskBody) {
-        let counters = self.rt.counters();
-        match &self.tasks {
-            TaskSys::Gnu { queue } => {
-                self.outstanding.fetch_add(1, Ordering::AcqRel);
-                Counters::bump(&counters.tasks_queued, 1);
-                queue.lock().push_back(body);
-            }
-            TaskSys::Intel { deques, cutoff } => {
-                let len = deques[meta.creator].lock().len();
-                // Cut-off (§VI-E): a full creator deque makes the new task
-                // execute immediately as sequential code. A team of one has
-                // no consumers to keep pace with; the runtime lets the
-                // deque grow instead (Table III row 1 is 100% queued).
-                if len >= *cutoff && self.nthreads > 1 {
-                    Counters::bump(&counters.tasks_direct, 1);
-                    body(meta.creator);
-                } else {
-                    self.outstanding.fetch_add(1, Ordering::AcqRel);
-                    Counters::bump(&counters.tasks_queued, 1);
-                    deques[meta.creator].lock().push_back(body);
-                }
-            }
-        }
+    fn taskcore(&self) -> &TaskCore {
+        self.engine.core()
+    }
+
+    fn spawn_task(&self, meta: TaskMeta, deps: &[Dep], task: TaskNode) {
+        self.engine.spawn(meta, deps, task);
     }
 
     fn try_run_task(&self, tid: usize) -> bool {
-        match self.pop_task(tid) {
-            Some(t) => {
-                // Contain task panics: an unwinding worker would never
-                // signal its fork latch and the region would hang. The
-                // task is reported failed-by-panic on stderr instead.
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t(tid)));
-                self.outstanding.fetch_sub(1, Ordering::AcqRel);
-                if r.is_err() {
-                    eprintln!("pomp: task panicked (contained; region continues)");
-                }
+        // Contain task panics: an unwinding worker would never signal its
+        // fork latch and the region would hang. The engine has already done
+        // its completion bookkeeping before re-raising; the task is
+        // reported failed-by-panic on stderr instead.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.engine.try_run(tid))) {
+            Ok(ran) => ran,
+            Err(_) => {
+                eprintln!("pomp: task panicked (contained; region continues)");
                 true
             }
-            None => false,
         }
-    }
-
-    fn outstanding_tasks(&self) -> usize {
-        self.outstanding.load(Ordering::Acquire)
     }
 
     fn taskyield(&self, tid: usize) {

@@ -15,7 +15,7 @@ use omp::serial::SerialTeam;
 use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
 use parking_lot::Mutex;
 
-use crate::common::{run_region_fresh_threads, PompRt, PompTeam, TaskSys, ThreadPool};
+use crate::common::{run_region_fresh_threads, PompPolicy, PompRt, PompTeam, ThreadPool};
 
 /// GNU-libgomp-like OpenMP runtime over OS threads.
 pub struct GnuRuntime {
@@ -97,8 +97,8 @@ impl PompRt for GnuRuntime {
         run_region_fresh_threads(&team, body, &self.counters);
     }
 
-    fn make_tasks(&self, _nthreads: usize) -> TaskSys {
-        TaskSys::gnu()
+    fn make_task_policy(&self, _nthreads: usize) -> PompPolicy {
+        PompPolicy::gnu()
     }
 }
 

@@ -20,7 +20,7 @@ use omp::serial::SerialTeam;
 use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
 use parking_lot::Mutex;
 
-use crate::common::{PompRt, PompTeam, TaskSys, ThreadPool};
+use crate::common::{PompPolicy, PompRt, PompTeam, ThreadPool};
 
 /// Intel-like OpenMP runtime over OS threads.
 pub struct IntelRuntime {
@@ -30,8 +30,11 @@ pub struct IntelRuntime {
     criticals: CriticalRegistry,
     pool: Mutex<ThreadPool>,
     /// Hot nested teams, keyed by (owning thread, nesting level).
-    hot_teams: Mutex<HashMap<(ThreadId, usize), Arc<Mutex<ThreadPool>>>>,
+    hot_teams: Mutex<HotTeams>,
 }
+
+/// Hot nested team pools, keyed by (owning thread, nesting level).
+type HotTeams = HashMap<(ThreadId, usize), Arc<Mutex<ThreadPool>>>;
 
 impl IntelRuntime {
     /// Build an Intel-like runtime.
@@ -102,9 +105,10 @@ impl PompRt for IntelRuntime {
         let key = (std::thread::current().id(), level);
         let pool = {
             let mut map = self.hot_teams.lock();
-            Arc::clone(map.entry(key).or_insert_with(|| {
-                Arc::new(Mutex::new(ThreadPool::new(self.cfg.wait_policy)))
-            }))
+            Arc::clone(
+                map.entry(key)
+                    .or_insert_with(|| Arc::new(Mutex::new(ThreadPool::new(self.cfg.wait_policy)))),
+            )
         };
         let mut pool = pool.lock();
         if pool.size() >= n - 1 {
@@ -116,8 +120,8 @@ impl PompRt for IntelRuntime {
         pool.run_region(&team, body, &self.counters);
     }
 
-    fn make_tasks(&self, nthreads: usize) -> TaskSys {
-        TaskSys::intel(nthreads, self.cfg.task_cutoff)
+    fn make_task_policy(&self, nthreads: usize) -> PompPolicy {
+        PompPolicy::intel(nthreads, self.cfg.task_cutoff)
     }
 }
 

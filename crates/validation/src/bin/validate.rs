@@ -17,10 +17,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                threads = it.next().and_then(|v| v.parse().ok()).expect("--threads needs a number");
             }
             "--verbose" => verbose = true,
             other => {
@@ -32,7 +29,10 @@ fn main() {
 
     println!("# Table I analog — OpenUH-style OpenMP Validation Suite (123 tests, 62 constructs)");
     println!("# OMP_NUM_THREADS={threads}, OMP_NESTED=true (paper §VI-A)");
-    println!("{:<11} {:>10} {:>6} {:>11} {:>7}", "runtime", "constructs", "tests", "successful", "failed");
+    println!(
+        "{:<11} {:>10} {:>6} {:>11} {:>7}",
+        "runtime", "constructs", "tests", "successful", "failed"
+    );
     for kind in RuntimeKind::all() {
         let rt = kind.build(OmpConfig::with_threads(threads));
         let r = run_suite(rt.as_ref());

@@ -100,8 +100,8 @@ pub fn run_suite(rt: &dyn OmpRuntime) -> SuiteReport {
             eprintln!("[suite] {} :: {}", rt.label(), t.name());
         }
         // Contain panics: a failing construct must not kill the suite.
-        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (t.run)(rt)))
-            .unwrap_or(false);
+        let ok =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (t.run)(rt))).unwrap_or(false);
         if ok {
             passed += 1;
         } else {

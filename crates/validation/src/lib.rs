@@ -3,8 +3,10 @@
 //! The paper validates GLTO with the *OpenUH OpenMP Validation Suite 3.1*:
 //! "123 benchmark tests that analyze 62 OpenMP constructs, including task
 //! parallelism", run in normal, cross, and orphan modes, producing
-//! Table I. This crate is the Rust analog: the same sizing (asserted by a
-//! meta-test), the same three modes, run against all five runtimes.
+//! Table I. This crate is the Rust analog: the original sizing plus three
+//! entries for the unified task core's `depend`/`mergeable` clauses
+//! (126 tests over 64 constructs, asserted by a meta-test), the same
+//! three modes, run against all five runtimes.
 //!
 //! The interesting outcomes are *differences*: the migration-sensitive
 //! task tests (`omp_taskyield`, `omp_task_untied`) and the `final`-clause
@@ -21,7 +23,7 @@
 //!
 //! let rt = SerialRuntime::new(OmpConfig::with_threads(1));
 //! let report = run_suite(&rt);
-//! assert_eq!(report.total, 123);
+//! assert_eq!(report.total, 126);
 //! ```
 
 #![warn(missing_docs)]
@@ -37,7 +39,7 @@ mod worksharing;
 
 pub use framework::{run_suite, Mode, SuiteReport, TestCase};
 
-/// Every test in the suite (123 entries over 62 constructs).
+/// Every test in the suite (126 entries over 64 constructs).
 #[must_use]
 pub fn all_tests() -> Vec<TestCase> {
     let mut v = Vec::new();
@@ -59,10 +61,9 @@ mod tests {
     #[test]
     fn suite_is_sized_like_openuh_31() {
         let tests = all_tests();
-        let constructs: std::collections::HashSet<_> =
-            tests.iter().map(|t| t.construct).collect();
-        assert_eq!(tests.len(), 123, "OpenUH 3.1 has 123 tests");
-        assert_eq!(constructs.len(), 62, "OpenUH 3.1 covers 62 constructs");
+        let constructs: std::collections::HashSet<_> = tests.iter().map(|t| t.construct).collect();
+        assert_eq!(tests.len(), 126, "OpenUH 3.1's 123 tests + 3 task-core entries");
+        assert_eq!(constructs.len(), 64, "OpenUH 3.1's 62 constructs + depend + mergeable");
     }
 
     #[test]
@@ -72,14 +73,14 @@ mod tests {
         let crosses = tests.iter().filter(|t| t.mode == Mode::Cross).count();
         let orphans = tests.iter().filter(|t| t.mode == Mode::Orphan).count();
         assert!(normals > 0 && crosses > 0 && orphans > 0);
-        assert_eq!(normals + crosses + orphans, 123);
+        assert_eq!(normals + crosses + orphans, 126);
     }
 
     #[test]
     fn glto_abt_passes_expected_count() {
         let rt = RuntimeKind::GltoAbt.build(OmpConfig::with_threads(4));
         let r = run_suite(rt.as_ref());
-        assert_eq!(r.total, 123);
+        assert_eq!(r.total, 126);
         // GLTO fails only the migration-sensitive task entries.
         assert_eq!(
             r.failed,
@@ -92,7 +93,7 @@ mod tests {
             "unexpected failures: {:?}",
             r.failed
         );
-        assert_eq!(r.passed, 119);
+        assert_eq!(r.passed, 122);
     }
 
     #[test]
@@ -112,6 +113,6 @@ mod tests {
             ],
             "GNU must fail taskyield/untied (normal+orphan) + final"
         );
-        assert_eq!(r.passed, 118, "Table I: GNU passes 118 of 123");
+        assert_eq!(r.passed, 121, "Table I sizing: GNU fails exactly five");
     }
 }

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::thread::ThreadId;
 
-use omp::{OmpRuntime, OmpRuntimeExt, ParCtx, Schedule, TaskFlags};
+use omp::{Dep, OmpRuntime, OmpRuntimeExt, ParCtx, Schedule, TaskFlags};
 
 use crate::framework::{Mode, TestCase};
 
@@ -114,6 +114,85 @@ fn task_final(rt: &dyn OmpRuntime) -> bool {
     immediate.into_inner() == 1
 }
 
+/// Final value of the order-sensitive `depend` chain: each link applies
+/// the non-commutative update `acc ← acc·3 + i`, so any reordering of the
+/// links produces a different result.
+fn depend_chain_expected() -> u64 {
+    (0..8u64).fold(1, |acc, i| acc * 3 + i)
+}
+
+fn task_depend_chain(rt: &dyn OmpRuntime) -> bool {
+    // `depend(inout: x)` serializes the chain in creation order even when
+    // the tasks are dispatched across threads; `depend(in: x)` readers
+    // created after the chain must all observe its final value.
+    let acc = AtomicU64::new(1);
+    let bad_reads = AtomicUsize::new(0);
+    let x = 0u8; // the variable named in the depend clauses
+    rt.parallel(|ctx| {
+        ctx.single(|| {
+            let acc = &acc;
+            let bad_reads = &bad_reads;
+            for i in 0..8u64 {
+                ctx.task_depend(&[Dep::readwrite(&x)], move |_| {
+                    let v = acc.load(Ordering::SeqCst);
+                    acc.store(v * 3 + i, Ordering::SeqCst);
+                });
+            }
+            for _ in 0..4 {
+                ctx.task_depend(&[Dep::read(&x)], move |_| {
+                    if acc.load(Ordering::SeqCst) != depend_chain_expected() {
+                        bad_reads.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            ctx.taskwait();
+        });
+    });
+    acc.into_inner() == depend_chain_expected() && bad_reads.into_inner() == 0
+}
+
+fn task_depend_cross(rt: &dyn OmpRuntime) -> bool {
+    // Broken resolver: the chain links run in reverse registration order
+    // (construct elided — the bodies are just applied LIFO). The
+    // order-sensitive detector must fail.
+    let _ = rt;
+    let mut acc = 1u64;
+    for i in (0..8u64).rev() {
+        acc = acc * 3 + i;
+    }
+    let detector_passes = acc == depend_chain_expected();
+    !detector_passes
+}
+
+fn task_mergeable(rt: &dyn OmpRuntime) -> bool {
+    // An undeferred mergeable task may use the parent's data environment:
+    // tasks it creates become children of the *parent*, so the parent's
+    // taskwait covers them even though the merged task itself never waits.
+    let done = AtomicUsize::new(0);
+    let covered = AtomicUsize::new(0);
+    rt.parallel(|ctx| {
+        ctx.single(|| {
+            let done = &done;
+            ctx.task_with(
+                TaskFlags { if_clause: false, mergeable: true, ..TaskFlags::default() },
+                move |merged| {
+                    for _ in 0..5 {
+                        merged.task(move |_| {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    // no taskwait inside the merged task
+                },
+            );
+            ctx.taskwait();
+            if done.load(Ordering::SeqCst) == 5 {
+                covered.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    });
+    covered.into_inner() == 1
+}
+
 fn taskwait_normal(rt: &dyn OmpRuntime) -> bool {
     let ok = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -200,10 +279,9 @@ fn run_migration_probe(rt: &dyn OmpRuntime, untied: bool) -> bool {
         ctx.single(|| {
             for _ in 0..NUM_TASKS {
                 let migrations = &migrations;
-                ctx.task_with(
-                    TaskFlags { untied, ..TaskFlags::default() },
-                    move |tctx| migration_body(tctx, migrations),
-                );
+                ctx.task_with(TaskFlags { untied, ..TaskFlags::default() }, move |tctx| {
+                    migration_body(tctx, migrations)
+                });
             }
         });
     });
@@ -216,10 +294,9 @@ fn migration_probe_producer<'t, 'env>(
     untied: bool,
 ) {
     for _ in 0..NUM_TASKS {
-        ctx.task_with(
-            TaskFlags { untied, ..TaskFlags::default() },
-            move |tctx| migration_body(tctx, migrations),
-        );
+        ctx.task_with(TaskFlags { untied, ..TaskFlags::default() }, move |tctx| {
+            migration_body(tctx, migrations)
+        });
     }
 }
 
@@ -311,6 +388,9 @@ pub fn tests() -> Vec<TestCase> {
         t("omp task firstprivate", Mode::Normal, task_data_env),
         t("omp task if", Mode::Normal, task_if_false),
         t("omp task final", Mode::Normal, task_final),
+        t("omp task depend", Mode::Normal, task_depend_chain),
+        t("omp task depend", Mode::Cross, task_depend_cross),
+        t("omp task mergeable", Mode::Normal, task_mergeable),
         t("omp taskwait", Mode::Normal, taskwait_normal),
         t("omp taskwait", Mode::Orphan, taskwait_orphan),
         t("omp taskyield", Mode::Normal, taskyield_migrates),

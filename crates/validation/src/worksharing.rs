@@ -37,8 +37,8 @@ fn for_cross(rt: &dyn OmpRuntime) -> bool {
     }
     let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
     rt.parallel(|_ctx| {
-        for i in 0..64 {
-            hits[i].fetch_add(1, Ordering::Relaxed);
+        for h in &hits {
+            h.fetch_add(1, Ordering::Relaxed);
         }
     });
     let detector_passes = hits.iter().all(|h| h.load(Ordering::Relaxed) == 1);

@@ -101,8 +101,8 @@ impl Csr {
 
     /// Serial SpMV.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        for i in 0..self.n {
-            y[i] = self.row_dot(x, i);
+        for (i, yi) in y.iter_mut().enumerate().take(self.n) {
+            *yi = self.row_dot(x, i);
         }
     }
 }

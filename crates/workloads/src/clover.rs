@@ -191,7 +191,7 @@ impl Clover {
                 *dt_out.lock() = local;
             });
         });
-        self.dt = dt_out.into_inner().min(1e-2).max(1e-6);
+        self.dt = dt_out.into_inner().clamp(1e-6, 1e-2);
     }
 
     /// Kernel 4 — PdV: internal-energy update from compression work.
@@ -312,7 +312,13 @@ impl Clover {
                         let fl = flux_x[j * (nx + 1) + i];
                         let fr = flux_x[j * (nx + 1) + i + 1];
                         let upwind_l = if fl >= 0.0 && i > 0 { density[c - 1] } else { density[c] };
-                        let upwind_r = if fr >= 0.0 { density[c] } else if i + 1 < nx { density[c + 1] } else { density[c] };
+                        let upwind_r = if fr >= 0.0 {
+                            density[c]
+                        } else if i + 1 < nx {
+                            density[c + 1]
+                        } else {
+                            density[c]
+                        };
                         let dm = fl * upwind_l - fr * upwind_r;
                         unsafe { work.write(c, dm) };
                     }
@@ -367,8 +373,15 @@ impl Clover {
                         let c = j * nx + i;
                         let fb = flux_y[j * nx + i];
                         let ft = flux_y[(j + 1) * nx + i];
-                        let upwind_b = if fb >= 0.0 && j > 0 { density[c - nx] } else { density[c] };
-                        let upwind_t = if ft >= 0.0 { density[c] } else if j + 1 < ny { density[c + nx] } else { density[c] };
+                        let upwind_b =
+                            if fb >= 0.0 && j > 0 { density[c - nx] } else { density[c] };
+                        let upwind_t = if ft >= 0.0 {
+                            density[c]
+                        } else if j + 1 < ny {
+                            density[c + nx]
+                        } else {
+                            density[c]
+                        };
                         let dm = fb * upwind_b - ft * upwind_t;
                         unsafe { work.write(c, dm) };
                     }

@@ -71,6 +71,7 @@ pub fn nqueens_seq(n: u32) -> u64 {
     go(n, 0, 0, 0, 0)
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the recursive backtracking state
 fn nq_task<'t, 'env>(
     ctx: &ParCtx<'t, 'env>,
     n: u32,

@@ -210,7 +210,7 @@ mod tests {
         let c1 = parent.split(3);
         let mut parent2 = SplitMix64::new(7);
         let _ = parent2.next_u64(); // drawing must not matter: split uses state at construction
-        // Recreate from the same snapshot:
+                                    // Recreate from the same snapshot:
         let c2 = SplitMix64::new(7).split(3);
         assert_eq!(c1, c2);
         assert_ne!(c1, parent.split(4));

@@ -66,31 +66,19 @@ impl UtsParams {
     /// [`UtsParams::t1_paper`] for a deeper tree.
     #[must_use]
     pub fn t1_scaled() -> Self {
-        UtsParams {
-            kind: TreeKind::Geometric { b0: 4.0, gen_mx: 8 },
-            seed: 316,
-            chunk: 16,
-        }
+        UtsParams { kind: TreeKind::Geometric { b0: 4.0, gen_mx: 8 }, seed: 316, chunk: 16 }
     }
 
     /// A larger geometric instance for `--paper` scale runs.
     #[must_use]
     pub fn t1_paper() -> Self {
-        UtsParams {
-            kind: TreeKind::Geometric { b0: 4.0, gen_mx: 11 },
-            seed: 316,
-            chunk: 32,
-        }
+        UtsParams { kind: TreeKind::Geometric { b0: 4.0, gen_mx: 11 }, seed: 316, chunk: 32 }
     }
 
     /// A binomial instance (highly unbalanced, like UTS T3).
     #[must_use]
     pub fn t3_scaled() -> Self {
-        UtsParams {
-            kind: TreeKind::Binomial { q: 0.200_014, m: 5 },
-            seed: 42,
-            chunk: 16,
-        }
+        UtsParams { kind: TreeKind::Binomial { q: 0.200_014, m: 5 }, seed: 42, chunk: 16 }
     }
 }
 
@@ -181,13 +169,12 @@ struct SharedState {
 
 impl SharedState {
     fn new(p: &UtsParams) -> Self {
-        let s = SharedState {
+        SharedState {
             stack: Mutex::new(vec![Node::root(p)]),
             lock: StackLock::Mutex,
             created: AtomicU64::new(1),
             processed: AtomicU64::new(0),
-        };
-        s
+        }
     }
 
     fn with_stack<R>(&self, f: impl FnOnce(&mut Vec<Node>) -> R) -> R {

@@ -15,8 +15,7 @@ use glto_repro::prelude::*;
 use workloads::cg;
 
 fn main() {
-    let threads: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     // bmwcra_1-shaped synthetic SPD matrix at 10% scale for a quick demo.
     let a = cg::Csr::bmwcra_shaped(0.1);
     let b = cg::rhs_ones(&a);
@@ -32,12 +31,8 @@ fn main() {
     let serial = cg::cg_serial(&a, &b, iters, 0.0);
     println!("serial residual after {iters} iters: {:.3e}\n", serial.residual);
 
-    let runtimes = [
-        RuntimeKind::Intel,
-        RuntimeKind::GltoAbt,
-        RuntimeKind::GltoQth,
-        RuntimeKind::GltoMth,
-    ];
+    let runtimes =
+        [RuntimeKind::Intel, RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth];
     println!(
         "{:<11} {:>8} {:>8} {:>8} {:>8}   (solve wall time per granularity)",
         "runtime", "g=10", "g=20", "g=50", "g=100"
@@ -49,10 +44,7 @@ fn main() {
             let t0 = Instant::now();
             let r = cg::cg_tasks(rt.as_ref(), &a, &b, iters, 0.0, gran);
             let dt = t0.elapsed();
-            assert!(
-                (r.residual - serial.residual).abs() < 1e-6,
-                "task CG must match serial CG"
-            );
+            assert!((r.residual - serial.residual).abs() < 1e-6, "task CG must match serial CG");
             row.push_str(&format!(" {:>7.1?}", dt));
         }
         println!(

@@ -14,8 +14,7 @@ use glto_repro::prelude::*;
 use workloads::clover::{self, CloverParams, KERNELS_PER_STEP};
 
 fn main() {
-    let threads: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let p = CloverParams::bm_scaled();
     let regions = p.steps * KERNELS_PER_STEP;
     println!(
@@ -29,10 +28,7 @@ fn main() {
         let t0 = Instant::now();
         let (mass, energy) = clover::run(rt.as_ref(), p);
         let dt = t0.elapsed();
-        println!(
-            "{:<10} mass = {mass:.9}  total energy = {energy:.9}  ({dt:?})",
-            rt.label()
-        );
+        println!("{:<10} mass = {mass:.9}  total energy = {energy:.9}  ({dt:?})", rt.label());
         match reference {
             None => reference = Some((mass, energy)),
             Some((m0, e0)) => {

@@ -17,17 +17,11 @@ use glto_repro::prelude::*;
 use workloads::micro;
 
 fn main() {
-    let threads: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let outer: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-    println!(
-        "nested null parallel-for: outer = inner = {outer} iterations, {threads} threads\n"
-    );
+    println!("nested null parallel-for: outer = inner = {outer} iterations, {threads} threads\n");
 
-    println!(
-        "{:<11} {:>12}   {:>8} {:>7} {:>6}",
-        "runtime", "time", "created", "reused", "ULTs"
-    );
+    println!("{:<11} {:>12}   {:>8} {:>7} {:>6}", "runtime", "time", "created", "reused", "ULTs");
     for kind in RuntimeKind::all() {
         let rt = kind.build(OmpConfig::with_threads(threads));
         rt.counters().reset();
@@ -40,14 +34,7 @@ fn main() {
         } else {
             (s.os_threads_created + 1, s.os_threads_reused, 0)
         };
-        println!(
-            "{:<11} {:>12.2?}   {:>8} {:>7} {:>6}",
-            rt.label(),
-            dt,
-            created,
-            reused,
-            ults
-        );
+        println!("{:<11} {:>12.2?}   {:>8} {:>7} {:>6}", rt.label(), dt, created, reused, ults);
     }
 
     println!("\nTable II shape (paper, 36 threads, outer=100):");

@@ -13,8 +13,7 @@ use glto_repro::prelude::*;
 use workloads::taskbench;
 
 fn main() {
-    let threads: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let fib_n = 22;
     let fib_cutoff = 12;
     let nq = 8;

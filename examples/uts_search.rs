@@ -15,8 +15,7 @@ use glto_repro::prelude::*;
 use workloads::uts;
 
 fn main() {
-    let threads: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let threads: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let p = uts::UtsParams::t1_scaled();
     let (expected, depth) = uts::count_sequential(&p);
     println!("UTS geometric tree: {expected} nodes, depth {depth} (deterministic)\n");

@@ -39,9 +39,7 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: p.into_inner() })
-            }
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -134,10 +132,8 @@ impl Condvar {
     ) -> WaitTimeoutResult {
         let mut timed_out = false;
         replace_guard(guard, |g| {
-            let (g, r) = self
-                .inner
-                .wait_timeout(g, timeout)
-                .unwrap_or_else(PoisonError::into_inner);
+            let (g, r) =
+                self.inner.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
             timed_out = r.timed_out();
             g
         });

@@ -27,11 +27,7 @@ fn uts_native_drivers_agree_with_omp() {
     assert_eq!(uts::run_threads(2, &p), expected);
     for backend in Backend::all() {
         let rt = glto::AnyGlt::start(backend, glt::GltConfig::with_threads(2));
-        assert_eq!(
-            uts::run_glt(&rt, &p, uts::StackLock::Mutex),
-            expected,
-            "backend {backend:?}"
-        );
+        assert_eq!(uts::run_glt(&rt, &p, uts::StackLock::Mutex), expected, "backend {backend:?}");
     }
 }
 
@@ -66,12 +62,7 @@ fn cg_solvers_agree_across_runtimes_and_granularities() {
         assert_eq!(r.iterations, reference.iterations, "cg_for on {}", rt.name());
         for gran in [7, 64] {
             let t = cg::cg_tasks(rt.as_ref(), &a, &b, 40, 1e-9, gran);
-            assert_eq!(
-                t.iterations,
-                reference.iterations,
-                "cg_tasks gran {gran} on {}",
-                rt.name()
-            );
+            assert_eq!(t.iterations, reference.iterations, "cg_tasks gran {gran} on {}", rt.name());
             assert!((t.residual - reference.residual).abs() < 1e-9);
         }
     }
@@ -90,13 +81,8 @@ fn reductions_match_serial_for_every_schedule() {
         for sched in scheds {
             let out = std::sync::Mutex::new(0u64);
             rt.parallel(|ctx| {
-                let v = ctx.for_reduce(
-                    0..2000,
-                    sched,
-                    0u64,
-                    |i, acc| *acc += i * 3 + 1,
-                    |a, b| a + b,
-                );
+                let v =
+                    ctx.for_reduce(0..2000, sched, 0u64, |i, acc| *acc += i * 3 + 1, |a, b| a + b);
                 ctx.master(|| *out.lock().unwrap() = v);
             });
             assert_eq!(*out.lock().unwrap(), expect, "{} {:?}", rt.name(), sched);

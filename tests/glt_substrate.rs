@@ -2,7 +2,7 @@
 //! three backends (the paper's Fig. 1 programming model), including the
 //! scoped API, FEB synchronization, tasklets, and instrumentation.
 
-use glt::{scope, FebTable, GltConfig, GltRuntime, UnitKind, WaitPolicy};
+use glt::{scope, GltConfig, GltRuntime, UnitKind, WaitPolicy};
 use glto::{AnyGlt, Backend};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -62,8 +62,7 @@ fn placement_semantics_differ_by_backend() {
     // ABT/QTH: a unit placed on rank r executes on rank r. MTH: it may be
     // stolen, but it always executes somewhere valid.
     for rt in backends(3) {
-        let handles: Vec<_> =
-            (0..9).map(|i| rt.ult_create_to(i % 3, Box::new(|| {}))).collect();
+        let handles: Vec<_> = (0..9).map(|i| rt.ult_create_to(i % 3, Box::new(|| {}))).collect();
         for (i, h) in handles.iter().enumerate() {
             rt.join(h);
             let by = h.executed_by();

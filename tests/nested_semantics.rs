@@ -30,10 +30,7 @@ fn gnu_creates_fresh_threads_per_inner_region() {
     let _ = micro::nested_null(rt.as_ref(), outer, outer);
     let s = rt.counters().snapshot();
     let expected = (n as u64 - 1) + outer * (n as u64 - 1);
-    assert_eq!(
-        s.os_threads_created, expected,
-        "GNU: pool (n-1) + fresh (n-1) per inner region"
-    );
+    assert_eq!(s.os_threads_created, expected, "GNU: pool (n-1) + fresh (n-1) per inner region");
     assert_eq!(s.os_threads_reused, 0, "GNU never reuses nested teams");
 }
 

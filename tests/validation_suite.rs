@@ -21,14 +21,14 @@ fn intel_fails_exactly_the_papers_five() {
             "omp taskyield (orphan)".to_string(),
         ]
     );
-    assert_eq!(r.passed, 118, "Table I: Intel passes 118 of 123");
+    assert_eq!(r.passed, 121, "Table I sizing: Intel fails exactly five");
 }
 
 #[test]
 fn glto_qth_passes_expected_count() {
     let rt = RuntimeKind::GltoQth.build(OmpConfig::with_threads(4));
     let r = run_suite(rt.as_ref());
-    assert_eq!(r.passed, 119, "failures: {:?}", r.failed);
+    assert_eq!(r.passed, 122, "failures: {:?}", r.failed);
 }
 
 #[test]
@@ -39,7 +39,7 @@ fn glto_mth_passes_expected_count() {
     // The help-first model cannot migrate a started task, so MTH fails the
     // same four migration entries as ABT/QTH — the divergence documented
     // in DESIGN.md §2 and EXPERIMENTS.md.
-    assert_eq!(r.passed, 119, "failures: {:?}", r.failed);
+    assert_eq!(r.passed, 122, "failures: {:?}", r.failed);
 }
 
 #[test]
@@ -47,5 +47,5 @@ fn suite_runs_under_shared_queues_mode() {
     // §IV-F: GLT_SHARED_QUEUES must not change results, only scheduling.
     let rt = RuntimeKind::GltoAbt.build(OmpConfig::with_threads(4).shared_queues(true));
     let r = run_suite(rt.as_ref());
-    assert_eq!(r.passed, 119, "failures: {:?}", r.failed);
+    assert_eq!(r.passed, 122, "failures: {:?}", r.failed);
 }
