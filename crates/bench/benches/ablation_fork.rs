@@ -1,0 +1,67 @@
+//! Ablation for the fork-path work (DESIGN.md): cold batched fork with
+//! slab-recycled unit frames vs hot parked teams (`GLTO_HOT_ULTS`), per
+//! GLTO backend, at widths 8 and 36.
+//!
+//! Criterion times the steady-state empty region; after each timed case a
+//! counter probe over a fixed number of forks prints the runtime-internal
+//! per-fork statistics quoted in EXPERIMENTS.md — `assign_ns_per_fork`
+//! (the Fig. 7 metric), FEB ops per fork (the Qthreads-like backend's
+//! queue cost, read from its FEB table), and the ULT/slab reuse counts
+//! that show where the hot path saves its work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::WaitPolicy;
+use glto::{AnyGlt, Backend, GltoRuntime};
+use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt};
+
+const PROBE_FORKS: usize = 1000;
+
+fn fork_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fork");
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    println!(
+        "ablation_fork,runtime,threads,mode,assign_ns_per_fork,feb_ops_per_fork,\
+         ults_created,ults_reused,unit_slab_reused"
+    );
+    for threads in [8usize, 36] {
+        for backend in [Backend::Abt, Backend::Qth, Backend::Mth] {
+            for (mode, hot) in [("cold", false), ("hot", true)] {
+                let cfg =
+                    OmpConfig::with_threads(threads).wait_policy(WaitPolicy::Active).hot_ults(hot);
+                let rt = GltoRuntime::new(backend, cfg);
+                let feb = match rt.glt() {
+                    AnyGlt::Qth(q) => glt_qth::feb_of(q),
+                    _ => None,
+                };
+                rt.parallel(|_| {}); // park the hot team / prime the unit slab
+                g.bench_function(format!("{}::{}t::{}", backend.label(), threads, mode), |b| {
+                    b.iter(|| rt.parallel(|_| {}));
+                });
+                rt.counters().reset();
+                let feb_before = feb.as_ref().map_or(0, |f| f.ops());
+                for _ in 0..PROBE_FORKS {
+                    rt.parallel(|_| {});
+                }
+                let s = rt.counters().snapshot();
+                let feb_ops = feb.as_ref().map_or(0, |f| f.ops()) - feb_before;
+                println!(
+                    "ablation_fork,{},{},{},{:.1},{:.2},{},{},{}",
+                    backend.label(),
+                    threads,
+                    mode,
+                    s.assign_ns_per_fork(),
+                    feb_ops as f64 / s.forks.max(1) as f64,
+                    s.ults_created,
+                    s.ults_reused,
+                    s.unit_slab_reused,
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fork_cost);
+criterion_main!(benches);

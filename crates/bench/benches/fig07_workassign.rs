@@ -1,8 +1,12 @@
 //! Criterion bench for Fig. 7: the fork (work-assignment) + join cost of
 //! an empty parallel region — the quantity where the paper finds the
 //! pthread-based runtimes ahead of GLTO.
+//!
+//! Throughput is set to the number of forked team members (width − 1), so
+//! Criterion's per-element line reports the per-member assignment cost the
+//! paper plots; widths 2/8/36 bracket the paper's x-axis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use glt::WaitPolicy;
 use omp::{OmpConfig, OmpRuntimeExt};
 use workloads::RuntimeKind;
@@ -11,7 +15,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07_workassign");
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(300));
-    for threads in [2usize, 4] {
+    for threads in [2usize, 8, 36] {
+        g.throughput(Throughput::Elements(threads as u64 - 1));
         for kind in RuntimeKind::all() {
             let rt = kind.build(OmpConfig::with_threads(threads).wait_policy(WaitPolicy::Active));
             rt.parallel(|_| {}); // warm the pool (steady-state, like the paper)

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin repro -- <target> [--paper] \
-//!     [--threads a,b,c] [--runtimes gnu,glto-abt,...] [--reps N]
+//!     [--threads a,b,c] [--runtimes gnu,glto-abt,...] [--reps N] \
+//!     [--json results.json]
 //!
 //! targets:
 //!   table1          validation suite results
@@ -19,11 +20,13 @@
 //! ```
 
 use glt::WaitPolicy;
+use omp::OmpConfig;
 use workloads::runtimes::RuntimeKind;
 use workloads::{cg, clover, micro, uts};
 
 use bench::{
-    paper_config, print_series_header, print_series_row, task_figure_runtimes, time_reps, Scale,
+    paper_config, print_series_header, print_series_row, record_result, task_figure_runtimes,
+    time_reps, Scale,
 };
 
 struct Opts {
@@ -68,9 +71,14 @@ fn main() {
         runtimes_override: None,
     };
     let mut targets: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
     let i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                json_path = Some(args.remove(i + 1));
+                args.remove(i);
+            }
             "--paper" => {
                 opts.scale = Scale::Paper;
                 args.remove(i);
@@ -152,6 +160,16 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &json_path {
+        match bench::write_json(path) {
+            Ok(n) => eprintln!("# wrote {n} records to {path}"),
+            Err(e) => {
+                eprintln!("--json {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 // --------------------------------------------------------- shape assertions
@@ -221,7 +239,10 @@ fn shape_check(opts: &Opts) {
     }
 
     // 3. Work assignment: pthread-based fork is cheaper than GLTO's
-    //    ULT-per-member fork (Fig. 7).
+    //    ULT-per-member fork (Fig. 7) — the paper's cold-fork shape. With
+    //    hot ULT teams on (`GLTO_HOT_ULTS=1`) the expected shape flips:
+    //    re-arming a parked team must bring GLTO(ABT) within 3x of ICC
+    //    (the gap the feature exists to close).
     {
         let assign = |kind: RuntimeKind| {
             let rt = kind.build(paper_config(threads, WaitPolicy::Active));
@@ -230,11 +251,20 @@ fn shape_check(opts: &Opts) {
         };
         let intel = assign(RuntimeKind::Intel);
         let abt = assign(RuntimeKind::GltoAbt);
-        report(
-            "work assignment: ICC fork cheaper than GLTO(ABT)",
-            intel < abt,
-            format!("icc={intel:.0}ns abt={abt:.0}ns"),
-        );
+        let hot = OmpConfig::hot_ults_from_env().unwrap_or(false);
+        if hot {
+            report(
+                "work assignment: hot GLTO(ABT) within 3x of ICC",
+                abt < 3.0 * intel,
+                format!("icc={intel:.0}ns abt={abt:.0}ns (hot)"),
+            );
+        } else {
+            report(
+                "work assignment: ICC fork cheaper than GLTO(ABT)",
+                intel < abt,
+                format!("icc={intel:.0}ns abt={abt:.0}ns"),
+            );
+        }
     }
 
     // 4. Environment creator: all runtimes in one band (Fig. 4).
@@ -412,6 +442,10 @@ fn fig7(opts: &Opts) {
                 wall.as_nanos() as f64,
                 reps
             );
+            // Single aggregate per config — record the per-fork means for
+            // both probes (there is no per-rep distribution here).
+            record_result("fig7", kind.label(), n, wall.as_nanos() as f64, wall.as_nanos() as f64);
+            record_result("fig7_assign", kind.label(), n, assign, assign);
         }
     }
 }
@@ -527,6 +561,7 @@ fn fig14(opts: &Opts) {
                 let _ = micro::producer_consumer_tasks(rt.as_ref(), ntasks, work);
             });
             println!("fig14,{cutoff},{n},{:.6e},{:.2e},{}", st.mean(), st.stddev(), st.count());
+            record_result("fig14", &format!("cutoff{cutoff}"), n, st.mean() * 1e9, st.min() * 1e9);
         }
     }
 }

@@ -69,9 +69,15 @@ pub fn secs(d: Duration) -> f64 {
 
 /// Build an `OmpConfig` the way the paper configures runs (§VI-A):
 /// `OMP_NESTED=true`, `OMP_PROC_BIND=true`, wait policy per scenario.
+/// `GLTO_HOT_ULTS` is honored so every repro target can be re-run in
+/// hot-ULT-team mode without code changes.
 #[must_use]
 pub fn paper_config(threads: usize, wait: glt::WaitPolicy) -> OmpConfig {
-    OmpConfig::with_threads(threads).nested(true).wait_policy(wait)
+    let cfg = OmpConfig::with_threads(threads).nested(true).wait_policy(wait);
+    match OmpConfig::hot_ults_from_env() {
+        Some(hot) => cfg.hot_ults(hot),
+        None => cfg,
+    }
 }
 
 /// Print a CSV header for figure sweeps.
@@ -81,11 +87,84 @@ pub fn print_series_header(figure: &str, unit: &str) {
 }
 
 /// Print one CSV series row (flushed immediately, so redirected output
-/// streams during long sweeps).
+/// streams during long sweeps). Also records the row for `repro --json`.
 pub fn print_series_row(figure: &str, runtime: &str, threads: usize, st: &Stats) {
     use std::io::Write;
     println!("{figure},{runtime},{threads},{:.6e},{:.2e},{}", st.mean(), st.stddev(), st.count());
     let _ = std::io::stdout().flush();
+    record_result(figure, runtime, threads, st.mean() * 1e9, st.min() * 1e9);
+}
+
+// ----------------------------------------------------------- JSON results
+
+/// One measurement destined for `repro --json` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonRecord {
+    /// Target that produced the row (e.g. `fig7`).
+    pub target: String,
+    /// Runtime label (e.g. `GLTO(ABT)`).
+    pub runtime: String,
+    /// Team width / thread count the row was measured at.
+    pub threads: usize,
+    /// Mean time per repetition, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest repetition, nanoseconds.
+    pub min_ns: f64,
+}
+
+static JSON_RECORDS: std::sync::Mutex<Vec<JsonRecord>> = std::sync::Mutex::new(Vec::new());
+
+/// Record one measurement for a later [`write_json`] call. The series
+/// print helper records automatically; targets with bespoke row formats
+/// (fig7's counter probe, fig14's cut-off sweep) call this directly.
+pub fn record_result(target: &str, runtime: &str, threads: usize, mean_ns: f64, min_ns: f64) {
+    JSON_RECORDS.lock().unwrap().push(JsonRecord {
+        target: target.to_string(),
+        runtime: runtime.to_string(),
+        threads,
+        mean_ns,
+        min_ns,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write every measurement recorded so far as a JSON array to `path`;
+/// returns the number of records written. Hand-rolled writer — five flat
+/// fields do not justify a serialization dependency.
+pub fn write_json(path: &str) -> std::io::Result<usize> {
+    let records = JSON_RECORDS.lock().unwrap();
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"target\":\"{}\",\"runtime\":\"{}\",\"threads\":{},\
+             \"mean_ns\":{:.1},\"min_ns\":{:.1}}}",
+            json_escape(&r.target),
+            json_escape(&r.runtime),
+            r.threads,
+            r.mean_ns,
+            r.min_ns
+        ));
+    }
+    out.push_str("\n]\n");
+    std::fs::write(path, out)?;
+    Ok(records.len())
 }
 
 /// The runtime subset for the task-parallel figures (the paper omits GNU
@@ -120,5 +199,29 @@ mod tests {
     fn task_runtimes_exclude_gnu() {
         assert!(!task_figure_runtimes().contains(&RuntimeKind::Gnu));
         assert_eq!(task_figure_runtimes().len(), 4);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"GLTO("ABT")\x"#), r#"GLTO(\"ABT\")\\x"#);
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn json_records_round_trip_to_disk() {
+        record_result("figT", "GLTO(ABT)", 4, 1234.5, 1000.0);
+        let path = std::env::temp_dir().join("bench_json_test.json");
+        let path = path.to_str().unwrap();
+        let n = write_json(path).unwrap();
+        assert!(n >= 1);
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.starts_with('['));
+        assert!(body.trim_end().ends_with(']'));
+        assert!(body.contains(r#""target":"figT""#));
+        assert!(body.contains(r#""runtime":"GLTO(ABT)""#));
+        assert!(body.contains(r#""threads":4"#));
+        assert!(body.contains(r#""mean_ns":1234.5"#));
+        assert!(body.contains(r#""min_ns":1000.0"#));
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -90,10 +90,13 @@ pub fn quiesce(rt: &dyn OmpRuntime) {
 }
 
 /// Quiesce-then-check: the counter conservation laws that must hold on any
-/// runtime once all joins have returned. Returns violation messages
-/// (empty = OK).
+/// runtime once all joins have returned. Cached execution resources are
+/// retired first (GLTO's `GLTO_HOT_ULTS` parks member ULTs between forks;
+/// a parked ULT is created-but-unfinished, which the drained laws would
+/// misread as a lost unit). Returns violation messages (empty = OK).
 #[must_use]
 pub fn check_counter_invariants(rt: &dyn OmpRuntime) -> Vec<String> {
+    rt.retire_cached();
     quiesce(rt);
     rt.counters().snapshot().invariant_violations(true)
 }
@@ -348,6 +351,7 @@ pub fn cases() -> Vec<(&'static str, Case)> {
         ("ordered-sequence", case_ordered_sequence as Case),
         ("single-copy", case_single_copy as Case),
         ("nested-region", case_nested_region as Case),
+        ("batched-fork", case_batched_fork as Case),
     ]
 }
 
@@ -506,6 +510,24 @@ fn case_single_copy(rt: &dyn OmpRuntime) -> bool {
     singles.load(Ordering::SeqCst) == 1 && agree.load(Ordering::SeqCst) == n
 }
 
+fn case_batched_fork(rt: &dyn OmpRuntime) -> bool {
+    // Consecutive top-level forks: every cold fork submits its member
+    // units through the batched enqueue path (one scheduler call per
+    // fork), so sweeping this case under `glto-det` explores schedules
+    // around `push_batch` specifically.
+    let mut ok = true;
+    for round in 0..4u64 {
+        let sum = AtomicU64::new(0);
+        rt.parallel(|ctx| {
+            ctx.for_each(0..32, Schedule::Static { chunk: None }, |i| {
+                sum.fetch_add(i + round, Ordering::SeqCst);
+            });
+        });
+        ok &= sum.load(Ordering::SeqCst) == (0..32).sum::<u64>() + 32 * round;
+    }
+    ok
+}
+
 fn case_nested_region(rt: &dyn OmpRuntime) -> bool {
     let inner_hits = AtomicU64::new(0);
     let outer_hits = AtomicU64::new(0);
@@ -592,6 +614,16 @@ pub fn shared_queue_matrix() -> [RuntimeKind; 3] {
     [RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth]
 }
 
+/// The `GLTO_HOT_ULTS=1` variants of the three GLTO runtimes: top-level
+/// team members are parked between forks and re-armed instead of
+/// re-created. Like shared queues, this changes the *fork mechanism*,
+/// never *results*: the curated cases and the pinned validation-suite
+/// pass counts must match the cold-fork matrix exactly.
+#[must_use]
+pub fn hot_ult_matrix() -> [RuntimeKind; 3] {
+    [RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth]
+}
+
 // ------------------------------------------------------ validation suite
 
 /// Expected validation-suite pass count for each matrix runtime, with the
@@ -675,6 +707,69 @@ mod tests {
                 r.row()
             );
         }
+    }
+
+    #[test]
+    fn curated_cases_pass_under_hot_ults() {
+        fast_stall();
+        for kind in hot_ult_matrix() {
+            for (name, case) in cases() {
+                let cfg = OmpConfig::with_threads(4).hot_ults(true);
+                run_case_cfg(kind, cfg, name, case).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn hot_ult_suite_passes_are_pinned() {
+        fast_stall();
+        for kind in hot_ult_matrix() {
+            let rt = kind.build(OmpConfig::with_threads(4).hot_ults(true));
+            let r = validation::run_suite(rt.as_ref());
+            assert_eq!(
+                r.passed,
+                expected_suite_passes(kind),
+                "{} (hot ULTs): {}",
+                kind.name(),
+                r.row()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_invariants_hold_under_hot_ults_with_width_changes() {
+        fast_stall();
+        for kind in hot_ult_matrix() {
+            let rt = kind.build(OmpConfig::with_threads(4).hot_ults(true));
+            for width in [4usize, 2, 4, 4] {
+                let hits = AtomicU64::new(0);
+                let hits = &hits;
+                rt.parallel_n(Some(width), |_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(hits.load(Ordering::SeqCst) as usize, width, "{}", kind.name());
+            }
+            // `check_counter_invariants` retires the parked team first, so
+            // the drained laws must hold afterwards.
+            let viol = check_counter_invariants(rt.as_ref());
+            assert!(viol.is_empty(), "{}: {viol:?}", kind.name());
+            let s = rt.counters().snapshot();
+            assert!(s.ults_reused >= 3, "{}: final same-width fork must reuse", kind.name());
+        }
+    }
+
+    #[test]
+    fn det_sweep_batched_fork_enqueue() {
+        fast_stall();
+        // 64 seeds over a fork-heavy case at threads=4: schedule
+        // exploration specifically around the one-call batched enqueue.
+        let report = sweep_det("batched-fork", case_batched_fork, 4, seed_stream(0xBA7C, 64));
+        assert!(
+            report.all_passed(),
+            "batched-fork failed seeds {:?} of {} swept",
+            report.failing,
+            report.seeds_run
+        );
     }
 
     #[test]

@@ -54,6 +54,17 @@ impl Scheduler for AbtScheduler {
         self.pools[idx].push(unit);
     }
 
+    fn push_batch(&self, creator: Option<usize>, units: Vec<(Placement, Unit)>) {
+        // Private pools are lock-free SegQueues: there is no per-pool lock
+        // to amortize, so the batch is a straight loop. The batched entry
+        // point still saves the per-unit runtime bookkeeping (one counter
+        // update and one wake pass per fork), which is where the ABT
+        // fork-path win comes from.
+        for (placement, unit) in units {
+            self.push(creator, placement, unit);
+        }
+    }
+
     #[inline]
     fn pop_own(&self, rank: usize) -> Option<Unit> {
         self.pools[rank % self.pools.len()].pop()

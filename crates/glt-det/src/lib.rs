@@ -462,6 +462,23 @@ impl Scheduler for DetScheduler {
         self.note(EventKind::Push { by: creator, pool, token });
     }
 
+    fn push_batch(&self, creator: Option<usize>, units: Vec<(Placement, Unit)>) {
+        // One preemption point covers the whole fork: the batch is a single
+        // scheduler entry, so the token changes hands at most once per
+        // batched fork instead of once per member. Push tokens and events
+        // are still minted per unit, in batch order, so the event log stays
+        // unit-precise and seed-replayable.
+        if let Some(r) = creator {
+            self.stepper.acquire(r);
+        }
+        for (placement, unit) in units {
+            let pool = self.pool_of(creator, placement);
+            let token = self.push_tokens.fetch_add(1, Ordering::Relaxed);
+            self.pools[pool].lock().push_back((token, unit));
+            self.note(EventKind::Push { by: creator, pool, token });
+        }
+    }
+
     fn pop_own(&self, rank: usize) -> Option<Unit> {
         self.stepper.acquire(rank);
         let pool = if self.shared { 0 } else { rank % self.n };
@@ -674,6 +691,25 @@ mod tests {
         // Post-stall acquires are pass-through.
         stepper.acquire(0);
         stepper.acquire(1);
+    }
+
+    #[test]
+    fn batched_push_logs_every_unit_in_order() {
+        // External (unregistered) creator bypasses the token, so the
+        // scheduler can be driven directly without a worker set.
+        let s = DetScheduler::new(&GltConfig::with_threads(2), DetConfig::with_seed(5));
+        let mk = || glt::Unit(glt::UnitState::new(glt::UnitKind::Ult, 0, Box::new(|| {})));
+        s.push_batch(None, (0..4).map(|i| (Placement::To(i % 2), mk())).collect());
+        assert_eq!(s.queued_len(), 4);
+        let pushes: Vec<u64> = s
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Push { token, .. } => Some(token),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pushes, vec![0, 1, 2, 3], "per-unit Push events minted in batch order");
     }
 
     #[test]

@@ -88,6 +88,32 @@ impl Scheduler for MthScheduler {
         }
     }
 
+    fn push_batch(&self, creator: Option<usize>, units: Vec<(Placement, Unit)>) {
+        // Owner-side deque pushes take the deque mutex once for the whole
+        // fork instead of once per unit; remote placements go to lock-free
+        // inboxes and need no amortization. Push order within each target
+        // matches the unbatched loop, so the work-first (LIFO) pop order is
+        // unchanged.
+        let n = self.deques.len();
+        let mut local: Vec<Unit> = Vec::new();
+        for (placement, unit) in units {
+            match placement {
+                Placement::To(t) => self.inboxes[t % n].push(unit),
+                Placement::Local => match creator {
+                    Some(_) => local.push(unit),
+                    None => self.inboxes[0].push(unit),
+                },
+            }
+        }
+        if !local.is_empty() {
+            let r = creator.unwrap_or(0) % n;
+            let deque = self.deques[r].lock();
+            for unit in local {
+                deque.push(unit);
+            }
+        }
+    }
+
     fn pop_own(&self, rank: usize) -> Option<Unit> {
         let n = self.deques.len();
         let r = rank % n;
@@ -230,5 +256,36 @@ mod tests {
     fn steal_gives_up_on_empty_system() {
         let sched = MthScheduler::new(&GltConfig::with_threads(4));
         assert!(sched.steal(0).is_none());
+    }
+
+    #[test]
+    fn batched_push_matches_unbatched_order() {
+        let sched = MthScheduler::new(&GltConfig::with_threads(2));
+        let mk = |i: u64| {
+            Unit(glt::UnitState::new_with_class(
+                glt::UnitKind::Ult,
+                glt::UnitClass::Task,
+                i,
+                0,
+                Box::new(|| {}),
+            ))
+        };
+        sched.push_batch(
+            Some(0),
+            vec![
+                (Placement::Local, mk(0)),
+                (Placement::To(1), mk(1)),
+                (Placement::Local, mk(2)),
+                (Placement::Local, mk(3)),
+            ],
+        );
+        assert_eq!(sched.queued_len(), 4);
+        // Work-first deque: the batch's local units pop newest-first, same
+        // as if they had been pushed one at a time.
+        for expect in [3, 2, 0] {
+            assert_eq!(sched.pop_own(0).expect("queued").0.tag(), expect);
+        }
+        // The remote unit landed in rank 1's inbox.
+        assert_eq!(sched.pop_own(1).expect("queued").0.tag(), 1);
     }
 }

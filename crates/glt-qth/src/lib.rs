@@ -80,6 +80,39 @@ impl Scheduler for QthScheduler {
         self.with_queue(idx, |q| q.push_back(unit));
     }
 
+    fn push_batch(&self, creator: Option<usize>, units: Vec<(Placement, Unit)>) {
+        // Bucket the fork by shepherd, then take each shepherd's FEB word
+        // exactly once: a 36-member fork that targets one shepherd pays one
+        // `readFE`/`writeEF` round-trip instead of 36 — the queue-lock
+        // amortization the fork gap calls for. Bucket order follows first
+        // appearance, and units extend in batch order within a bucket, so
+        // FIFO semantics per shepherd are unchanged.
+        // Grouping by stable sort instead of per-shepherd sub-vectors: the
+        // dominant fork shape (every member to a distinct shepherd) would
+        // otherwise allocate one bucket per member for zero FEB savings.
+        let n = self.shepherds.len();
+        let mut keyed: Vec<(usize, Unit)> = units
+            .into_iter()
+            .map(|(placement, unit)| {
+                let idx = match placement {
+                    Placement::To(t) => t % n,
+                    Placement::Local => creator.unwrap_or(0) % n,
+                };
+                (idx, unit)
+            })
+            .collect();
+        keyed.sort_by_key(|&(idx, _)| idx); // stable: batch order kept per shepherd
+        let mut it = keyed.into_iter().peekable();
+        while let Some((idx, unit)) = it.next() {
+            self.with_queue(idx, |q| {
+                q.push_back(unit);
+                while it.peek().is_some_and(|(next, _)| *next == idx) {
+                    q.push_back(it.next().expect("peeked").1);
+                }
+            });
+        }
+    }
+
     fn pop_own(&self, rank: usize) -> Option<Unit> {
         let idx = rank % self.shepherds.len();
         // Cheap empty probe outside the FEB lock: idle shepherds polling an
@@ -192,6 +225,33 @@ mod tests {
             rt.join(h);
         }
         assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn batched_push_takes_one_feb_roundtrip_per_shepherd() {
+        let s = QthScheduler::new(&GltConfig::with_threads(2));
+        let feb = s.feb();
+        let mk = || Unit(glt::UnitState::new(glt::UnitKind::Ult, 0, Box::new(|| {})));
+        let before = feb.ops();
+        s.push_batch(Some(0), (0..8).map(|i| (Placement::To(i % 2), mk())).collect());
+        assert_eq!(
+            feb.ops() - before,
+            4,
+            "two target shepherds -> two FEB lock+unlock round-trips total"
+        );
+        assert_eq!(s.queued_len(), 8);
+        // The unbatched path pays the round-trip per unit.
+        let before = feb.ops();
+        for i in 0..8 {
+            s.push(Some(0), Placement::To(i % 2), mk());
+        }
+        assert_eq!(feb.ops() - before, 16);
+        // FIFO within each shepherd is preserved across the batch.
+        let mut seen = 0;
+        while s.pop_own(0).is_some() || s.pop_own(1).is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 16);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct Counters {
     pub os_threads_reused: AtomicU64,
     /// ULTs created.
     pub ults_created: AtomicU64,
+    /// ULTs reused instead of created: a parked hot-team member re-armed
+    /// with new region work (`GLTO_HOT_ULTS=1`), reported like Intel's
+    /// created/reused thread split in Table II.
+    pub ults_reused: AtomicU64,
     /// Tasklets created.
     pub tasklets_created: AtomicU64,
     /// Work units executed to completion.
@@ -48,6 +52,11 @@ pub struct Counters {
     /// Task frames recycled from the slab free list (steady-state path:
     /// no allocation per task).
     pub task_slab_reused: AtomicU64,
+    /// GLT unit frames (`UnitState`) allocated fresh by the unit slab.
+    pub unit_slab_fresh: AtomicU64,
+    /// GLT unit frames recycled from the unit slab free list (steady-state
+    /// fork path: no allocation per spawned ULT/tasklet).
+    pub unit_slab_reused: AtomicU64,
     /// Deferred tasks carrying at least one `depend` clause (routed through
     /// the dependency resolver before dispatch).
     pub dep_tasks: AtomicU64,
@@ -86,6 +95,7 @@ impl Counters {
             os_threads_created: self.os_threads_created.load(Ordering::Relaxed),
             os_threads_reused: self.os_threads_reused.load(Ordering::Relaxed),
             ults_created: self.ults_created.load(Ordering::Relaxed),
+            ults_reused: self.ults_reused.load(Ordering::Relaxed),
             tasklets_created: self.tasklets_created.load(Ordering::Relaxed),
             units_executed: self.units_executed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
@@ -98,17 +108,20 @@ impl Counters {
             tasks_direct: self.tasks_direct.load(Ordering::Relaxed),
             task_slab_fresh: self.task_slab_fresh.load(Ordering::Relaxed),
             task_slab_reused: self.task_slab_reused.load(Ordering::Relaxed),
+            unit_slab_fresh: self.unit_slab_fresh.load(Ordering::Relaxed),
+            unit_slab_reused: self.unit_slab_reused.load(Ordering::Relaxed),
             dep_tasks: self.dep_tasks.load(Ordering::Relaxed),
             assign_ns: self.assign_ns.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 18] {
+    fn all(&self) -> [&AtomicU64; 21] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
             &self.ults_created,
+            &self.ults_reused,
             &self.tasklets_created,
             &self.units_executed,
             &self.steals,
@@ -121,6 +134,8 @@ impl Counters {
             &self.tasks_direct,
             &self.task_slab_fresh,
             &self.task_slab_reused,
+            &self.unit_slab_fresh,
+            &self.unit_slab_reused,
             &self.dep_tasks,
             &self.assign_ns,
             &self.forks,
@@ -135,6 +150,7 @@ pub struct CounterSnapshot {
     pub os_threads_created: u64,
     pub os_threads_reused: u64,
     pub ults_created: u64,
+    pub ults_reused: u64,
     pub tasklets_created: u64,
     pub units_executed: u64,
     pub steals: u64,
@@ -147,6 +163,8 @@ pub struct CounterSnapshot {
     pub tasks_direct: u64,
     pub task_slab_fresh: u64,
     pub task_slab_reused: u64,
+    pub unit_slab_fresh: u64,
+    pub unit_slab_reused: u64,
     pub dep_tasks: u64,
     pub assign_ns: u64,
     pub forks: u64,
@@ -203,6 +221,13 @@ impl CounterSnapshot {
     /// * slab: `task_slab_fresh + task_slab_reused ≥ tasks_queued` (every
     ///   deferred task occupies a slab frame; undeferred tasks may run
     ///   inline without one);
+    /// * unit slab: `unit_slab_fresh + unit_slab_reused ≥ ults_created +
+    ///   tasklets_created` (every GLT unit occupies a unit-slab frame; the
+    ///   frame counter is bumped before the kind counter, so mid-flight the
+    ///   frame total may lead), with equality once drained;
+    /// * reuse: `ults_reused > 0 ⇒ ults_created > 0` and
+    ///   `unit_slab_reused > 0 ⇒ unit_slab_fresh > 0` (nothing can be
+    ///   reused before it was created/allocated at least once);
     /// * deps: `dep_tasks ≤ tasks_created` (a dependent task is still a
     ///   created task);
     /// * forks: `forks > 0 ⇒ assign_ns > 0` (every region fork records its
@@ -246,6 +271,34 @@ impl CounterSnapshot {
                 "task_slab_fresh + task_slab_reused ({frames}) < tasks_queued ({}): \
                  a deferred task was queued without a slab frame",
                 self.tasks_queued
+            ));
+        }
+        let unit_frames = self.unit_slab_fresh + self.unit_slab_reused;
+        if unit_frames < created {
+            v.push(format!(
+                "unit_slab_fresh + unit_slab_reused ({unit_frames}) < ults_created + \
+                 tasklets_created ({created}): a GLT unit was created without a \
+                 unit-slab frame"
+            ));
+        } else if drained && unit_frames != created {
+            v.push(format!(
+                "drained but unit_slab_fresh + unit_slab_reused ({unit_frames}) != \
+                 ults_created + tasklets_created ({created}): a unit-slab frame was \
+                 acquired and never turned into a unit"
+            ));
+        }
+        if self.ults_reused > 0 && self.ults_created == 0 {
+            v.push(format!(
+                "ults_reused ({}) > 0 with ults_created == 0: a hot-team member \
+                 was reused without ever being created",
+                self.ults_reused
+            ));
+        }
+        if self.unit_slab_reused > 0 && self.unit_slab_fresh == 0 {
+            v.push(format!(
+                "unit_slab_reused ({}) > 0 with unit_slab_fresh == 0: a unit frame \
+                 was recycled without ever being allocated",
+                self.unit_slab_reused
             ));
         }
         if self.dep_tasks > self.tasks_created {
@@ -312,8 +365,11 @@ mod tests {
     fn invariants_hold_on_consistent_snapshot() {
         let s = CounterSnapshot {
             ults_created: 10,
+            ults_reused: 4,
             tasklets_created: 2,
             units_executed: 12,
+            unit_slab_fresh: 7,
+            unit_slab_reused: 5,
             steals: 3,
             tasks_created: 5,
             tasks_queued: 4,
@@ -331,8 +387,12 @@ mod tests {
 
     #[test]
     fn mid_flight_allows_pending_units_but_drained_does_not() {
-        let s =
-            CounterSnapshot { ults_created: 10, units_executed: 7, ..CounterSnapshot::default() };
+        let s = CounterSnapshot {
+            ults_created: 10,
+            units_executed: 7,
+            unit_slab_fresh: 10,
+            ..CounterSnapshot::default()
+        };
         assert!(s.invariant_violations(false).is_empty());
         let v = s.invariant_violations(true);
         assert_eq!(v.len(), 1);
@@ -352,6 +412,7 @@ mod tests {
         let s = CounterSnapshot {
             ults_created: 4,
             units_executed: 2,
+            unit_slab_fresh: 4,
             steals: 4,
             tasks_created: 3,
             tasks_queued: 1,
@@ -378,6 +439,45 @@ mod tests {
         assert_eq!(v.len(), 2, "expected slab + dep violations, got: {v:?}");
         assert!(v.iter().any(|m| m.contains("slab")));
         assert!(v.iter().any(|m| m.contains("dep_tasks")));
+    }
+
+    #[test]
+    fn unit_slab_conservation_violations_detected() {
+        // A unit created without a slab frame is a violation even mid-flight.
+        let s = CounterSnapshot {
+            ults_created: 3,
+            units_executed: 3,
+            unit_slab_fresh: 2,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("unit_slab"));
+        // Excess frames are fine mid-flight (frame bumped before the kind
+        // counter) but not once drained.
+        let s = CounterSnapshot {
+            ults_created: 3,
+            units_executed: 3,
+            unit_slab_fresh: 4,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(false).is_empty());
+        let v = s.invariant_violations(true);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("never turned into a unit"));
+    }
+
+    #[test]
+    fn reuse_without_creation_detected() {
+        let s = CounterSnapshot { ults_reused: 2, ..CounterSnapshot::default() };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("ults_reused"));
+        let s = CounterSnapshot { unit_slab_reused: 2, ..CounterSnapshot::default() };
+        let v = s.invariant_violations(false);
+        // reused frames with no fresh ones also violate the ≥-created law's
+        // drained sibling only when units exist; here only the reuse law fires.
+        assert!(v.iter().any(|m| m.contains("unit_slab_reused")), "got: {v:?}");
     }
 
     #[test]

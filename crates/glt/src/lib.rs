@@ -56,7 +56,7 @@ pub use runtime::{start_shared, GltRuntime, Runtime, SharedRuntime};
 pub use sched::{Placement, Scheduler, SharedQueueScheduler};
 pub use scope::{scope, GltScope};
 pub use timer::{wtick, GltTimer};
-pub use unit::{UltHandle, Unit, UnitClass, UnitKind, UnitState, WorkFn, NO_RANK};
+pub use unit::{UltHandle, Unit, UnitClass, UnitKind, UnitSlab, UnitState, WorkFn, NO_RANK};
 
 /// Backends either implement their own policy or — when the user sets
 /// `GLT_SHARED_QUEUES` (paper §IV-F) — fall back to one shared queue.
@@ -95,6 +95,14 @@ impl<S: Scheduler> Scheduler for Pooled<S> {
         match self {
             Pooled::Backend(s) => s.push(creator, placement, unit),
             Pooled::Shared(s) => s.push(creator, placement, unit),
+        }
+    }
+
+    #[inline]
+    fn push_batch(&self, creator: Option<usize>, units: Vec<(Placement, Unit)>) {
+        match self {
+            Pooled::Backend(s) => s.push_batch(creator, units),
+            Pooled::Shared(s) => s.push_batch(creator, units),
         }
     }
 

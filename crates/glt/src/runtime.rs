@@ -29,7 +29,7 @@ use crate::config::GltConfig;
 use crate::counters::Counters;
 use crate::park::{IdleWait, WaitSlot};
 use crate::sched::{Placement, Scheduler, SharedQueueScheduler};
-use crate::unit::{UltHandle, Unit, UnitClass, UnitKind, UnitState, WorkFn};
+use crate::unit::{UltHandle, Unit, UnitClass, UnitKind, UnitSlab, UnitState, WorkFn};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -80,6 +80,45 @@ pub trait GltRuntime: Send + Sync {
     fn tasklet_create(&self, work: WorkFn) -> UltHandle;
     /// Create a tasklet destined for worker `target`'s pool.
     fn tasklet_create_to(&self, target: usize, work: WorkFn) -> UltHandle;
+    /// Create a long-lived service ULT ([`UnitClass::Service`]) in worker
+    /// `target`'s pool. Only a worker's outermost loop executes service
+    /// units (GLTO parks hot-team members in them); joins, yields, and help
+    /// frames skip them.
+    fn service_ult_create_to(&self, target: usize, work: WorkFn) -> UltHandle;
+    /// Create a whole fork's worth of ULTs in one scheduler call
+    /// (`None` target = backend-default placement). The default
+    /// implementation is the unamortized per-unit loop; [`Runtime`]
+    /// overrides it with a single [`Scheduler::push_batch`].
+    fn ult_create_batch(&self, specs: Vec<(Option<usize>, WorkFn)>) -> Vec<UltHandle> {
+        specs
+            .into_iter()
+            .map(|(t, w)| match t {
+                Some(t) => self.ult_create_to(t, w),
+                None => self.ult_create(w),
+            })
+            .collect()
+    }
+    /// Batched [`GltRuntime::region_ult_create_to`]: all of a region fork's
+    /// member units submitted in one scheduler call. See
+    /// [`GltRuntime::ult_create_batch`].
+    fn region_ult_create_batch(
+        &self,
+        tag: u64,
+        specs: Vec<(Option<usize>, WorkFn)>,
+    ) -> Vec<UltHandle> {
+        specs
+            .into_iter()
+            .map(|(t, w)| match t {
+                Some(t) => self.region_ult_create_to(t, tag, w),
+                None => self.region_ult_create(tag, w),
+            })
+            .collect()
+    }
+    /// Offer a joined handle's frame back to the unit slab for reuse.
+    /// No-op unless the unit is done; callers that wait on handles outside
+    /// [`GltRuntime::join`] (GLTO's region master) call this to keep the
+    /// steady-state fork path allocation-free. Default: no slab, no-op.
+    fn unit_recycle(&self, _h: &UltHandle) {}
     /// Wait for `h`, helping execute other ready units meanwhile.
     fn join(&self, h: &UltHandle);
     /// Run at most one ready unit from the caller's own pool, then return.
@@ -116,6 +155,7 @@ struct Shared<S: Scheduler> {
     cfg: GltConfig,
     sched: S,
     counters: Counters,
+    unit_slab: UnitSlab,
     slots: Vec<Arc<WaitSlot>>,
     stop: AtomicBool,
     wake_rr: AtomicUsize,
@@ -139,24 +179,50 @@ impl<S: Scheduler> Shared<S> {
         }
     }
 
-    fn take_work(&self, rank: usize) -> Option<Unit> {
-        if let Some(u) = self.sched.pop_own(rank) {
-            return Some(u);
+    /// Next unit for `rank`: own pool first, then one steal attempt.
+    /// `run_services` is true only for a worker's outermost loop — service
+    /// units popped from inside a join/help frame are set aside (re-queued
+    /// locally after the search), and a *stolen* service is forwarded to a
+    /// neighbour's pool so the skip cannot strand it with a worker (the
+    /// master) that never runs services at top level. Skipped steals count
+    /// in neither `steals` nor `steal_fails`: the thief took nothing it
+    /// will execute, and the victim was provably not empty.
+    fn take_work(&self, rank: usize, run_services: bool) -> Option<Unit> {
+        let mut skipped_own: Vec<Unit> = Vec::new();
+        let mut found: Option<Unit> = None;
+        while let Some(u) = self.sched.pop_own(rank) {
+            if !run_services && u.0.class() == UnitClass::Service {
+                skipped_own.push(u);
+            } else {
+                found = Some(u);
+                break;
+            }
         }
-        if self.sched.can_steal() {
+        for u in skipped_own {
+            // Back into this worker's own pool: the owner is awake (it is
+            // executing this very call), so no wake is needed.
+            self.sched.push(Some(rank), Placement::Local, u);
+        }
+        if found.is_none() && self.sched.can_steal() {
             match self.sched.steal(rank) {
                 Some(u) => {
-                    Counters::bump(&self.counters.steals, 1);
-                    Some(u)
+                    if !run_services && u.0.class() == UnitClass::Service {
+                        let n = self.slots.len().max(1);
+                        let target = (rank + 1) % n;
+                        u.0.mark_migrated();
+                        self.sched.push(Some(rank), Placement::To(target), u);
+                        self.wake_for(Placement::To(target));
+                    } else {
+                        Counters::bump(&self.counters.steals, 1);
+                        found = Some(u);
+                    }
                 }
                 None => {
                     Counters::bump(&self.counters.steal_fails, 1);
-                    None
                 }
             }
-        } else {
-            None
         }
+        found
     }
 
     fn run_unit(&self, rank: usize, u: &Unit) {
@@ -203,6 +269,7 @@ impl<S: Scheduler> Runtime<S> {
             cfg,
             sched,
             counters: Counters::new(),
+            unit_slab: UnitSlab::new(),
             slots,
             stop: AtomicBool::new(false),
             wake_rr: AtomicUsize::new(0),
@@ -236,7 +303,8 @@ impl<S: Scheduler> Runtime<S> {
         work: WorkFn,
     ) -> UltHandle {
         let creator = self.self_rank();
-        let state = UnitState::new_with_class(
+        let state = self.shared.unit_slab.acquire(
+            &self.shared.counters,
             kind,
             class,
             tag,
@@ -256,6 +324,87 @@ impl<S: Scheduler> Runtime<S> {
         self.shared.sched.push(creator, placement, unit);
         self.shared.wake_for(placement);
         UltHandle::new(state)
+    }
+
+    /// Batched [`Runtime::create_class`]: acquire every frame, bump the
+    /// counters once, submit all units in one [`Scheduler::push_batch`],
+    /// and only then wake targets — one wake per distinct `To` pool, one
+    /// round-robin wake per `Local` unit (matching the per-unit path's
+    /// wake pressure without re-waking a pool per member).
+    fn create_class_batch(
+        &self,
+        kind: UnitKind,
+        class: UnitClass,
+        tag: u64,
+        specs: Vec<(Option<usize>, WorkFn)>,
+    ) -> Vec<UltHandle> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let creator = self.self_rank();
+        let created_by = creator.unwrap_or(crate::unit::NO_RANK);
+        let count = specs.len() as u64;
+        let nslots = self.shared.slots.len();
+        let mut handles = Vec::with_capacity(specs.len());
+        let mut units = Vec::with_capacity(specs.len());
+        // Wake set tracked in fixed words (slot counts are small): the fork
+        // path must not allocate per-batch bookkeeping beyond the two Vecs.
+        let mut wake_words = [0u64; 4];
+        let mut wake_local = 0usize;
+        let mut remote = 0u64;
+        for (target, work) in specs {
+            let placement = match target {
+                Some(t) => Placement::To(t),
+                None => Placement::Local,
+            };
+            let state = self.shared.unit_slab.acquire(
+                &self.shared.counters,
+                kind,
+                class,
+                tag,
+                created_by,
+                work,
+            );
+            match placement {
+                Placement::To(t) if t < nslots && t < 64 * wake_words.len() => {
+                    if creator != Some(t) {
+                        remote += 1;
+                    }
+                    wake_words[t / 64] |= 1 << (t % 64);
+                }
+                Placement::To(t) => {
+                    if creator != Some(t) {
+                        remote += 1;
+                    }
+                    wake_local += 1; // out-of-range rank: round-robin wake
+                }
+                Placement::Local => wake_local += 1,
+            }
+            units.push((placement, Unit(Arc::clone(&state))));
+            handles.push(UltHandle::new(state));
+        }
+        match kind {
+            UnitKind::Ult => Counters::bump(&self.shared.counters.ults_created, count),
+            UnitKind::Tasklet => Counters::bump(&self.shared.counters.tasklets_created, count),
+        }
+        if remote > 0 {
+            Counters::bump(&self.shared.counters.remote_pushes, remote);
+        }
+        self.shared.sched.push_batch(creator, units);
+        for (w, word) in wake_words.into_iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let r = w * 64 + bits.trailing_zeros() as usize;
+                self.shared.slots[r].wake();
+                bits &= bits - 1;
+            }
+        }
+        for _ in 0..wake_local {
+            // One round-robin wake per locally-placed unit, matching the
+            // unbatched path (each wake may rouse a different stealer).
+            self.shared.wake_for(Placement::Local);
+        }
+        handles
     }
 
     /// Scheduler access for tests and backend-specific probes.
@@ -279,7 +428,7 @@ fn worker_loop<S: Scheduler>(shared: &Shared<S>, rank: usize) {
         Arc::clone(&shared.slots[rank]),
     );
     while !shared.stop.load(Ordering::Acquire) {
-        match shared.take_work(rank) {
+        match shared.take_work(rank, true) {
             Some(u) => {
                 shared.run_unit(rank, &u);
                 idle.reset();
@@ -292,7 +441,7 @@ fn worker_loop<S: Scheduler>(shared: &Shared<S>, rank: usize) {
         }
     }
     // Drain anything still visible to this worker so no unit is lost.
-    while let Some(u) = shared.take_work(rank) {
+    while let Some(u) = shared.take_work(rank, true) {
         shared.run_unit(rank, &u);
     }
     unregister_rank(shared.id);
@@ -335,8 +484,29 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
         self.create(UnitKind::Tasklet, Placement::To(target), work)
     }
 
+    fn service_ult_create_to(&self, target: usize, work: WorkFn) -> UltHandle {
+        self.create_class(UnitKind::Ult, UnitClass::Service, 0, Placement::To(target), work)
+    }
+
+    fn ult_create_batch(&self, specs: Vec<(Option<usize>, WorkFn)>) -> Vec<UltHandle> {
+        self.create_class_batch(UnitKind::Ult, UnitClass::Task, 0, specs)
+    }
+
+    fn region_ult_create_batch(
+        &self,
+        tag: u64,
+        specs: Vec<(Option<usize>, WorkFn)>,
+    ) -> Vec<UltHandle> {
+        self.create_class_batch(UnitKind::Ult, UnitClass::Region, tag, specs)
+    }
+
+    fn unit_recycle(&self, h: &UltHandle) {
+        self.shared.unit_slab.recycle(h.state());
+    }
+
     fn join(&self, h: &UltHandle) {
         if h.is_done() {
+            self.shared.unit_slab.recycle(h.state());
             h.propagate_panic();
             return;
         }
@@ -350,7 +520,7 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
                     Arc::clone(&self.shared.slots[rank]),
                 );
                 while !h.is_done() {
-                    match self.shared.take_work(rank) {
+                    match self.shared.take_work(rank, false) {
                         Some(u) => {
                             self.shared.run_unit(rank, &u);
                             idle.reset();
@@ -375,14 +545,22 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
                 }
             }
         }
+        // Recycle before propagating: an unwinding joiner still returns the
+        // frame, and no acquirer can reset it while this handle is live.
+        self.shared.unit_slab.recycle(h.state());
         h.propagate_panic();
     }
 
     fn yield_now(&self) -> bool {
         if let Some(rank) = self.self_rank() {
             if let Some(u) = self.shared.sched.pop_own(rank) {
-                self.shared.run_unit(rank, &u);
-                return true;
+                if u.0.class() == UnitClass::Service {
+                    // Services only run at a worker's outermost loop.
+                    self.shared.sched.push(Some(rank), Placement::Local, u);
+                } else {
+                    self.shared.run_unit(rank, &u);
+                    return true;
+                }
             }
         }
         std::thread::yield_now();
@@ -391,7 +569,7 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
 
     fn help_once(&self) -> bool {
         if let Some(rank) = self.self_rank() {
-            if let Some(u) = self.shared.take_work(rank) {
+            if let Some(u) = self.shared.take_work(rank, false) {
                 self.shared.run_unit(rank, &u);
                 return true;
             }
@@ -413,7 +591,9 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
         let mut rejected_stolen: Vec<Unit> = Vec::new();
         let mut found: Option<Unit> = None;
         while let Some(u) = self.shared.sched.pop_own(rank) {
-            if u.0.class() == UnitClass::Region && !allow_region(&u.0, true) {
+            let cls = u.0.class();
+            if cls == UnitClass::Service || (cls == UnitClass::Region && !allow_region(&u.0, true))
+            {
                 rejected_own.push(u);
             } else {
                 found = Some(u);
@@ -422,7 +602,10 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
         }
         if found.is_none() && self.shared.sched.can_steal() {
             while let Some(u) = self.shared.sched.steal(rank) {
-                if u.0.class() == UnitClass::Region && !allow_region(&u.0, false) {
+                let cls = u.0.class();
+                if cls == UnitClass::Service
+                    || (cls == UnitClass::Region && !allow_region(&u.0, false))
+                {
                     rejected_stolen.push(u);
                 } else {
                     Counters::bump(&self.shared.counters.steals, 1);
@@ -484,7 +667,7 @@ impl<S: Scheduler> Drop for Runtime<S> {
         // Drain work still queued (structured callers joined everything, so
         // this is normally empty) on the dropping thread, then stop workers.
         if let Some(rank) = self.self_rank() {
-            while let Some(u) = self.shared.take_work(rank) {
+            while let Some(u) = self.shared.take_work(rank, true) {
                 self.shared.run_unit(rank, &u);
             }
         }
@@ -651,5 +834,92 @@ mod tests {
         r.join(&h);
         assert!(h.is_done());
         assert_eq!(r.backend_name(), "shared-queue");
+    }
+
+    #[test]
+    fn batch_create_executes_everything_and_counts_once() {
+        let r = rt(2);
+        let hits = Arc::new(TestCounter::new(0));
+        let specs: Vec<(Option<usize>, WorkFn)> = (0..16)
+            .map(|i| {
+                let h = hits.clone();
+                let target = if i % 2 == 0 { Some(1) } else { None };
+                (
+                    target,
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }) as WorkFn,
+                )
+            })
+            .collect();
+        let handles = r.ult_create_batch(specs);
+        assert_eq!(handles.len(), 16);
+        for h in &handles {
+            r.join(h);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+        let s = r.counters().snapshot();
+        assert_eq!(s.ults_created, 16);
+        assert_eq!(s.unit_slab_fresh + s.unit_slab_reused, 16);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let r = rt(2);
+        let handles = r.ult_create_batch(Vec::new());
+        assert!(handles.is_empty());
+        let s = r.counters().snapshot();
+        assert_eq!(s.ults_created, 0);
+        assert_eq!(s.unit_slab_fresh + s.unit_slab_reused, 0);
+    }
+
+    #[test]
+    fn join_recycles_frames_for_reuse() {
+        let r = rt(1);
+        // First round allocates fresh; handles must be dropped to unpin.
+        for _ in 0..8 {
+            let h = r.ult_create(Box::new(|| {}));
+            r.join(&h);
+        }
+        // Steady state: frames come from the slab.
+        for _ in 0..8 {
+            let h = r.ult_create(Box::new(|| {}));
+            r.join(&h);
+        }
+        let s = r.counters().snapshot();
+        assert_eq!(s.ults_created, 16);
+        assert_eq!(s.unit_slab_fresh + s.unit_slab_reused, 16);
+        assert!(
+            s.unit_slab_reused >= 8,
+            "sequential spawn/join must reach steady-state reuse, got fresh={} reused={}",
+            s.unit_slab_fresh,
+            s.unit_slab_reused
+        );
+    }
+
+    #[test]
+    fn service_units_only_run_at_worker_top_level() {
+        let r = rt(1);
+        // A service unit sits in the only pool; joins and yields on the
+        // master must skip it rather than wedge inside it.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let svc = r.service_ult_create_to(
+            0,
+            Box::new(move || {
+                stop2.store(true, Ordering::SeqCst);
+            }),
+        );
+        assert!(!r.yield_now(), "yield must not run a service unit");
+        assert!(!r.help_once(), "help must not run a service unit");
+        let h = r.ult_create(Box::new(|| {}));
+        r.join(&h); // join skips the service, still finds the task behind it
+        assert!(h.is_done());
+        assert!(!svc.is_done(), "service must still be pending after joins");
+        assert!(!stop.load(Ordering::SeqCst));
+        // Drop drains at top level, where services are allowed to run.
+        drop(r);
+        assert!(stop.load(Ordering::SeqCst));
+        assert!(svc.is_done());
     }
 }

@@ -34,6 +34,20 @@ pub trait Scheduler: Send + Sync + 'static {
     /// Enqueue a unit created by `creator` with the given placement.
     fn push(&self, creator: Option<usize>, placement: Placement, unit: Unit);
 
+    /// Enqueue a whole fork's worth of units in one scheduler call.
+    ///
+    /// Backends override this to amortize their per-push synchronization
+    /// over the batch: one lock acquisition (Qthreads-like: one FEB
+    /// round-trip) per *target pool* rather than per unit. Within one
+    /// target pool, units must become poppable in batch order. The default
+    /// is the unamortized loop, so correctness never depends on the
+    /// override.
+    fn push_batch(&self, creator: Option<usize>, units: Vec<(Placement, Unit)>) {
+        for (placement, unit) in units {
+            self.push(creator, placement, unit);
+        }
+    }
+
     /// Take the next unit for worker `rank` from its own pool(s).
     fn pop_own(&self, rank: usize) -> Option<Unit>;
 
@@ -131,6 +145,26 @@ mod tests {
         assert!(s.pop_own(1).is_some());
         assert!(s.steal(0).is_some());
         assert!(s.pop_own(0).is_none());
+    }
+
+    #[test]
+    fn push_batch_preserves_batch_order_per_pool() {
+        let s = SharedQueueScheduler::new(&GltConfig::with_threads(2));
+        let mk = |i: u64| {
+            Unit(UnitState::new_with_class(
+                UnitKind::Ult,
+                crate::unit::UnitClass::Task,
+                i,
+                0,
+                Box::new(|| {}),
+            ))
+        };
+        s.push_batch(Some(0), (0..4).map(|i| (Placement::Local, mk(i))).collect());
+        assert_eq!(s.queued_len(), 4);
+        for i in 0..4 {
+            let u = s.pop_own(0).expect("queued");
+            assert_eq!(u.0.tag(), i, "units pop in batch order");
+        }
     }
 
     #[test]

@@ -65,6 +65,26 @@ impl<'rt, 'env, R: GltRuntime + ?Sized> GltScope<'rt, 'env, R> {
         h
     }
 
+    /// Spawn a whole batch of ULTs in one scheduler call (one lock
+    /// acquisition per target pool instead of one per unit — the fork fast
+    /// path); all are joined at scope exit. `None` target = default
+    /// placement, `Some(r)` = worker `r`'s pool. Handles are returned in
+    /// batch order. An empty batch is a no-op.
+    pub fn spawn_batch<F: FnOnce() + Send + 'env>(
+        &self,
+        fs: Vec<(Option<usize>, F)>,
+    ) -> Vec<UltHandle> {
+        let specs: Vec<(Option<usize>, WorkFn)> = fs
+            .into_iter()
+            .map(|(target, f)| {
+                (target, unsafe { erase_lifetime(Box::new(f) as Box<dyn FnOnce() + Send + 'env>) })
+            })
+            .collect();
+        let handles = self.rt.ult_create_batch(specs);
+        self.handles.lock().extend(handles.iter().cloned());
+        handles
+    }
+
     /// Spawn a tasklet with default placement; joined at scope exit.
     pub fn spawn_tasklet<F: FnOnce() + Send + 'env>(&self, f: F) -> UltHandle {
         let work = unsafe { erase_lifetime(Box::new(f) as Box<dyn FnOnce() + Send + 'env>) };
@@ -230,6 +250,72 @@ mod tests {
             s.join(&h);
             assert_eq!(flag.load(Ordering::SeqCst), 7);
         });
+    }
+
+    #[test]
+    fn spawn_batch_runs_everything_in_one_submit() {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let n = AtomicUsize::new(0);
+        scope(&rt, |s| {
+            let batch: Vec<(Option<usize>, _)> = (0..12)
+                .map(|i| {
+                    let n = &n;
+                    (if i % 3 == 0 { Some(1) } else { None }, move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            let handles = s.spawn_batch(batch);
+            assert_eq!(handles.len(), 12);
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 12);
+        assert_eq!(rt.counters().snapshot().ults_created, 12);
+    }
+
+    #[test]
+    fn spawn_batch_empty_is_a_no_op() {
+        let rt = start_shared(GltConfig::with_threads(2));
+        scope(&rt, |s| {
+            let handles = s.spawn_batch(Vec::<(Option<usize>, fn())>::new());
+            assert!(handles.is_empty());
+        });
+        assert_eq!(rt.counters().snapshot().ults_created, 0);
+    }
+
+    #[test]
+    fn spawn_batch_panic_propagates_exactly_once_at_join() {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let ran = AtomicUsize::new(0);
+        let unwinds = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(&rt, |s| {
+                let ran = &ran;
+                type BatchItem<'a> = (Option<usize>, Box<dyn FnOnce() + Send + 'a>);
+                let batch: Vec<BatchItem<'_>> = (0..8)
+                    .map(|i| {
+                        let f: Box<dyn FnOnce() + Send> = if i == 3 {
+                            Box::new(|| panic!("batch member 3 failed"))
+                        } else {
+                            Box::new(move || {
+                                ran.fetch_add(1, Ordering::SeqCst);
+                            })
+                        };
+                        (None, f)
+                    })
+                    .collect();
+                s.spawn_batch(batch);
+            });
+        }));
+        if res.is_err() {
+            unwinds.fetch_add(1, Ordering::SeqCst);
+        }
+        assert_eq!(unwinds.load(Ordering::SeqCst), 1, "scope rethrows the panic exactly once");
+        assert_eq!(ran.load(Ordering::SeqCst), 7, "all non-panicking members still ran");
+        // The payload was consumed by the single rethrow: joining the (now
+        // done) units again surfaces nothing.
+        let err = res.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("batch member 3"), "first (only) panic wins: {msg}");
     }
 
     #[test]

@@ -13,7 +13,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crossbeam_queue::SegQueue;
 use parking_lot::Mutex;
+
+use crate::counters::Counters;
 
 /// The closure a work unit executes.
 pub type WorkFn = Box<dyn FnOnce() + Send + 'static>;
@@ -44,11 +47,20 @@ pub enum UnitClass {
     Task,
     /// A parallel-region member; may block on team barriers.
     Region,
+    /// A long-lived runtime-internal unit (e.g. a parked hot-team member
+    /// loop). Only a worker's outermost loop may execute one: a service
+    /// unit occupies its host until explicitly retired, so running it
+    /// nested inside a join/help frame would wedge that frame forever.
+    Service,
 }
 
 const ST_PENDING: u8 = 0;
 const ST_RUNNING: u8 = 1;
 const ST_DONE: u8 = 2;
+
+/// Global unit-id source (shared by fresh allocation and slab reset so ids
+/// stay unique across recycling).
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
 
 /// Shared state of one work unit.
 ///
@@ -78,6 +90,15 @@ pub struct UnitState {
     migrated: AtomicBool,
     /// Panic payload captured from the work closure, surfaced at join.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Bumped on every slab recycle of this frame. A handle snapshots the
+    /// generation at creation; since a live handle's `Arc` reference makes
+    /// `Arc::get_mut` (and therefore [`UnitState::reset`]) fail, a mismatch
+    /// is provably unreachable through a live handle — it exists as a
+    /// belt-and-braces guard on the recycling protocol.
+    generation: u64,
+    /// Set when the frame has been pushed to a slab free list; cleared on
+    /// reset. Guards against double-recycling one completed frame.
+    recycled: AtomicBool,
 }
 
 impl std::fmt::Debug for UnitState {
@@ -107,7 +128,6 @@ impl UnitState {
         created_by: usize,
         work: WorkFn,
     ) -> Arc<Self> {
-        static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
         Arc::new(UnitState {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed) as u64,
             kind,
@@ -119,7 +139,35 @@ impl UnitState {
             executed_by: AtomicUsize::new(NO_RANK),
             migrated: AtomicBool::new(false),
             panic: Mutex::new(None),
+            generation: 0,
+            recycled: AtomicBool::new(false),
         })
+    }
+
+    /// Re-initialize a completed frame in place for a new unit. Callable
+    /// only with exclusive access (`Arc::get_mut` succeeded: the slab free
+    /// list holds the sole reference), which is what makes the plain-field
+    /// writes race-free.
+    fn reset(
+        &mut self,
+        kind: UnitKind,
+        class: UnitClass,
+        tag: u64,
+        created_by: usize,
+        work: WorkFn,
+    ) {
+        self.id = NEXT_ID.fetch_add(1, Ordering::Relaxed) as u64;
+        self.kind = kind;
+        self.class = class;
+        self.tag = tag;
+        *self.work.get_mut() = Some(work);
+        *self.status.get_mut() = ST_PENDING;
+        self.created_by = created_by;
+        *self.executed_by.get_mut() = NO_RANK;
+        *self.migrated.get_mut() = false;
+        *self.panic.get_mut() = None;
+        self.generation += 1;
+        *self.recycled.get_mut() = false;
     }
 
     /// Kind of this unit.
@@ -179,6 +227,104 @@ impl UnitState {
     pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
         self.panic.lock().take()
     }
+
+    /// Slab-recycle generation of this frame (0 = never recycled).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+// ------------------------------------------------------------- unit slab
+
+/// Probes per [`UnitSlab::acquire`]: how many free-list entries are
+/// inspected for exclusivity before giving up and allocating fresh.
+const SLAB_PROBES: usize = 4;
+/// Free-list cap: completed frames beyond this are dropped instead of
+/// cached, bounding the slab's steady-state footprint.
+const SLAB_CAP: usize = 1024;
+
+/// Lock-free recycler for [`UnitState`] frames — the unit-layer analog of
+/// the `omp::taskcore` task slab. On the steady-state fork path every
+/// spawned ULT/tasklet reuses a completed frame instead of allocating
+/// (`unit_slab_reused` vs `unit_slab_fresh` in [`Counters`]).
+///
+/// A frame is recyclable only once it is done *and* the free list holds the
+/// sole `Arc` reference — `acquire` checks the latter with `Arc::get_mut`,
+/// so a frame pinned by a still-live user handle is rotated back instead of
+/// reset out from under the handle.
+#[derive(Default)]
+pub struct UnitSlab {
+    free: SegQueue<Arc<UnitState>>,
+}
+
+impl std::fmt::Debug for UnitSlab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnitSlab").field("free", &self.free.len()).finish()
+    }
+}
+
+impl UnitSlab {
+    /// Empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames currently cached (diagnostics).
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Get a pending unit frame: recycled from the free list when an
+    /// unpinned frame is found within [`SLAB_PROBES`] pops, freshly
+    /// allocated otherwise. Bumps `unit_slab_reused`/`unit_slab_fresh`.
+    #[must_use]
+    pub fn acquire(
+        &self,
+        counters: &Counters,
+        kind: UnitKind,
+        class: UnitClass,
+        tag: u64,
+        created_by: usize,
+        work: WorkFn,
+    ) -> Arc<UnitState> {
+        let mut work = Some(work);
+        for _ in 0..SLAB_PROBES {
+            let Some(mut cand) = self.free.pop() else { break };
+            match Arc::get_mut(&mut cand) {
+                Some(frame) => {
+                    frame.reset(kind, class, tag, created_by, work.take().expect("work used once"));
+                    Counters::bump(&counters.unit_slab_reused, 1);
+                    return cand;
+                }
+                // A user handle still pins this frame; rotate it to the
+                // tail — it becomes reusable once the handle drops.
+                None => self.free.push(cand),
+            }
+        }
+        Counters::bump(&counters.unit_slab_fresh, 1);
+        UnitState::new_with_class(
+            kind,
+            class,
+            tag,
+            created_by,
+            work.take().expect("work used once"),
+        )
+    }
+
+    /// Offer a completed frame back to the free list. No-ops on frames that
+    /// are not done yet, were already recycled, or when the list is full.
+    pub fn recycle(&self, state: &Arc<UnitState>) {
+        if !state.is_done() || state.recycled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if self.free.len() >= SLAB_CAP {
+            return; // frame frees normally when the last handle drops
+        }
+        self.free.push(Arc::clone(state));
+    }
 }
 
 /// A schedulable work unit (what sits in backend queues).
@@ -208,49 +354,69 @@ impl Unit {
 
 /// User-facing handle to a created ULT/tasklet. Join through the runtime
 /// (`GltRuntime::join`), which supplies the backend's help policy.
+///
+/// The handle is generation-tagged: it remembers the slab generation of its
+/// frame at creation, so even if the recycling protocol were violated and
+/// the frame reset under a live handle, the handle would report the stale
+/// unit as done instead of observing the successor unit's state.
 #[derive(Clone, Debug)]
-pub struct UltHandle(pub(crate) Arc<UnitState>);
+pub struct UltHandle {
+    state: Arc<UnitState>,
+    generation: u64,
+}
 
 impl UltHandle {
     pub(crate) fn new(state: Arc<UnitState>) -> Self {
-        UltHandle(state)
+        let generation = state.generation();
+        UltHandle { state, generation }
+    }
+
+    /// Whether the frame has been recycled past this handle's unit. While
+    /// the handle's `Arc` is live this cannot happen (see [`UnitSlab`]);
+    /// the check guards the protocol, not an expected state.
+    #[inline]
+    fn stale(&self) -> bool {
+        self.generation != self.state.generation()
     }
 
     /// Whether the unit completed.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.0.is_done()
+        self.stale() || self.state.is_done()
     }
 
     /// Kind of the unit behind this handle.
     #[must_use]
     pub fn kind(&self) -> UnitKind {
-        self.0.kind()
+        self.state.kind()
     }
 
     /// Rank that created the unit.
     #[must_use]
     pub fn created_by(&self) -> usize {
-        self.0.created_by()
+        self.state.created_by()
     }
 
     /// Rank that executed the unit ([`NO_RANK`] if not yet started).
     #[must_use]
     pub fn executed_by(&self) -> usize {
-        self.0.executed_by()
+        self.state.executed_by()
     }
 
     /// Access the underlying state (used by runtimes).
     #[must_use]
     pub fn state(&self) -> &Arc<UnitState> {
-        &self.0
+        &self.state
     }
 
     /// After the unit is done, re-throw a captured panic on the joiner.
     /// Runtimes call this at the end of `join`.
     pub fn propagate_panic(&self) {
         debug_assert!(self.is_done());
-        if let Some(p) = self.0.take_panic() {
+        if self.stale() {
+            return; // successor unit's panic (if any) is not ours
+        }
+        if let Some(p) = self.state.take_panic() {
             panic::resume_unwind(p);
         }
     }
@@ -289,7 +455,7 @@ mod tests {
         u.run(0); // must not unwind into us
         assert!(st.is_done());
         let h = UltHandle::new(st);
-        let p = h.0.take_panic();
+        let p = h.state().take_panic();
         assert!(p.is_some());
     }
 
@@ -327,5 +493,78 @@ mod tests {
         let h = UltHandle::new(st);
         assert_eq!(h.kind(), UnitKind::Tasklet);
         assert_eq!(h.executed_by(), NO_RANK);
+    }
+
+    #[test]
+    fn slab_recycles_unpinned_done_frames() {
+        let slab = UnitSlab::new();
+        let c = Counters::new();
+        let a = slab.acquire(&c, UnitKind::Ult, UnitClass::Task, 0, 0, Box::new(|| {}));
+        assert_eq!(c.snapshot().unit_slab_fresh, 1);
+        let first_id = a.id;
+        Unit(a.clone()).run(0);
+        slab.recycle(&a);
+        assert_eq!(slab.cached(), 1);
+        drop(a); // release the handle's pin so the frame is exclusively held
+        let b = slab.acquire(&c, UnitKind::Tasklet, UnitClass::Region, 7, 2, Box::new(|| {}));
+        let s = c.snapshot();
+        assert_eq!((s.unit_slab_fresh, s.unit_slab_reused), (1, 1));
+        assert_ne!(b.id, first_id, "reset assigns a fresh id");
+        assert_eq!(b.generation(), 1);
+        assert_eq!(b.kind(), UnitKind::Tasklet);
+        assert_eq!(b.class(), UnitClass::Region);
+        assert_eq!(b.tag(), 7);
+        assert_eq!(b.created_by(), 2);
+        assert!(!b.is_done());
+        assert!(!b.migrated());
+        assert_eq!(b.executed_by(), NO_RANK);
+    }
+
+    #[test]
+    fn slab_skips_pinned_frames_and_rotates_them_back() {
+        let slab = UnitSlab::new();
+        let c = Counters::new();
+        let a = slab.acquire(&c, UnitKind::Ult, UnitClass::Task, 0, 0, Box::new(|| {}));
+        Unit(a.clone()).run(0);
+        slab.recycle(&a);
+        // `a` is still alive: the frame is pinned, acquire must not reset it.
+        let b = slab.acquire(&c, UnitKind::Ult, UnitClass::Task, 0, 0, Box::new(|| {}));
+        assert_eq!(c.snapshot().unit_slab_fresh, 2);
+        assert_eq!(a.generation(), 0, "pinned frame untouched");
+        assert_eq!(slab.cached(), 1, "pinned frame rotated back, not lost");
+        drop(b);
+    }
+
+    #[test]
+    fn slab_refuses_pending_and_double_recycle() {
+        let slab = UnitSlab::new();
+        let c = Counters::new();
+        let a = slab.acquire(&c, UnitKind::Ult, UnitClass::Task, 0, 0, Box::new(|| {}));
+        slab.recycle(&a); // not done: refused
+        assert_eq!(slab.cached(), 0);
+        Unit(a.clone()).run(0);
+        slab.recycle(&a);
+        slab.recycle(&a); // double recycle: refused
+        assert_eq!(slab.cached(), 1);
+    }
+
+    #[test]
+    fn stale_handle_reports_done_and_keeps_panics_separate() {
+        let slab = UnitSlab::new();
+        let c = Counters::new();
+        let st = slab.acquire(&c, UnitKind::Ult, UnitClass::Task, 0, 0, Box::new(|| {}));
+        let h = UltHandle::new(st.clone());
+        Unit(st.clone()).run(0);
+        slab.recycle(&st);
+        drop(st);
+        drop(h);
+        // Recycle into a unit that panics; a stale handle made before the
+        // reset must neither see it as pending nor steal its panic.
+        let st2 = slab.acquire(&c, UnitKind::Ult, UnitClass::Task, 0, 0, Box::new(|| {}));
+        let mut h2 = UltHandle::new(st2.clone());
+        h2.generation = h2.generation.wrapping_sub(1); // simulate staleness
+        assert!(h2.is_done(), "stale handle's unit is by definition over");
+        h2.propagate_panic(); // must be a no-op, not a debug_assert trip
+        drop(st2);
     }
 }

@@ -175,6 +175,30 @@ impl GltRuntime for AnyGlt {
     }
 
     #[inline]
+    fn service_ult_create_to(&self, target: usize, work: WorkFn) -> UltHandle {
+        dispatch!(self, rt => rt.service_ult_create_to(target, work))
+    }
+
+    #[inline]
+    fn ult_create_batch(&self, specs: Vec<(Option<usize>, WorkFn)>) -> Vec<UltHandle> {
+        dispatch!(self, rt => rt.ult_create_batch(specs))
+    }
+
+    #[inline]
+    fn region_ult_create_batch(
+        &self,
+        tag: u64,
+        specs: Vec<(Option<usize>, WorkFn)>,
+    ) -> Vec<UltHandle> {
+        dispatch!(self, rt => rt.region_ult_create_batch(tag, specs))
+    }
+
+    #[inline]
+    fn unit_recycle(&self, h: &UltHandle) {
+        dispatch!(self, rt => rt.unit_recycle(h))
+    }
+
+    #[inline]
     fn tasklet_create(&self, work: WorkFn) -> UltHandle {
         dispatch!(self, rt => rt.tasklet_create(work))
     }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod hot;
 mod runtime;
 mod tasking;
 mod team;

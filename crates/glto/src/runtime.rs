@@ -6,6 +6,7 @@ use glt::{Counters, GltConfig, GltRuntime, WaitPolicy};
 use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
 
 use crate::backend::{AnyGlt, Backend};
+use crate::hot::HotPool;
 use crate::team::GltoTeam;
 
 /// The GLTO OpenMP runtime: complies with the `omp` front-end (the paper's
@@ -17,6 +18,8 @@ pub struct GltoRuntime {
     criticals: CriticalRegistry,
     backend: Backend,
     glt: AnyGlt,
+    /// Parked hot-ULT team (`GLTO_HOT_ULTS`, see [`crate::hot`]).
+    hot: HotPool,
 }
 
 impl GltoRuntime {
@@ -33,7 +36,14 @@ impl GltoRuntime {
         };
         let glt = AnyGlt::start(backend, glt_cfg);
         let icvs = Icvs::new(&cfg);
-        Arc::new(GltoRuntime { cfg, icvs, criticals: CriticalRegistry::new(), backend, glt })
+        Arc::new(GltoRuntime {
+            cfg,
+            icvs,
+            criticals: CriticalRegistry::new(),
+            backend,
+            glt,
+            hot: HotPool::new(),
+        })
     }
 
     /// The underlying GLT runtime.
@@ -79,6 +89,35 @@ impl GltoRuntime {
     pub fn master_yield_forbidden(&self) -> bool {
         self.backend == Backend::Mth && self.glt.num_threads() > 1
     }
+
+    /// Whether hot ULT teams are active (`GLTO_HOT_ULTS`, and not
+    /// shared-queue mode — a parked loop in the shared queue would be
+    /// stolen into the wrong worker).
+    #[must_use]
+    pub fn hot_enabled(&self) -> bool {
+        self.cfg.hot_ults && !self.cfg.shared_queues
+    }
+
+    /// The parked hot-team cache (hot-path orchestration in [`crate::hot`]).
+    pub(crate) fn hot_pool(&self) -> &HotPool {
+        &self.hot
+    }
+
+    /// Retire the parked hot team, if any: member service ULTs run to
+    /// completion and their frames return to the unit slab. Also invoked
+    /// via [`OmpRuntime::retire_cached`] and on drop.
+    pub fn retire_hot(&self) {
+        self.hot.retire(&self.glt);
+    }
+}
+
+impl Drop for GltoRuntime {
+    fn drop(&mut self) {
+        // Parked member loops hold a raw pointer to this runtime; retire
+        // and join them before any field (the GLT runtime in particular)
+        // is torn down.
+        self.retire_hot();
+    }
 }
 
 impl OmpRuntime for GltoRuntime {
@@ -112,5 +151,9 @@ impl OmpRuntime for GltoRuntime {
 
     fn honors_final(&self) -> bool {
         true // GLTO executes `final` tasks directly (passes the suite)
+    }
+
+    fn retire_cached(&self) {
+        self.retire_hot();
     }
 }

@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use glt::{Counters, GltRuntime, UltHandle, WaitPolicy};
+use glt::{Counters, GltRuntime, WaitPolicy, WorkFn};
 use omp::serial::SerialTeam;
 use omp::{
     run_region_member, CentralBarrier, Dep, OmpRuntime, RegionFn, TaskCore, TaskEngine, TaskMeta,
@@ -56,10 +56,10 @@ thread_local! {
 
 /// RAII: marks a team (with its whole ancestor lineage) active on this
 /// thread for the duration of one member-body execution.
-struct ActiveTeamGuard;
+pub(crate) struct ActiveTeamGuard;
 
 impl ActiveTeamGuard {
-    fn enter(lineage: std::sync::Arc<Vec<u64>>) -> ActiveTeamGuard {
+    pub(crate) fn enter(lineage: std::sync::Arc<Vec<u64>>) -> ActiveTeamGuard {
         ACTIVE_TEAMS.with(|t| t.borrow_mut().push(lineage));
         ActiveTeamGuard
     }
@@ -186,7 +186,17 @@ impl<'rt> GltoTeam<'rt> {
         !(self.rt.master_yield_forbidden() && self.rt.glt().self_rank() == Some(0))
     }
 
-    fn idle(&self) {
+    /// The runtime this team executes on (hot-path orchestration).
+    pub(crate) fn rt(&self) -> &'rt GltoRuntime {
+        self.rt
+    }
+
+    /// Ancestor-tag chain, own tag last (hot members re-enter with it).
+    pub(crate) fn lineage(&self) -> &std::sync::Arc<Vec<u64>> {
+        &self.lineage
+    }
+
+    pub(crate) fn idle(&self) {
         match self.rt.wait_policy() {
             WaitPolicy::Active => {
                 for _ in 0..32 {
@@ -201,14 +211,20 @@ impl<'rt> GltoTeam<'rt> {
     }
 
     /// Fork/execute/join a whole region from the encountering thread
-    /// (§IV-C): ULTs for members 1..n, member 0 inline, then join.
+    /// (§IV-C): ULTs for members 1..n, member 0 inline, then join. With
+    /// `GLTO_HOT_ULTS`, eligible top-level forks re-arm parked member ULTs
+    /// instead (see [`crate::hot`]); everything else takes the cold path,
+    /// whose member units are submitted in a single batched scheduler call.
     pub(crate) fn run_region(&self, body: &RegionFn<'static>) {
+        if crate::hot::try_run_hot(self, body) {
+            return;
+        }
         let glt = self.rt.glt();
         let counters = self.rt.counters();
         let w = glt.num_threads();
         let n = self.nthreads;
         let t0 = Instant::now();
-        let mut handles: Vec<UltHandle> = Vec::with_capacity(n.saturating_sub(1));
+        let mut specs: Vec<(Option<usize>, WorkFn)> = Vec::with_capacity(n.saturating_sub(1));
         for tid in 1..n {
             let cmd = ForkCmd {
                 team: std::ptr::from_ref(self).cast::<GltoTeam<'static>>(),
@@ -216,7 +232,7 @@ impl<'rt> GltoTeam<'rt> {
                 tid,
             };
             let lineage = std::sync::Arc::clone(&self.lineage);
-            let work = Box::new(move || {
+            let work: WorkFn = Box::new(move || {
                 let cmd = cmd;
                 // SAFETY: fork/join protocol (master joins all handles).
                 let team: &GltoTeam<'_> = unsafe { &*cmd.team };
@@ -228,13 +244,11 @@ impl<'rt> GltoTeam<'rt> {
             // nested regions create on the encountering thread (§IV-E).
             // Members are Region-class units: barrier help may not start
             // them nested (see glt::UnitClass).
-            let h = if self.level <= 1 {
-                glt.region_ult_create_to(tid % w, self.tag, work)
-            } else {
-                glt.region_ult_create(self.tag, work)
-            };
-            handles.push(h);
+            specs.push(if self.level <= 1 { (Some(tid % w), work) } else { (None, work) });
         }
+        // One scheduler submit for the whole fork: per-pool locks (QTH: FEB
+        // round-trips) and wakes are paid per target, not per member.
+        let handles = glt.region_ult_create_batch(self.tag, specs);
         Counters::bump(&counters.assign_ns, t0.elapsed().as_nanos() as u64);
         Counters::bump(&counters.forks, 1);
         {
@@ -254,6 +268,9 @@ impl<'rt> GltoTeam<'rt> {
                     self.idle();
                 }
             }
+            // Return the frame to the unit slab before any unwind: the next
+            // fork reuses it and the steady-state path stays allocation-free.
+            glt.unit_recycle(h);
             h.propagate_panic();
         }
     }
@@ -267,7 +284,7 @@ impl<'rt> GltoTeam<'rt> {
     }
 
     /// Help once from a quiescent point (`end_region` / fork join).
-    fn help_at_quiescence(&self) -> bool {
+    pub(crate) fn help_at_quiescence(&self) -> bool {
         let glt = self.rt.glt();
         let Some(me) = glt.self_rank() else { return false };
         let shared = glt.config().shared_queues;

@@ -29,6 +29,10 @@ pub struct OmpConfig {
     pub runtime_schedule: Schedule,
     /// `GLT_SHARED_QUEUES` (GLTO runtimes only, §IV-F).
     pub shared_queues: bool,
+    /// `GLTO_HOT_ULTS` (GLTO runtimes only): keep top-level team member
+    /// ULTs parked between same-width regions instead of re-creating them
+    /// per fork. Off by default — the paper's measurements use cold forks.
+    pub hot_ults: bool,
     /// Intel-runtime task cut-off: with this many tasks already queued,
     /// new tasks execute directly/undeferred. The paper measures 256 as
     /// the Intel default and sweeps {16, 256, 4096} in Fig. 14.
@@ -45,6 +49,7 @@ impl Default for OmpConfig {
             proc_bind: true, // paper: OMP_PROC_BIND=true for all tests
             runtime_schedule: Schedule::Static { chunk: None },
             shared_queues: false,
+            hot_ults: false,
             task_cutoff: 256, // paper: Intel default cut-off
         }
     }
@@ -89,12 +94,24 @@ impl OmpConfig {
             c.shared_queues =
                 matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
         }
+        c.hot_ults = Self::hot_ults_from_env().unwrap_or(c.hot_ults);
         if let Ok(v) = std::env::var("KMP_TASK_CUTOFF") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 c.task_cutoff = n.max(1);
             }
         }
         c
+    }
+
+    /// `GLTO_HOT_ULTS` from the process environment, if set. Exposed
+    /// separately from [`from_env`](Self::from_env) so harnesses that
+    /// build configs programmatically (the bench `repro` binary) can still
+    /// honor the flag.
+    #[must_use]
+    pub fn hot_ults_from_env() -> Option<bool> {
+        std::env::var("GLTO_HOT_ULTS")
+            .ok()
+            .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes"))
     }
 
     /// Builder: set nesting.
@@ -122,6 +139,13 @@ impl OmpConfig {
     #[must_use]
     pub fn shared_queues(mut self, on: bool) -> Self {
         self.shared_queues = on;
+        self
+    }
+
+    /// Builder: set hot ULT teams (GLTO backends).
+    #[must_use]
+    pub fn hot_ults(mut self, on: bool) -> Self {
+        self.hot_ults = on;
         self
     }
 }
@@ -208,10 +232,20 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = OmpConfig::with_threads(2).nested(false).task_cutoff(16).shared_queues(true);
+        let c = OmpConfig::with_threads(2)
+            .nested(false)
+            .task_cutoff(16)
+            .shared_queues(true)
+            .hot_ults(true);
         assert_eq!(c.num_threads, 2);
         assert!(!c.nested);
         assert_eq!(c.task_cutoff, 16);
         assert!(c.shared_queues);
+        assert!(c.hot_ults);
+    }
+
+    #[test]
+    fn hot_ults_defaults_off() {
+        assert!(!OmpConfig::default().hot_ults, "repro setting: cold forks by default");
     }
 }

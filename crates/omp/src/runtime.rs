@@ -117,6 +117,13 @@ pub trait OmpRuntime: Send + Sync {
     fn honors_final(&self) -> bool {
         true
     }
+
+    /// Release any cached execution resources held between regions (e.g.
+    /// GLTO's hot-ULT team parks member ULTs across forks). Harnesses that
+    /// check drained-state counter invariants call this first so "all
+    /// created units have executed to completion" holds. Default: nothing
+    /// cached, no-op.
+    fn retire_cached(&self) {}
 }
 
 /// Safe, ergonomic entry points over [`OmpRuntime::parallel_erased`].

@@ -26,6 +26,7 @@ impl Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
             sample_size: 20,
+            throughput: None,
         }
     }
 
@@ -37,6 +38,16 @@ impl Criterion {
     }
 }
 
+/// Throughput axis for per-element reporting (the subset of criterion's
+/// enum the benches use).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
 /// A named collection of benchmarks sharing measurement settings.
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
@@ -44,6 +55,7 @@ pub struct BenchmarkGroup<'a> {
     measurement_time: Duration,
     warm_up_time: Duration,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -62,6 +74,13 @@ impl BenchmarkGroup<'_> {
     /// Number of samples to aim for within the measurement time.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report per-element (or per-byte) time alongside per-iteration time
+    /// for every subsequent benchmark in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -95,8 +114,17 @@ impl BenchmarkGroup<'_> {
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let per_elem = match self.throughput {
+            Some(Throughput::Elements(n)) if n > 0 => {
+                format!(" [{} per element]", fmt_time(mean / n as f64))
+            }
+            Some(Throughput::Bytes(n)) if n > 0 => {
+                format!(" [{} per byte]", fmt_time(mean / n as f64))
+            }
+            _ => String::new(),
+        };
         eprintln!(
-            "{}/{id}: mean {} min {} ({} samples x {iters} iters)",
+            "{}/{id}: mean {} min {}{per_elem} ({} samples x {iters} iters)",
             self.name,
             fmt_time(mean),
             fmt_time(min),
