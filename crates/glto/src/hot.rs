@@ -408,3 +408,35 @@ mod tests {
         assert!(!r.det_scheduler().expect("det").stalled());
     }
 }
+
+#[cfg(test)]
+mod review_tests {
+    use crate::{Backend, GltoRuntime};
+    use omp::{OmpConfig, OmpRuntimeExt};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn stale_member_panic_does_not_leak_into_next_region() {
+        let r = GltoRuntime::new(Backend::Abt, OmpConfig::with_threads(4).hot_ults(true));
+        // Warm the hot team with one clean fork.
+        r.parallel(|_| {});
+        // Fork where TWO members panic: only the first payload is rethrown.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.parallel(|ctx| {
+                if ctx.thread_num() == 1 || ctx.thread_num() == 2 {
+                    panic!("member {} failed", ctx.thread_num());
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // A later, fully successful region must NOT panic.
+        let hits = AtomicUsize::new(0);
+        let res2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.parallel(|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(res2.is_ok(), "stale panic from previous region leaked: {res2:?}");
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+}
