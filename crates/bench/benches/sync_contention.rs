@@ -1,0 +1,189 @@
+//! Contention microbench family: one hot critical section / lock /
+//! barrier hammered by a whole team, swept over runtime × lock discipline
+//! × team size.
+//!
+//! On this container every M ≥ 2 team oversubscribes the core, which is
+//! the regime the spin-then-yield rework targets: a raw-spinning waiter
+//! (`LockKind::Spin`, the paper-baseline "before" column) burns the OS
+//! timeslice the preempted holder needs, while the yielding disciplines
+//! cede it. `EXPERIMENTS.md` records the resulting spin vs spin-yield vs
+//! MCS ratios; M = 1 rows are the no-contention sanity baseline where all
+//! disciplines must tie.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omp::{LockKind, OmpConfig, OmpLock, OmpRuntimeExt};
+use workloads::RuntimeKind;
+
+/// Critical-section holds per team member per region.
+const HOLDS: u64 = 32;
+
+fn kinds() -> [LockKind; 3] {
+    [LockKind::Spin, LockKind::SpinYield, LockKind::Mcs]
+}
+
+fn contended_critical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_contended_critical");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for rk in RuntimeKind::all() {
+        for lk in kinds() {
+            for m in [1usize, 2, 4] {
+                let rt = rk.build(OmpConfig::with_threads(m).lock_kind(lk).spin_budget(100));
+                g.bench_function(format!("{}::{lk:?}::M{m}", rt.label()), |b| {
+                    b.iter(|| {
+                        let cell = AtomicU64::new(0);
+                        rt.parallel(|ctx| {
+                            for _ in 0..HOLDS {
+                                ctx.critical("bench", || {
+                                    let v = cell.load(Ordering::Relaxed);
+                                    cell.store(v + 1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                        assert_eq!(cell.load(Ordering::Relaxed), HOLDS * m as u64);
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn contended_omp_lock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_contended_omp_lock");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for rk in RuntimeKind::all() {
+        for lk in kinds() {
+            for m in [2usize, 4] {
+                let rt = rk.build(OmpConfig::with_threads(m));
+                g.bench_function(format!("{}::{lk:?}::M{m}", rt.label()), |b| {
+                    b.iter(|| {
+                        let lock = OmpLock::with_kind(lk, 100);
+                        let cell = AtomicU64::new(0);
+                        rt.parallel(|_| {
+                            for _ in 0..HOLDS {
+                                lock.with(|| {
+                                    let v = cell.load(Ordering::Relaxed);
+                                    cell.store(v + 1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                        assert_eq!(cell.load(Ordering::Relaxed), HOLDS * m as u64);
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+/// A few microseconds of serial compute, opaque to the optimizer.
+fn busy_work(units: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc = std::hint::black_box(acc.wrapping_add(i ^ acc.rotate_left(7)));
+    }
+    acc
+}
+
+fn contended_yielding_hold(c: &mut Criterion) {
+    // The regime the spin-then-yield rework exists for, and the one the
+    // lock-algorithms-in-LWT-environments analysis (PAPERS.md) centers
+    // on: the *holder* hits a scheduling point mid-hold (taskyield, a
+    // nested spawn, an FEB wait — here an explicit
+    // `glt::coop::yield_to_scheduler()`), so every hand-off happens with
+    // the holder descheduled and the lock word frozen. A raw-spinning
+    // waiter (`LockKind::Spin`) then burns its entire OS timeslice
+    // probing that frozen word before the kernel preempts it; a yielding
+    // waiter cedes it immediately and the holder resumes. Short-hold
+    // groups above bound the spin penalty by the tiny hold fraction; this
+    // is the shape where raw spinning is catastrophically worse, not
+    // marginally.
+    let mut g = c.benchmark_group("sync_contended_yielding_hold");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    const YIELD_HOLDS: u64 = 8;
+    const HOLD_UNITS: u64 = 500;
+    for rk in RuntimeKind::all() {
+        for lk in kinds() {
+            for m in [2usize, 4] {
+                let rt = rk.build(OmpConfig::with_threads(m).lock_kind(lk).spin_budget(100));
+                g.bench_function(format!("{}::{lk:?}::M{m}", rt.label()), |b| {
+                    b.iter(|| {
+                        let cell = AtomicU64::new(0);
+                        rt.parallel(|ctx| {
+                            for _ in 0..YIELD_HOLDS {
+                                ctx.critical("bench-yh", || {
+                                    let v = cell.load(Ordering::Relaxed);
+                                    std::hint::black_box(busy_work(HOLD_UNITS));
+                                    glt::coop::yield_to_scheduler();
+                                    cell.store(v + 1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                        assert_eq!(cell.load(Ordering::Relaxed), YIELD_HOLDS * m as u64);
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn uncontended_lock_ops(c: &mut Criterion) {
+    // Fast-path cost per discipline: set/unset on a free lock from one
+    // thread. The MCS kind pays a mutex round-trip; the word kinds a CAS.
+    let mut g = c.benchmark_group("sync_uncontended_lock");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for lk in kinds() {
+        let lock = OmpLock::with_kind(lk, 100);
+        g.bench_function(format!("{lk:?}::set_unset"), |b| {
+            b.iter(|| lock.with(|| {}));
+        });
+        g.bench_function(format!("{lk:?}::test_fail"), |b| {
+            lock.set();
+            b.iter(|| assert!(!lock.test()));
+            lock.unset();
+        });
+    }
+    g.finish();
+}
+
+fn barrier_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_barrier_rounds");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for rk in RuntimeKind::all() {
+        for m in [2usize, 4] {
+            let rt = rk.build(OmpConfig::with_threads(m));
+            g.bench_function(format!("{}::M{m}", rt.label()), |b| {
+                b.iter(|| {
+                    rt.parallel(|ctx| {
+                        for _ in 0..16 {
+                            ctx.barrier();
+                        }
+                    });
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    contended_critical,
+    contended_yielding_hold,
+    contended_omp_lock,
+    uncontended_lock_ops,
+    barrier_rounds
+);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 use glt::CounterSnapshot;
 use glt_det::EventKind;
 use glto::{Backend, GltoRuntime};
-use omp::{Dep, OmpConfig, OmpLock, OmpRuntime, OmpRuntimeExt, Schedule};
+use omp::{Dep, LockKind, OmpConfig, OmpLock, OmpNestLock, OmpRuntime, OmpRuntimeExt, Schedule};
 use workloads::RuntimeKind;
 
 /// A conformance case: exercises one construct cluster on any runtime and
@@ -348,6 +348,8 @@ pub fn cases() -> Vec<(&'static str, Case)> {
         ("depend-chain", case_depend_chain as Case),
         ("critical-rmw", case_critical_rmw as Case),
         ("lock-rmw", case_lock_rmw as Case),
+        ("lock-kinds-rmw", case_lock_kinds_rmw as Case),
+        ("nest-lock-ownership", case_nest_lock_ownership as Case),
         ("ordered-sequence", case_ordered_sequence as Case),
         ("single-copy", case_single_copy as Case),
         ("nested-region", case_nested_region as Case),
@@ -481,6 +483,57 @@ fn case_lock_rmw(rt: &dyn OmpRuntime) -> bool {
     cell.load(Ordering::SeqCst) == reps * n
 }
 
+fn case_lock_kinds_rmw(rt: &dyn OmpRuntime) -> bool {
+    // Every lock discipline must give the same mutual-exclusion answer on
+    // every runtime and under every det schedule. The hold spans an
+    // explicit scheduling point, so the stepper gets a chance to switch
+    // units *inside* the critical window — exactly where a broken slow
+    // path (or a lost MCS hand-off) loses an update.
+    let n = team_size(rt);
+    let reps = 8u64;
+    let mut ok = true;
+    for kind in [LockKind::Spin, LockKind::SpinYield, LockKind::Mcs] {
+        let lock = OmpLock::with_kind(kind, 4);
+        let cell = AtomicU64::new(0);
+        rt.parallel(|_| {
+            for _ in 0..reps {
+                lock.set();
+                let v = cell.load(Ordering::Relaxed);
+                glt::coop::yield_to_scheduler();
+                cell.store(v + 1, Ordering::Relaxed);
+                lock.unset();
+            }
+        });
+        ok &= cell.load(Ordering::SeqCst) == reps * n;
+    }
+    ok
+}
+
+fn case_nest_lock_ownership(rt: &dyn OmpRuntime) -> bool {
+    // Regression shape for the owner-word release-order fix: members race
+    // to re-enter a shared nest lock to depth 2 across a scheduling point
+    // while *yielding waiters* contend for it. If ownership leaked across
+    // a hand-off (the clear-after-release race), some thread would observe
+    // a fresh acquire at depth ≠ 1 or unwind to a wrong depth.
+    let bad = AtomicU64::new(0);
+    for kind in [LockKind::SpinYield, LockKind::Mcs] {
+        let lock = OmpNestLock::with_kind(kind, 4);
+        rt.parallel(|_| {
+            for _ in 0..8 {
+                let mut ok = lock.set() == 1;
+                ok &= lock.set() == 2;
+                glt::coop::yield_to_scheduler(); // waiters yield around the hold
+                ok &= lock.unset() == 1;
+                ok &= lock.unset() == 0;
+                if !ok {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+    }
+    bad.load(Ordering::SeqCst) == 0
+}
+
 fn case_ordered_sequence(rt: &dyn OmpRuntime) -> bool {
     let order = parking_lot::Mutex::new(Vec::new());
     rt.parallel(|ctx| {
@@ -600,6 +653,32 @@ pub fn planted_depend_race(rt: &dyn OmpRuntime) -> bool {
         });
     });
     cell.load(Ordering::SeqCst) == 2
+}
+
+/// The planted **lost wakeup** (`--features planted-lost-wakeup`): the MCS
+/// release path is sabotaged to pop one queued waiter *without* granting
+/// it — the classic dropped hand-off. The victim's backstop detects the
+/// orphaned node after ~64 fruitless yields, repairs it, and bumps a
+/// repair counter; this case fails iff a repair happened during its run.
+///
+/// Contention is invited by holding the lock across an explicit scheduling
+/// point, so whether a waiter is queued at release time — and therefore
+/// whether the bug fires — is decided by the det schedule. The 64-seed
+/// sweep must find firing seeds, and a firing seed must replay and shrink.
+/// It is **not** part of [`cases`].
+#[cfg(feature = "planted-lost-wakeup")]
+pub fn planted_lost_wakeup(rt: &dyn OmpRuntime) -> bool {
+    let lock = OmpLock::with_kind(LockKind::Mcs, 4);
+    let before = omp::planted_repairs();
+    omp::plant_drop_one();
+    rt.parallel(|_| {
+        for _ in 0..4 {
+            lock.set();
+            glt::coop::yield_to_scheduler(); // hold across a scheduling point
+            lock.unset();
+        }
+    });
+    omp::planted_repairs() == before
 }
 
 // -------------------------------------------------- shared-queue matrix
@@ -854,6 +933,60 @@ mod tests {
         assert!(!run_det_once(planted_depend_race, 2, seed, budget).passed());
         if budget > 0 {
             assert!(run_det_once(planted_depend_race, 2, seed, budget - 1).passed());
+        }
+    }
+
+    #[cfg(feature = "planted-lost-wakeup")]
+    #[test]
+    fn planted_lost_wakeup_caught_replayed_and_shrunk() {
+        fast_stall();
+        let report = sweep_det("planted-lost-wakeup", planted_lost_wakeup, 2, 0..64);
+        assert!(
+            !report.failing.is_empty(),
+            "the seed sweep must expose the planted dropped MCS hand-off in 64 seeds"
+        );
+        let seed = report.failing[0];
+        let r1 = replay_det(planted_lost_wakeup, 2, seed);
+        let r2 = replay_det(planted_lost_wakeup, 2, seed);
+        assert!(!r1.passed() && !r2.passed(), "failing seed {seed} must replay");
+        assert_eq!(r1.decisions, r2.decisions, "replays must take the same schedule");
+        let budget = shrink_det(planted_lost_wakeup, 2, seed).expect("seed fails, so it shrinks");
+        assert!(budget <= r1.decisions);
+        assert!(!run_det_once(planted_lost_wakeup, 2, seed, budget).passed());
+        if budget > 0 {
+            assert!(run_det_once(planted_lost_wakeup, 2, seed, budget - 1).passed());
+        }
+    }
+
+    #[test]
+    fn lock_slow_paths_obey_counter_laws_across_matrix() {
+        fast_stall();
+        for kind in RuntimeKind::matrix() {
+            for lk in [LockKind::SpinYield, LockKind::Mcs] {
+                let rt = kind.build(OmpConfig::with_threads(4).lock_kind(lk).spin_budget(8));
+                rt.parallel(|ctx| {
+                    for _ in 0..32 {
+                        ctx.critical("law-storm", || {});
+                    }
+                });
+                let viol = check_counter_invariants(rt.as_ref());
+                assert!(viol.is_empty(), "{} {lk:?}: {viol:?}", kind.name());
+                let s = rt.counters().snapshot();
+                assert!(
+                    s.lock_yields <= s.lock_spins,
+                    "{} {lk:?}: yields {} > spins {}",
+                    kind.name(),
+                    s.lock_yields,
+                    s.lock_spins
+                );
+                assert!(
+                    s.lock_handoffs <= s.lock_spins,
+                    "{} {lk:?}: handoffs {} > spins {}",
+                    kind.name(),
+                    s.lock_handoffs,
+                    s.lock_spins
+                );
+            }
         }
     }
 

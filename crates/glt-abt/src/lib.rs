@@ -86,6 +86,14 @@ impl Scheduler for AbtScheduler {
     fn shared_queues(&self) -> bool {
         false
     }
+
+    fn waiter_yield(&self, _rank: usize) {
+        // Argobots-style ES scheduling is preemptive at the OS level;
+        // blocking waiters release the execution stream's timeslice so the
+        // pool owner holding the lock can run (ABT_thread_yield analog for
+        // a run-to-completion unit model).
+        std::thread::yield_now();
+    }
 }
 
 /// A GLT runtime over the Argobots-like backend (honoring

@@ -540,6 +540,18 @@ impl Scheduler for DetScheduler {
     fn shared_queues(&self) -> bool {
         self.shared
     }
+
+    fn waiter_yield(&self, rank: usize) {
+        // A blocked lock/barrier waiter hands the run token to another
+        // controlled thread — the det analog of yielding to the scheduler.
+        // An OS yield would be useless here: every other controlled thread
+        // is token-blocked, not runnable.
+        self.stepper.acquire(rank);
+    }
+
+    fn schedule_controlled(&self) -> bool {
+        true
+    }
 }
 
 /// A GLT runtime over the deterministic backend.

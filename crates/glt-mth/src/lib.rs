@@ -162,6 +162,13 @@ impl Scheduler for MthScheduler {
     fn shared_queues(&self) -> bool {
         false
     }
+
+    fn waiter_yield(&self, _rank: usize) {
+        // MassiveThreads workers are plain OS threads under work-first
+        // stealing; a blocked waiter cedes its timeslice so the victim
+        // holding the lock (possibly on this very core) can progress.
+        std::thread::yield_now();
+    }
 }
 
 /// A GLT runtime over the MassiveThreads-like backend.

@@ -139,6 +139,14 @@ impl Scheduler for QthScheduler {
     fn shared_queues(&self) -> bool {
         false
     }
+
+    fn waiter_yield(&self, _rank: usize) {
+        // Qthreads shepherds never migrate queued units, so a blocked
+        // waiter cannot help-execute its way out; ceding the OS timeslice
+        // (qthread_yield analog) lets the shepherd holding the lock run
+        // without adding FEB traffic from the waiter.
+        std::thread::yield_now();
+    }
 }
 
 /// A GLT runtime over the Qthreads-like backend.

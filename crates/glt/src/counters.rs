@@ -66,6 +66,20 @@ pub struct Counters {
     pub assign_ns: AtomicU64,
     /// Number of region forks contributing to `assign_ns`.
     pub forks: AtomicU64,
+    /// Failed lock-acquisition probes (`omp` lock/critical slow path).
+    /// Every probe that does not take the lock counts one spin.
+    pub lock_spins: AtomicU64,
+    /// Times a lock waiter yielded to its scheduler instead of burning its
+    /// worker (the spin-then-yield discipline, ROADMAP item 4). Each yield
+    /// is preceded by at least one counted failed probe.
+    pub lock_yields: AtomicU64,
+    /// MCS direct handoffs: the releaser granted the lock to the queued
+    /// head waiter instead of unlocking into a free-for-all.
+    pub lock_handoffs: AtomicU64,
+    /// FEB stripe operations that took their stripe mutex on the first
+    /// attempt (no cross-stripe contention): with striped hot words this
+    /// should be the overwhelming majority of `feb_ops`.
+    pub feb_stripe_hits: AtomicU64,
 }
 
 impl Counters {
@@ -113,10 +127,14 @@ impl Counters {
             dep_tasks: self.dep_tasks.load(Ordering::Relaxed),
             assign_ns: self.assign_ns.load(Ordering::Relaxed),
             forks: self.forks.load(Ordering::Relaxed),
+            lock_spins: self.lock_spins.load(Ordering::Relaxed),
+            lock_yields: self.lock_yields.load(Ordering::Relaxed),
+            lock_handoffs: self.lock_handoffs.load(Ordering::Relaxed),
+            feb_stripe_hits: self.feb_stripe_hits.load(Ordering::Relaxed),
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 21] {
+    fn all(&self) -> [&AtomicU64; 25] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
@@ -139,6 +157,10 @@ impl Counters {
             &self.dep_tasks,
             &self.assign_ns,
             &self.forks,
+            &self.lock_spins,
+            &self.lock_yields,
+            &self.lock_handoffs,
+            &self.feb_stripe_hits,
         ]
     }
 }
@@ -168,6 +190,10 @@ pub struct CounterSnapshot {
     pub dep_tasks: u64,
     pub assign_ns: u64,
     pub forks: u64,
+    pub lock_spins: u64,
+    pub lock_yields: u64,
+    pub lock_handoffs: u64,
+    pub feb_stripe_hits: u64,
 }
 
 impl CounterSnapshot {
@@ -195,11 +221,21 @@ impl CounterSnapshot {
     }
 
     /// A copy of this snapshot with wall-clock-derived fields zeroed, so two
-    /// runs of the same deterministic schedule compare equal (`assign_ns`
-    /// measures elapsed time and legitimately differs between replays).
+    /// runs of the same deterministic schedule compare equal. `assign_ns`
+    /// measures elapsed time; the contention statistics (`lock_spins`,
+    /// `lock_yields`, `lock_handoffs`, `feb_stripe_hits`) count probe
+    /// outcomes that depend on how long the other side held a mutex, which
+    /// OS preemption perturbs even under a token-controlled schedule.
     #[must_use]
     pub fn without_timing(&self) -> CounterSnapshot {
-        CounterSnapshot { assign_ns: 0, ..*self }
+        CounterSnapshot {
+            assign_ns: 0,
+            lock_spins: 0,
+            lock_yields: 0,
+            lock_handoffs: 0,
+            feb_stripe_hits: 0,
+            ..*self
+        }
     }
 
     /// Check the conservation laws that must hold for *any* runtime once it
@@ -231,7 +267,14 @@ impl CounterSnapshot {
     /// * deps: `dep_tasks ≤ tasks_created` (a dependent task is still a
     ///   created task);
     /// * forks: `forks > 0 ⇒ assign_ns > 0` (every region fork records its
-    ///   work-assignment time).
+    ///   work-assignment time);
+    /// * lock yields: `lock_yields ≤ lock_spins` (a waiter only yields to
+    ///   its scheduler after a counted failed probe);
+    /// * lock handoffs: `lock_handoffs ≤ lock_spins` (a handoff grants a
+    ///   queued waiter, and a waiter only enqueues after a counted failed
+    ///   fast-path probe);
+    /// * FEB stripes: `feb_stripe_hits ≤ feb_ops` (a first-attempt stripe
+    ///   hit is still one FEB operation).
     #[must_use]
     pub fn invariant_violations(&self, drained: bool) -> Vec<String> {
         let mut v = Vec::new();
@@ -313,6 +356,27 @@ impl CounterSnapshot {
                 "forks ({}) > 0 but assign_ns == 0: region forks did not record \
                  work-assignment time",
                 self.forks
+            ));
+        }
+        if self.lock_yields > self.lock_spins {
+            v.push(format!(
+                "lock_yields ({}) > lock_spins ({}): a lock waiter yielded to its \
+                 scheduler without a counted failed probe",
+                self.lock_yields, self.lock_spins
+            ));
+        }
+        if self.lock_handoffs > self.lock_spins {
+            v.push(format!(
+                "lock_handoffs ({}) > lock_spins ({}): an MCS handoff granted a \
+                 waiter that never recorded a failed fast-path probe",
+                self.lock_handoffs, self.lock_spins
+            ));
+        }
+        if self.feb_stripe_hits > self.feb_ops {
+            v.push(format!(
+                "feb_stripe_hits ({}) > feb_ops ({}): a stripe hit was counted \
+                 without its FEB operation",
+                self.feb_stripe_hits, self.feb_ops
             ));
         }
         v
@@ -494,11 +558,50 @@ mod tests {
             ults_created: 3,
             assign_ns: 12345,
             forks: 2,
+            lock_spins: 7,
+            lock_yields: 5,
+            lock_handoffs: 2,
+            feb_stripe_hits: 9,
             ..CounterSnapshot::default()
         };
         let t = s.without_timing();
         assert_eq!(t.assign_ns, 0);
+        assert_eq!(t.lock_spins, 0);
+        assert_eq!(t.lock_yields, 0);
+        assert_eq!(t.lock_handoffs, 0);
+        assert_eq!(t.feb_stripe_hits, 0);
         assert_eq!(t.ults_created, 3);
         assert_eq!(t.forks, 2);
+    }
+
+    #[test]
+    fn contention_counter_violations_detected() {
+        // Yields and handoffs both exceed spins; stripe hits exceed feb_ops.
+        let s = CounterSnapshot {
+            lock_spins: 1,
+            lock_yields: 2,
+            lock_handoffs: 3,
+            feb_ops: 4,
+            feb_stripe_hits: 5,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 3, "got: {v:?}");
+        assert!(v.iter().any(|m| m.contains("lock_yields")));
+        assert!(v.iter().any(|m| m.contains("lock_handoffs")));
+        assert!(v.iter().any(|m| m.contains("feb_stripe_hits")));
+    }
+
+    #[test]
+    fn contention_counters_consistent_snapshot_passes() {
+        let s = CounterSnapshot {
+            lock_spins: 10,
+            lock_yields: 6,
+            lock_handoffs: 3,
+            feb_ops: 8,
+            feb_stripe_hits: 8,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(false).is_empty());
     }
 }

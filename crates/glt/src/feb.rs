@@ -33,7 +33,13 @@ enum WordState {
     Empty,
 }
 
+/// One lock stripe, padded to a cache line: the stripe mutexes are the
+/// hot words of the QTH fork/join path (every queue push/pop takes one),
+/// and without the alignment adjacent stripes share a line — so two
+/// shepherds touching *different* stripes still ping-pong the same cache
+/// line, which is false sharing the striping exists to prevent.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 struct Stripe {
     words: Mutex<HashMap<usize, WordState>>,
     cv: Condvar,
@@ -47,6 +53,7 @@ struct Stripe {
 pub struct FebTable {
     stripes: Box<[Stripe]>,
     ops: AtomicU64,
+    stripe_hits: AtomicU64,
 }
 
 impl Default for FebTable {
@@ -62,13 +69,25 @@ impl FebTable {
     #[must_use]
     pub fn new() -> Self {
         let stripes = (0..STRIPES).map(|_| Stripe::default()).collect::<Vec<_>>();
-        FebTable { stripes: stripes.into_boxed_slice(), ops: AtomicU64::new(0) }
+        FebTable {
+            stripes: stripes.into_boxed_slice(),
+            ops: AtomicU64::new(0),
+            stripe_hits: AtomicU64::new(0),
+        }
     }
 
     /// Total FEB operations performed (contention statistic).
     #[must_use]
     pub fn ops(&self) -> u64 {
         self.ops.load(Ordering::Relaxed)
+    }
+
+    /// FEB operations whose stripe mutex was free on the first attempt
+    /// (`ops - stripe_hits` = operations that contended on a stripe).
+    /// With padded, well-spread stripes this tracks `ops` closely.
+    #[must_use]
+    pub fn stripe_hits(&self) -> u64 {
+        self.stripe_hits.load(Ordering::Relaxed)
     }
 
     fn stripe(&self, key: usize) -> &Stripe {
@@ -79,13 +98,34 @@ impl FebTable {
 
     fn bump(&self) {
         self.ops.fetch_add(1, Ordering::Relaxed);
+        // Mirror into the calling thread's runtime counters so the
+        // conformance invariants see FEB traffic without a backend
+        // dependency (external threads have no waiter and skip this).
+        crate::coop::with_sync_counters(|c| {
+            crate::counters::Counters::bump(&c.feb_ops, 1);
+        });
+    }
+
+    /// Take a stripe's word mutex, counting a `stripe_hit` when the first
+    /// attempt succeeds (the striping did its job: no cross-key contention
+    /// on this stripe). Only called from `ops`-counting paths, so
+    /// `stripe_hits ≤ ops` holds by construction.
+    fn guard<'a>(&self, s: &'a Stripe) -> parking_lot::MutexGuard<'a, HashMap<usize, WordState>> {
+        if let Some(g) = s.words.try_lock() {
+            self.stripe_hits.fetch_add(1, Ordering::Relaxed);
+            crate::coop::with_sync_counters(|c| {
+                crate::counters::Counters::bump(&c.feb_stripe_hits, 1);
+            });
+            return g;
+        }
+        s.words.lock()
     }
 
     /// Set the word empty without waiting (qthread `empty`).
     pub fn empty(&self, key: usize) {
         self.bump();
         let s = self.stripe(key);
-        let mut w = s.words.lock();
+        let mut w = self.guard(s);
         w.insert(key, WordState::Empty);
         s.cv.notify_all();
     }
@@ -94,7 +134,7 @@ impl FebTable {
     pub fn fill(&self, key: usize, val: u64) {
         self.bump();
         let s = self.stripe(key);
-        let mut w = s.words.lock();
+        let mut w = self.guard(s);
         w.insert(key, WordState::Full(val));
         s.cv.notify_all();
     }
@@ -115,7 +155,7 @@ impl FebTable {
     pub fn write_ef(&self, key: usize, val: u64) {
         self.bump();
         let s = self.stripe(key);
-        let mut w = s.words.lock();
+        let mut w = self.guard(s);
         loop {
             match w.get(&key).copied().unwrap_or(WordState::Full(0)) {
                 WordState::Empty => {
@@ -140,7 +180,7 @@ impl FebTable {
     pub fn read_fe(&self, key: usize) -> u64 {
         self.bump();
         let s = self.stripe(key);
-        let mut w = s.words.lock();
+        let mut w = self.guard(s);
         loop {
             match w.get(&key).copied().unwrap_or(WordState::Full(0)) {
                 WordState::Full(v) => {
@@ -159,7 +199,7 @@ impl FebTable {
     pub fn read_ff(&self, key: usize) -> u64 {
         self.bump();
         let s = self.stripe(key);
-        let mut w = s.words.lock();
+        let mut w = self.guard(s);
         loop {
             match w.get(&key).copied().unwrap_or(WordState::Full(0)) {
                 WordState::Full(v) => return v,
@@ -276,5 +316,68 @@ mod tests {
         t.fill(1, 1);
         let _ = t.read_fe(1);
         assert!(t.ops() >= before + 2);
+    }
+
+    #[test]
+    fn stripes_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<Stripe>(), 64);
+        assert_eq!(std::mem::size_of::<Stripe>() % 64, 0);
+    }
+
+    #[test]
+    fn uncontended_ops_are_all_stripe_hits() {
+        let t = FebTable::new();
+        for k in 0..64 {
+            t.fill(k, k as u64);
+            assert_eq!(t.read_fe(k), k as u64);
+        }
+        assert_eq!(t.stripe_hits(), t.ops(), "single-threaded: every stripe is free");
+        assert_eq!(t.ops(), 128);
+    }
+
+    #[test]
+    fn stripe_hits_never_exceed_ops_under_contention() {
+        let t = Arc::new(FebTable::new());
+        let mut joins = Vec::new();
+        for tid in 0..4usize {
+            let t = t.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..200usize {
+                    // All threads hammer a small key set: some stripe
+                    // acquisitions must queue behind another thread.
+                    t.with_lock(i % 8, || {});
+                    let _ = tid;
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(t.stripe_hits() <= t.ops());
+        assert_eq!(t.ops(), 4 * 200 * 2);
+    }
+
+    #[test]
+    fn feb_ops_mirror_into_installed_runtime_counters() {
+        let c = std::sync::Arc::new(MirrorWaiter(crate::counters::Counters::new()));
+        crate::coop::install_waiter(u64::MAX - 1, c.clone());
+        let t = FebTable::new();
+        t.fill(9, 9);
+        let _ = t.read_fe(9);
+        crate::coop::uninstall_waiter(u64::MAX - 1);
+        let s = c.0.snapshot();
+        assert_eq!(s.feb_ops, 2);
+        assert_eq!(s.feb_stripe_hits, 2, "uncontended: both ops hit their stripe");
+        // After uninstall the table still works, it just stops mirroring.
+        t.fill(9, 1);
+        assert_eq!(c.0.snapshot().feb_ops, 2);
+    }
+
+    struct MirrorWaiter(crate::counters::Counters);
+    impl crate::coop::SyncWaiter for MirrorWaiter {
+        fn yield_to_scheduler(&self) {}
+        fn counters(&self) -> &crate::counters::Counters {
+            &self.0
+        }
     }
 }

@@ -50,6 +50,7 @@ pub mod timer;
 pub mod unit;
 
 pub use config::{GltConfig, WaitPolicy};
+pub use coop::{SpinWait, SyncWaiter};
 pub use counters::{CounterSnapshot, Counters};
 pub use feb::FebTable;
 pub use runtime::{start_shared, GltRuntime, Runtime, SharedRuntime};
@@ -155,6 +156,22 @@ impl<S: Scheduler> Scheduler for Pooled<S> {
     #[inline]
     fn shared_queues(&self) -> bool {
         matches!(self, Pooled::Shared(_))
+    }
+
+    #[inline]
+    fn waiter_yield(&self, rank: usize) {
+        match self {
+            Pooled::Backend(s) => s.waiter_yield(rank),
+            Pooled::Shared(s) => s.waiter_yield(rank),
+        }
+    }
+
+    #[inline]
+    fn schedule_controlled(&self) -> bool {
+        match self {
+            Pooled::Backend(s) => s.schedule_controlled(),
+            Pooled::Shared(s) => s.schedule_controlled(),
+        }
     }
 }
 

@@ -231,6 +231,30 @@ impl<S: Scheduler> Shared<S> {
     }
 }
 
+/// The per-thread [`crate::coop::SyncWaiter`] every GLT runtime installs
+/// for the threads it registers (rank 0 at start, workers at loop entry):
+/// blocking primitives in the OpenMP layers reach the backend's
+/// [`Scheduler::waiter_yield`] through this hook without knowing the
+/// concrete runtime type.
+struct WaiterHook<S: Scheduler> {
+    shared: Arc<Shared<S>>,
+    rank: usize,
+}
+
+impl<S: Scheduler> crate::coop::SyncWaiter for WaiterHook<S> {
+    fn yield_to_scheduler(&self) {
+        self.shared.sched.waiter_yield(self.rank);
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    fn schedule_controlled(&self) -> bool {
+        self.shared.sched.schedule_controlled()
+    }
+}
+
 /// A running GLT instance: `num_threads - 1` spawned workers plus the
 /// registered caller (rank 0). Dropping the runtime stops and joins the
 /// workers; any still-queued units are drained on the caller first.
@@ -276,6 +300,10 @@ impl<S: Scheduler> Runtime<S> {
             tasklets_native,
         });
         register_rank(id, 0);
+        crate::coop::install_waiter(
+            id,
+            Arc::new(WaiterHook { shared: Arc::clone(&shared), rank: 0 }),
+        );
         shared.sched.on_worker_start(0);
         let mut handles = Vec::with_capacity(n.saturating_sub(1));
         for rank in 1..n {
@@ -418,8 +446,12 @@ impl<S: Scheduler> Runtime<S> {
     }
 }
 
-fn worker_loop<S: Scheduler>(shared: &Shared<S>, rank: usize) {
+fn worker_loop<S: Scheduler>(shared: &Arc<Shared<S>>, rank: usize) {
     register_rank(shared.id, rank);
+    crate::coop::install_waiter(
+        shared.id,
+        Arc::new(WaiterHook { shared: Arc::clone(shared), rank }),
+    );
     shared.sched.on_worker_start(rank);
     let mut idle = IdleWait::new(
         shared.cfg.wait_policy,
@@ -444,6 +476,7 @@ fn worker_loop<S: Scheduler>(shared: &Shared<S>, rank: usize) {
     while let Some(u) = shared.take_work(rank, true) {
         shared.run_unit(rank, &u);
     }
+    crate::coop::uninstall_waiter(shared.id);
     unregister_rank(shared.id);
 }
 
@@ -678,6 +711,7 @@ impl<S: Scheduler> Drop for Runtime<S> {
         for h in self.workers.lock().drain(..) {
             let _ = h.join();
         }
+        crate::coop::uninstall_waiter(self.shared.id);
         unregister_rank(self.shared.id);
     }
 }
@@ -895,6 +929,18 @@ mod tests {
             s.unit_slab_fresh,
             s.unit_slab_reused
         );
+    }
+
+    #[test]
+    fn runtime_installs_sync_waiter_on_registered_threads() {
+        let r = rt(2);
+        let w = crate::coop::current_waiter().expect("rank 0 must have a waiter installed");
+        assert!(!w.schedule_controlled(), "shared-queue scheduler is not token-controlled");
+        crate::coop::yield_to_scheduler(); // routes to the backend hook; must return
+        crate::coop::with_sync_counters(|c| Counters::bump(&c.lock_spins, 3));
+        assert_eq!(r.counters().snapshot().lock_spins, 3, "waiter charges this runtime");
+        drop(r);
+        assert!(crate::coop::current_waiter().is_none(), "drop must uninstall the waiter");
     }
 
     #[test]

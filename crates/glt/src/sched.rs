@@ -76,6 +76,26 @@ pub trait Scheduler: Send + Sync + 'static {
     /// accessor reports whether the backend is running in the paper's
     /// `GLT_SHARED_QUEUES` mode (§IV-F).
     fn shared_queues(&self) -> bool;
+
+    /// Backend-specific yield for a *blocking* waiter on worker `rank`
+    /// (lock slow path, barrier arrival): give the rest of the system a
+    /// chance to run the holder. Units run to completion in this stack, so
+    /// there is no ULT context to switch to mid-unit; the default — and
+    /// every preemptively-scheduled backend's choice — is to release the
+    /// worker's OS timeslice. The deterministic stepper overrides this to
+    /// hand its run token to another controlled thread instead (an OS
+    /// yield would be a no-op there: the other threads are token-blocked,
+    /// not runnable).
+    fn waiter_yield(&self, _rank: usize) {
+        std::thread::yield_now();
+    }
+
+    /// `true` when this scheduler serializes its threads through a run
+    /// token (`glt-det`): waiters must never raw-spin, because the holder
+    /// cannot run until the waiter reaches a yield point.
+    fn schedule_controlled(&self) -> bool {
+        false
+    }
 }
 
 /// A trivial single-queue scheduler, used directly when

@@ -1,0 +1,155 @@
+//! Substrate-level contention storms: FEB word locks and the
+//! [`SpinWait`]/[`SyncWaiter`] discipline hammered from real GLT units on
+//! 1–4 workers.
+//!
+//! The higher-level `sync_contention` family (umbrella tests) storms the
+//! OpenMP lock objects; this file storms the layer below — the machinery
+//! those locks are built on. Every scenario keeps its lock holds inside a
+//! single unit (GLT units run to completion; a unit that parked holding an
+//! FEB word would wedge its worker), and every scenario runs under a
+//! watchdog so a lost wakeup fails loudly instead of hanging CI.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use glt::{scope, start_shared, FebTable, GltConfig, GltRuntime, SpinWait};
+
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+fn with_watchdog(name: &str, f: impl FnOnce() + Send + 'static) {
+    let t = std::thread::spawn(f);
+    let deadline = Instant::now() + WATCHDOG;
+    while !t.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog: {name} did not finish within {WATCHDOG:?} (lost wakeup / live-lock?)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn feb_lock_storm_from_units() {
+    // 16 ULTs per worker count, all hammering ONE FEB word as a mutex.
+    // The protected update is a non-atomic read-modify-write, so any hole
+    // in the word's full/empty hand-off loses increments.
+    for workers in [1, 2, 4] {
+        with_watchdog(&format!("feb lock storm/{workers}w"), move || {
+            let rt = start_shared(GltConfig::with_threads(workers));
+            let feb = FebTable::new();
+            let hits = AtomicU64::new(0);
+            const KEY: usize = 0xF0;
+            scope(&rt, |s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            feb.with_lock(KEY, || {
+                                let v = hits.load(Ordering::Relaxed);
+                                hits.store(v + 1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 16 * 100);
+            assert!(feb.stripe_hits() <= feb.ops());
+            // lock + unlock are one FEB op each.
+            assert_eq!(feb.ops(), 16 * 100 * 2);
+        });
+    }
+}
+
+#[test]
+fn feb_ops_from_units_charge_runtime_counters() {
+    // Units run on registered workers, so the FEB mirror must land in the
+    // runtime's counter block and satisfy the counter laws.
+    with_watchdog("feb counter mirror", || {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let feb = FebTable::new();
+        scope(&rt, |s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..50usize {
+                        feb.with_lock(k % 4, || {});
+                    }
+                });
+            }
+        });
+        let s = rt.counters().snapshot();
+        assert_eq!(s.feb_ops, 8 * 50 * 2, "every unit-side op mirrors into the runtime");
+        assert!(s.feb_stripe_hits <= s.feb_ops);
+        let v = s.invariant_violations(true);
+        assert!(v.is_empty(), "{v:?}");
+    });
+}
+
+#[test]
+fn feb_producer_consumer_across_master_and_units() {
+    // Master (an external, unregistered thread) consumes what a unit
+    // produces through one FEB word: the blocking read/write pair is the
+    // QTH shepherd queue's transfer shape.
+    with_watchdog("feb producer consumer", || {
+        let rt = start_shared(GltConfig::with_threads(2));
+        let feb = FebTable::new();
+        const KEY: usize = 0x51;
+        feb.empty(KEY);
+        let sum = scope(&rt, |s| {
+            s.spawn(|| {
+                for i in 1..=200u64 {
+                    feb.write_ef(KEY, i);
+                }
+            });
+            (0..200).map(|_| feb.read_fe(KEY)).sum::<u64>()
+        });
+        assert_eq!(sum, 200 * 201 / 2);
+    });
+}
+
+#[test]
+fn spin_wait_lock_storm_from_units() {
+    // A minimal test-and-set lock whose waiters follow the SpinWait
+    // discipline, contended by units spread over the workers. Holds stay
+    // inside the unit, so at most `workers` units ever compete at once and
+    // the waiter's yields (OS-level on this backend) let the holder run.
+    for workers in [2, 4] {
+        with_watchdog(&format!("spinwait lock storm/{workers}w"), move || {
+            let rt = start_shared(GltConfig::with_threads(workers));
+            let held = AtomicBool::new(false);
+            let hits = AtomicU64::new(0);
+            scope(&rt, |s| {
+                for _ in 0..2 * workers {
+                    s.spawn(|| {
+                        for _ in 0..200 {
+                            let mut sw = SpinWait::new(8, false);
+                            while held
+                                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                                .is_err()
+                            {
+                                sw.wait();
+                            }
+                            let v = hits.load(Ordering::Relaxed);
+                            hits.store(v + 1, Ordering::Relaxed);
+                            held.store(false, Ordering::Release);
+                        }
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 2 * workers as u64 * 200);
+        });
+    }
+}
+
+#[test]
+fn spin_wait_budget_is_honored() {
+    // Uncontrolled thread: exactly `budget` probes spin in place, then
+    // every subsequent wait yields; `reset` restores the full budget.
+    let mut sw = SpinWait::new(3, false);
+    assert!(!sw.wait());
+    assert!(!sw.wait());
+    assert!(!sw.wait());
+    assert!(sw.wait(), "budget exhausted: must yield");
+    assert!(sw.wait(), "stays in the yield phase");
+    sw.reset();
+    assert!(!sw.wait(), "reset restores the spin budget");
+}

@@ -257,20 +257,30 @@ pub(crate) fn try_run_hot(team: &GltoTeam<'_>, body: &RegionFn<'static>) -> bool
         let _active = ActiveTeamGuard::enter(Arc::clone(team.lineage()));
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_region_member(team, 0, body)))
     };
+    let mut sw = team.spin_wait();
     for slot in &hot.slots {
         while slot.done_epoch.load(Ordering::Acquire) < epoch {
-            if !team.help_at_quiescence() {
-                team.idle();
+            if team.help_at_quiescence() {
+                sw.reset();
+            } else {
+                sw.wait();
             }
         }
     }
     if let Err(p) = master {
         std::panic::resume_unwind(p);
     }
+    // Drain every member's panic slot before rethrowing: leaving a later
+    // member's payload in place would make the *next* (clean) region on
+    // this hot team rethrow it. First payload wins, the rest are dropped.
+    let mut first_panic = None;
     for slot in &hot.slots {
         if let Some(p) = slot.panic.lock().take() {
-            std::panic::resume_unwind(p);
+            first_panic.get_or_insert(p);
         }
+    }
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
     }
     true
 }

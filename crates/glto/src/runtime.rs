@@ -36,14 +36,8 @@ impl GltoRuntime {
         };
         let glt = AnyGlt::start(backend, glt_cfg);
         let icvs = Icvs::new(&cfg);
-        Arc::new(GltoRuntime {
-            cfg,
-            icvs,
-            criticals: CriticalRegistry::new(),
-            backend,
-            glt,
-            hot: HotPool::new(),
-        })
+        let criticals = CriticalRegistry::from_config(&cfg);
+        Arc::new(GltoRuntime { cfg, icvs, criticals, backend, glt, hot: HotPool::new() })
     }
 
     /// The underlying GLT runtime.
@@ -68,6 +62,13 @@ impl GltoRuntime {
     #[must_use]
     pub fn wait_policy(&self) -> WaitPolicy {
         self.cfg.wait_policy
+    }
+
+    /// `OMP_SPIN_BUDGET`: probes an idle waiter spins before yielding to
+    /// its scheduler (locks, barriers, region joins).
+    #[must_use]
+    pub fn spin_budget(&self) -> u32 {
+        self.cfg.spin_budget
     }
 
     /// The deterministic scheduler when running on [`Backend::Det`]

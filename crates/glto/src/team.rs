@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use glt::{Counters, GltRuntime, WaitPolicy, WorkFn};
+use glt::{Counters, GltRuntime, SpinWait, WaitPolicy, WorkFn};
 use omp::serial::SerialTeam;
 use omp::{
     run_region_member, CentralBarrier, Dep, OmpRuntime, RegionFn, TaskCore, TaskEngine, TaskMeta,
@@ -196,18 +196,14 @@ impl<'rt> GltoTeam<'rt> {
         &self.lineage
     }
 
-    pub(crate) fn idle(&self) {
-        match self.rt.wait_policy() {
-            WaitPolicy::Active => {
-                for _ in 0..32 {
-                    std::hint::spin_loop();
-                }
-                std::thread::yield_now();
-            }
-            WaitPolicy::Passive => {
-                std::thread::sleep(std::time::Duration::from_micros(20));
-            }
-        }
+    /// A fresh spin-then-yield waiter for one wait loop: bounded spinning
+    /// (`OMP_SPIN_BUDGET`), then yields routed to the *backend's* scheduler
+    /// (`ABT_thread_yield`/`qthread_yield` analogs; run-token hand-offs
+    /// under the deterministic stepper) instead of burning the worker's
+    /// timeslice. Passive wait policy adds sleep escalation for threads
+    /// outside any runtime.
+    pub(crate) fn spin_wait(&self) -> SpinWait {
+        SpinWait::new(self.rt.spin_budget(), matches!(self.rt.wait_policy(), WaitPolicy::Passive))
     }
 
     /// Fork/execute/join a whole region from the encountering thread
@@ -255,6 +251,7 @@ impl<'rt> GltoTeam<'rt> {
             let _active = ActiveTeamGuard::enter(std::sync::Arc::clone(&self.lineage));
             run_region_member(self, 0, body);
         }
+        let mut sw = self.spin_wait();
         for h in &handles {
             // Join with the nesting-safe filter, not glt::join: an
             // indiscriminate helper could start a member of an outer team
@@ -264,8 +261,10 @@ impl<'rt> GltoTeam<'rt> {
             // blocks-and-runs like any joiner, or nothing could ever run
             // the master's pending work when every other worker is busy.
             while !h.is_done() {
-                if !self.help_at_quiescence() {
-                    self.idle();
+                if self.help_at_quiescence() {
+                    sw.reset();
+                } else {
+                    sw.wait();
                 }
             }
             // Return the frame to the unit slab before any unwind: the next
@@ -313,10 +312,11 @@ impl TeamOps for GltoTeam<'_> {
         let help = self.may_help();
         let t0 = std::time::Instant::now();
         let mut warned = false;
+        let mut sw = self.spin_wait();
         self.barrier.wait(
             || help && self.try_run_task(tid),
             || {
-                self.idle();
+                sw.wait();
                 if !warned
                     && t0.elapsed().as_secs() >= 5
                     && std::env::var("GLTO_DEBUG_STALL").is_ok()
@@ -345,11 +345,14 @@ impl TeamOps for GltoTeam<'_> {
             // (e.g. this thread's own nested-team members, which nobody
             // else can reach on a no-steal backend, or which stealing
             // backends may leave here).
+            let mut sw = self.spin_wait();
             while self.region_arrivals.load(Ordering::Acquire) < self.nthreads
                 || self.outstanding_tasks() > 0
             {
-                if !self.help_at_quiescence() {
-                    self.idle();
+                if self.help_at_quiescence() {
+                    sw.reset();
+                } else {
+                    sw.wait();
                 }
             }
         }

@@ -1,55 +1,78 @@
-//! Named `critical` sections: a per-runtime registry of named mutexes
+//! Named `critical` sections: a per-runtime registry of named locks
 //! (OpenMP critical names have program-wide scope; scoping the registry to
 //! the runtime keeps independent runtime instances — as created by the
 //! benchmark sweeps — from interfering).
+//!
+//! Criticals are [`OmpLock`]s, so they inherit the scheduler-aware
+//! spin-then-yield slow path (and the optional MCS queue discipline) from
+//! the runtime's [`OmpConfig`]: `lock_kind`/`spin_budget`, surfaced as
+//! `OMP_LOCK_KIND`/`OMP_SPIN_BUDGET`. A contended critical no longer parks
+//! a worker in the kernel — it yields the worker back to its backend's
+//! scheduler, which is the whole point of running OpenMP over LWTs.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// Registry mapping critical-section names to their mutexes. The unnamed
+use crate::env::OmpConfig;
+use crate::lock::{LockKind, OmpLock};
+
+/// Registry mapping critical-section names to their locks. The unnamed
 /// critical section is the reserved name `""`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CriticalRegistry {
-    locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    kind: LockKind,
+    budget: u32,
+    locks: Mutex<HashMap<String, Arc<OmpLock>>>,
+}
+
+impl Default for CriticalRegistry {
+    fn default() -> Self {
+        let (kind, budget) = LockKind::from_env();
+        CriticalRegistry { kind, budget, locks: Mutex::new(HashMap::new()) }
+    }
 }
 
 impl CriticalRegistry {
-    /// Empty registry (one per runtime instance).
+    /// Empty registry (one per runtime instance); lock discipline from the
+    /// environment (`OMP_LOCK_KIND`/`OMP_SPIN_BUDGET`), defaults otherwise.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Get (or create) the mutex for `name`.
+    /// Registry honoring an explicit runtime config.
     #[must_use]
-    pub fn lock_for(&self, name: &str) -> Arc<Mutex<()>> {
+    pub fn from_config(cfg: &OmpConfig) -> Self {
+        CriticalRegistry {
+            kind: cfg.lock_kind,
+            budget: cfg.spin_budget,
+            locks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Get (or create) the lock for `name`.
+    #[must_use]
+    pub fn lock_for(&self, name: &str) -> Arc<OmpLock> {
         let mut m = self.locks.lock();
         match m.get(name) {
             Some(l) => Arc::clone(l),
             None => {
-                let l = Arc::new(Mutex::new(()));
+                let l = Arc::new(OmpLock::with_kind(self.kind, self.budget));
                 m.insert(name.to_owned(), Arc::clone(&l));
                 l
             }
         }
     }
 
-    /// Run `f` inside the named critical section.
-    ///
-    /// Schedule-controlled threads (deterministic stepper backend) must not
-    /// block in the kernel while contending — the current holder may be
-    /// suspended at a scheduling decision and only runs again if this
-    /// thread yields its turn — so they spin on `try_lock` with cooperative
-    /// yields; everyone else takes the normal blocking path.
+    /// Run `f` inside the named critical section. The slow path is
+    /// scheduler-aware for every runtime: bounded spinning, then yields to
+    /// the caller's backend scheduler (run-token hand-offs under the
+    /// deterministic stepper — see [`glt::coop`]).
     pub fn enter(&self, name: &str, f: &mut dyn FnMut()) {
         let l = self.lock_for(name);
-        let _g = match glt::coop::coop_acquire(|| l.try_lock()) {
-            Some(g) => g,
-            None => l.lock(),
-        };
-        f();
+        l.with(f);
     }
 }
 
@@ -96,12 +119,20 @@ mod tests {
         // Hold "a" and take "b" on another thread: must not deadlock.
         let r = Arc::new(CriticalRegistry::new());
         let la = r.lock_for("a");
-        let _ga = la.lock();
+        la.set();
         let r2 = r.clone();
         let t = std::thread::spawn(move || {
             r2.enter("b", &mut || {});
             true
         });
         assert!(t.join().unwrap());
+        la.unset();
+    }
+
+    #[test]
+    fn registry_honors_config_kind() {
+        let cfg = OmpConfig::with_threads(2).lock_kind(LockKind::Mcs).spin_budget(3);
+        let r = CriticalRegistry::from_config(&cfg);
+        assert_eq!(r.lock_for("c").kind(), LockKind::Mcs);
     }
 }

@@ -410,7 +410,7 @@ impl<'t, 'env> ParCtx<'t, 'env> {
                 let core = self.team.taskcore();
                 while !core.deps_ready(deps) {
                     if !self.team.try_run_task(self.tid) {
-                        std::thread::yield_now();
+                        glt::coop::yield_to_scheduler();
                     }
                 }
             }
@@ -526,7 +526,7 @@ impl<'t, 'env> ParCtx<'t, 'env> {
         f();
         while tg.pending() > 0 {
             if !self.team.try_run_task(self.tid) {
-                std::thread::yield_now();
+                glt::coop::yield_to_scheduler();
             }
         }
         *self.taskgroup.borrow_mut() = prev;
@@ -537,7 +537,7 @@ impl<'t, 'env> ParCtx<'t, 'env> {
     pub fn taskwait(&self) {
         while self.group.pending() > 0 {
             if !self.team.try_run_task(self.tid) {
-                std::thread::yield_now();
+                glt::coop::yield_to_scheduler();
             }
         }
     }
@@ -611,8 +611,16 @@ pub fn region_epilogue(team: &dyn TeamOps, tid: usize) {
 
 /// Run one team member's share of a region: context setup, body, epilogue.
 /// Runtimes call this from each team thread/ULT.
+///
+/// The epilogue runs even when the body panics: the region-end arrival is
+/// the only thing the master waits on in `end_region`, so skipping it on
+/// unwind would wedge the whole team behind one panicking member (the
+/// panic is re-raised afterwards and still propagates to the join side).
 pub fn run_region_member(team: &dyn TeamOps, tid: usize, body: &RegionFn<'static>) {
     let ctx = ParCtx::implicit(team, tid);
-    body(&ctx);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
     region_epilogue(team, tid);
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
 }

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use glt::WaitPolicy;
 
+use crate::lock::LockKind;
 use crate::schedule::Schedule;
 
 /// Immutable startup configuration for an OpenMP runtime instance.
@@ -37,6 +38,12 @@ pub struct OmpConfig {
     /// new tasks execute directly/undeferred. The paper measures 256 as
     /// the Intel default and sweeps {16, 256, 4096} in Fig. 14.
     pub task_cutoff: usize,
+    /// `OMP_LOCK_KIND`: slow-path discipline for `omp_lock_t` and named
+    /// criticals (spin / spin-then-yield / MCS queue lock).
+    pub lock_kind: LockKind,
+    /// `OMP_SPIN_BUDGET`: failed acquire probes before a waiter starts
+    /// yielding to the scheduler (also bounds barrier idle spinning).
+    pub spin_budget: u32,
 }
 
 impl Default for OmpConfig {
@@ -51,6 +58,8 @@ impl Default for OmpConfig {
             shared_queues: false,
             hot_ults: false,
             task_cutoff: 256, // paper: Intel default cut-off
+            lock_kind: LockKind::SpinYield,
+            spin_budget: 100,
         }
     }
 }
@@ -100,6 +109,16 @@ impl OmpConfig {
                 c.task_cutoff = n.max(1);
             }
         }
+        if let Ok(v) = std::env::var("OMP_LOCK_KIND") {
+            if let Some(k) = LockKind::parse(&v) {
+                c.lock_kind = k;
+            }
+        }
+        if let Ok(v) = std::env::var("OMP_SPIN_BUDGET") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                c.spin_budget = n;
+            }
+        }
         c
     }
 
@@ -146,6 +165,20 @@ impl OmpConfig {
     #[must_use]
     pub fn hot_ults(mut self, on: bool) -> Self {
         self.hot_ults = on;
+        self
+    }
+
+    /// Builder: set the lock slow-path kind.
+    #[must_use]
+    pub fn lock_kind(mut self, k: LockKind) -> Self {
+        self.lock_kind = k;
+        self
+    }
+
+    /// Builder: set the waiter spin budget.
+    #[must_use]
+    pub fn spin_budget(mut self, n: u32) -> Self {
+        self.spin_budget = n;
         self
     }
 }
@@ -247,5 +280,19 @@ mod tests {
     #[test]
     fn hot_ults_defaults_off() {
         assert!(!OmpConfig::default().hot_ults, "repro setting: cold forks by default");
+    }
+
+    #[test]
+    fn lock_defaults_are_spin_yield_with_bounded_budget() {
+        let c = OmpConfig::default();
+        assert_eq!(c.lock_kind, LockKind::SpinYield);
+        assert!(c.spin_budget > 0, "waiters must spin briefly before yielding");
+    }
+
+    #[test]
+    fn lock_builders() {
+        let c = OmpConfig::with_threads(2).lock_kind(LockKind::Mcs).spin_budget(7);
+        assert_eq!(c.lock_kind, LockKind::Mcs);
+        assert_eq!(c.spin_budget, 7);
     }
 }

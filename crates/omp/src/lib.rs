@@ -49,7 +49,9 @@ pub use barrier::CentralBarrier;
 pub use critical::CriticalRegistry;
 pub use ctx::{region_epilogue, run_region_member, OrderedScope, ParCtx, TaskFlags};
 pub use env::{Icvs, OmpConfig};
-pub use lock::{OmpLock, OmpNestLock};
+#[cfg(feature = "planted-lost-wakeup")]
+pub use lock::{plant_drop_one, planted_repairs};
+pub use lock::{LockKind, OmpLock, OmpNestLock};
 pub use runtime::{wtime, OmpRuntime, OmpRuntimeExt, RegionFn, TaskGroup, TaskMeta, TeamOps};
 pub use schedule::Schedule;
 pub use serial::SerialRuntime;

@@ -98,12 +98,8 @@ impl SerialRuntime {
     #[must_use]
     pub fn new(cfg: crate::env::OmpConfig) -> Self {
         let icvs = crate::env::Icvs::new(&cfg);
-        SerialRuntime {
-            cfg,
-            icvs,
-            counters: glt::Counters::new(),
-            criticals: CriticalRegistry::new(),
-        }
+        let criticals = CriticalRegistry::from_config(&cfg);
+        SerialRuntime { cfg, icvs, counters: glt::Counters::new(), criticals }
     }
 }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use glt::park::WaitSlot;
-use glt::{Counters, WaitPolicy};
+use glt::{Counters, SpinWait, WaitPolicy};
 use omp::{
     run_region_member, CentralBarrier, CriticalRegistry, Dep, OmpRuntime, Popped, PushResult,
     RegionFn, TaskCore, TaskEngine, TaskMeta, TaskNode, TaskQueuePolicy, TaskRunner, TeamOps,
@@ -338,6 +338,17 @@ impl<'rt> PompTeam<'rt> {
             region_arrivals: AtomicUsize::new(0),
         }
     }
+
+    /// One wait loop's spin-then-yield state: bounded spinning per
+    /// `OMP_SPIN_BUDGET`, then OS yields (`sched_yield` is all a pthread
+    /// runtime has — there is no user-level scheduler to hand control to),
+    /// with sleep escalation under the passive policy.
+    fn spin_wait(&self) -> SpinWait {
+        SpinWait::new(
+            self.rt.omp_config().spin_budget,
+            matches!(self.rt.wait_policy(), WaitPolicy::Passive),
+        )
+    }
 }
 
 impl TeamOps for PompTeam<'_> {
@@ -350,19 +361,26 @@ impl TeamOps for PompTeam<'_> {
     }
 
     fn barrier(&self, tid: usize) {
-        let wait = self.rt.wait_policy();
-        self.barrier.wait(|| self.try_run_task(tid), || idle_once(wait));
+        let mut sw = self.spin_wait();
+        self.barrier.wait(
+            || self.try_run_task(tid),
+            || {
+                sw.wait();
+            },
+        );
     }
 
     fn end_region(&self, tid: usize) {
         self.region_arrivals.fetch_add(1, Ordering::AcqRel);
         if tid == 0 {
-            let wait = self.rt.wait_policy();
+            let mut sw = self.spin_wait();
             while self.region_arrivals.load(Ordering::Acquire) < self.nthreads
                 || self.outstanding_tasks() > 0
             {
-                if !self.try_run_task(tid) {
-                    idle_once(wait);
+                if self.try_run_task(tid) {
+                    sw.reset();
+                } else {
+                    sw.wait();
                 }
             }
         }

@@ -33,13 +33,8 @@ impl GnuRuntime {
     pub fn new(cfg: OmpConfig) -> Arc<Self> {
         let icvs = Icvs::new(&cfg);
         let pool = Mutex::new(ThreadPool::new(cfg.wait_policy));
-        Arc::new(GnuRuntime {
-            cfg,
-            icvs,
-            counters: Counters::new(),
-            criticals: CriticalRegistry::new(),
-            pool,
-        })
+        let criticals = CriticalRegistry::from_config(&cfg);
+        Arc::new(GnuRuntime { cfg, icvs, counters: Counters::new(), criticals, pool })
     }
 }
 

@@ -42,11 +42,12 @@ impl IntelRuntime {
     pub fn new(cfg: OmpConfig) -> Arc<Self> {
         let icvs = Icvs::new(&cfg);
         let pool = Mutex::new(ThreadPool::new(cfg.wait_policy));
+        let criticals = CriticalRegistry::from_config(&cfg);
         Arc::new(IntelRuntime {
             cfg,
             icvs,
             counters: Counters::new(),
-            criticals: CriticalRegistry::new(),
+            criticals,
             pool,
             hot_teams: Mutex::new(HashMap::new()),
         })

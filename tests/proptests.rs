@@ -159,6 +159,76 @@ proptest! {
         }
     }
 
+    /// `omp_test_lock` never blocks and its verdict always matches the
+    /// legality model: it succeeds iff the lock was free, a success is
+    /// exactly what makes one subsequent `unset` legal, and probing a held
+    /// lock returns immediately — for every lock discipline.
+    #[test]
+    fn test_lock_matches_legality_model(
+        ops in proptest::collection::vec(0u8..3, 1..64),
+        kind in 0usize..3,
+    ) {
+        let kind = [omp::LockKind::Spin, omp::LockKind::SpinYield, omp::LockKind::Mcs][kind];
+        let l = omp::OmpLock::with_kind(kind, 4);
+        let mut held = false;
+        for op in ops {
+            match op {
+                0 => {
+                    let t0 = std::time::Instant::now();
+                    let got = l.test();
+                    prop_assert!(t0.elapsed() < std::time::Duration::from_secs(5),
+                        "test() must not block");
+                    // test succeeds iff the lock was free
+                    prop_assert_eq!(got, !held);
+                    held = held || got;
+                }
+                1 if held => {
+                    l.unset(); // legal exactly once per successful test/set
+                    held = false;
+                }
+                _ if !held => {
+                    l.set(); // uncontended set cannot block
+                    held = true;
+                }
+                _ => {}
+            }
+        }
+        if held {
+            l.unset();
+        }
+    }
+
+    /// The yielding disciplines are semantically interchangeable: under
+    /// the *same* deterministic seed, a contended critical-section
+    /// workload (with a scheduling point inside the hold) computes the
+    /// same correct answer whether the registry locks spin-then-yield or
+    /// queue MCS-style, and both leave the lock counters law-abiding.
+    #[test]
+    fn lock_kinds_interchangeable_under_det_seeds(seed in any::<u64>()) {
+        std::env::set_var("GLT_DET_STALL_MS", "750");
+        let mut outs = Vec::new();
+        for lk in [omp::LockKind::SpinYield, omp::LockKind::Mcs] {
+            let cfg = OmpConfig::with_threads(3).lock_kind(lk).spin_budget(4);
+            let rt = RuntimeKind::GltoDet { seed }.build(cfg);
+            let cell = std::sync::atomic::AtomicU64::new(0);
+            rt.parallel(|ctx| {
+                for _ in 0..8 {
+                    ctx.critical("interchange", || {
+                        let v = cell.load(std::sync::atomic::Ordering::Relaxed);
+                        glt::coop::yield_to_scheduler();
+                        cell.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+            let s = rt.counters().snapshot();
+            prop_assert!(s.lock_yields <= s.lock_spins, "{:?}: yields > spins", lk);
+            prop_assert!(s.lock_handoffs <= s.lock_spins, "{:?}: handoffs > spins", lk);
+            outs.push(cell.load(std::sync::atomic::Ordering::SeqCst));
+        }
+        prop_assert_eq!(outs[0], 24); // 3 threads x 8 holds
+        prop_assert_eq!(outs[0], outs[1]); // kinds must agree under one seed
+    }
+
     /// UTS parallel search returns the sequential node count for any
     /// small tree and thread count (determinism under parallelism).
     #[test]

@@ -1,0 +1,225 @@
+//! The contention test family (ROADMAP item 4): storms of team members /
+//! tasks on **one** synchronization object — a lock, a named critical, a
+//! barrier — swept across every runtime in the conformance matrix and
+//! every lock discipline.
+//!
+//! On this container (1 core) any team of ≥ 2 is oversubscribed, which is
+//! precisely the regime where the old block-in-the-kernel / raw-spin
+//! disciplines wedge or crawl: a spinning waiter burns the OS timeslice
+//! the holder needs. Every storm runs under a watchdog so a lost wakeup or
+//! live-lock fails the test instead of hanging CI.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use glto_repro::prelude::*;
+use omp::{LockKind, OmpLock, OmpNestLock};
+
+/// Run `f` to completion or fail loudly after `timeout` (lost wakeups must
+/// terminate the test, not hang it).
+fn with_watchdog(name: &str, timeout: Duration, f: impl FnOnce() + Send + 'static) {
+    let t = std::thread::spawn(f);
+    let deadline = Instant::now() + timeout;
+    while !t.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog: {name} did not finish within {timeout:?} (lost wakeup / live-lock?)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    t.join().unwrap();
+}
+
+fn storm_kinds() -> [LockKind; 3] {
+    [LockKind::Spin, LockKind::SpinYield, LockKind::Mcs]
+}
+
+#[test]
+fn omp_lock_storm_every_runtime_every_kind() {
+    for rk in RuntimeKind::matrix() {
+        for threads in [1, 2, 4] {
+            for lk in storm_kinds() {
+                let name = format!("lock storm {}/{threads}t/{lk:?}", rk.name());
+                with_watchdog(&name, Duration::from_secs(60), move || {
+                    let rt = rk.build(OmpConfig::with_threads(threads));
+                    let lock = OmpLock::with_kind(lk, 16);
+                    let hits = AtomicU64::new(0);
+                    // Teams may run narrower than requested (serial is
+                    // always width 1): pin the count to the observed width.
+                    let members = AtomicUsize::new(0);
+                    let iters = 200u64;
+                    rt.parallel(|ctx| {
+                        members.store(ctx.num_threads(), Ordering::Relaxed);
+                        for _ in 0..iters {
+                            lock.with(|| {
+                                // Non-atomic read-modify-write under the
+                                // lock: any mutual-exclusion hole loses
+                                // increments.
+                                let v = hits.load(Ordering::Relaxed);
+                                hits.store(v + 1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    assert_eq!(
+                        hits.load(Ordering::Relaxed),
+                        iters * members.load(Ordering::Relaxed) as u64,
+                        "{lk:?} lock lost increments on {}",
+                        rt.name()
+                    );
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn named_critical_storm_every_runtime() {
+    for rk in RuntimeKind::matrix() {
+        for threads in [1, 2, 4] {
+            let name = format!("critical storm {}/{threads}t", rk.name());
+            with_watchdog(&name, Duration::from_secs(60), move || {
+                let rt = rk.build(OmpConfig::with_threads(threads));
+                let hits = AtomicU64::new(0);
+                let members = AtomicUsize::new(0);
+                let iters = 200u64;
+                rt.parallel(|ctx| {
+                    members.store(ctx.num_threads(), Ordering::Relaxed);
+                    for _ in 0..iters {
+                        ctx.critical("storm", || {
+                            let v = hits.load(Ordering::Relaxed);
+                            hits.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(
+                    hits.load(Ordering::Relaxed),
+                    iters * members.load(Ordering::Relaxed) as u64
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn critical_storm_with_mcs_registry() {
+    // Same storm, but the registry built from an MCS config: exercises the
+    // queue-lock hand-off chain under team contention on every runtime.
+    for rk in RuntimeKind::matrix() {
+        let name = format!("mcs critical storm {}", rk.name());
+        with_watchdog(&name, Duration::from_secs(60), move || {
+            let cfg = OmpConfig::with_threads(4).lock_kind(LockKind::Mcs).spin_budget(8);
+            let rt = rk.build(cfg);
+            let hits = AtomicU64::new(0);
+            let members = AtomicUsize::new(0);
+            rt.parallel(|ctx| {
+                members.store(ctx.num_threads(), Ordering::Relaxed);
+                for _ in 0..150 {
+                    ctx.critical("mcs-storm", || {
+                        let v = hits.load(Ordering::Relaxed);
+                        hits.store(v + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 150 * members.load(Ordering::Relaxed) as u64);
+        });
+    }
+}
+
+#[test]
+fn barrier_storm_every_runtime() {
+    // Repeated barrier rounds: each member bumps a phase counter, then
+    // waits. After every barrier, all members must observe the full round.
+    for rk in RuntimeKind::matrix() {
+        for threads in [2, 4] {
+            let name = format!("barrier storm {}/{threads}t", rk.name());
+            with_watchdog(&name, Duration::from_secs(60), move || {
+                let rt = rk.build(OmpConfig::with_threads(threads));
+                let phase = Arc::new(AtomicUsize::new(0));
+                let members = Arc::new(AtomicUsize::new(0));
+                let rounds = 50usize;
+                let p = Arc::clone(&phase);
+                let m = Arc::clone(&members);
+                rt.parallel(move |ctx| {
+                    let n = ctx.num_threads();
+                    m.store(n, Ordering::SeqCst);
+                    for round in 0..rounds {
+                        p.fetch_add(1, Ordering::SeqCst);
+                        ctx.barrier();
+                        let seen = p.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= (round + 1) * n,
+                            "barrier released early: round {round}, seen {seen}"
+                        );
+                        ctx.barrier();
+                    }
+                });
+                assert_eq!(phase.load(Ordering::SeqCst), rounds * members.load(Ordering::SeqCst));
+            });
+        }
+    }
+}
+
+#[test]
+fn task_storm_on_one_lock_oversubscribes_workers() {
+    // The "N ULTs on M workers" shape: a single producer sprays 32 tasks
+    // that all hammer one lock, with only `threads` workers to run them —
+    // on the GLTO runtimes these are 32 ULTs multiplexed over 2
+    // GLT_threads, the regime where yielding (not spinning) is mandatory
+    // for timely hand-offs.
+    for rk in RuntimeKind::matrix() {
+        for lk in storm_kinds() {
+            let name = format!("task storm {}/{lk:?}", rk.name());
+            with_watchdog(&name, Duration::from_secs(60), move || {
+                let rt = rk.build(OmpConfig::with_threads(2));
+                let lock = Arc::new(OmpLock::with_kind(lk, 16));
+                let hits = Arc::new(AtomicU64::new(0));
+                let (l, h) = (Arc::clone(&lock), Arc::clone(&hits));
+                rt.parallel(move |ctx| {
+                    ctx.single(|| {
+                        for _ in 0..32 {
+                            let l = Arc::clone(&l);
+                            let h = Arc::clone(&h);
+                            ctx.task(move |_| {
+                                for _ in 0..50 {
+                                    l.with(|| {
+                                        let v = h.load(Ordering::Relaxed);
+                                        h.store(v + 1, Ordering::Relaxed);
+                                    });
+                                }
+                            });
+                        }
+                    });
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), 32 * 50, "{lk:?} on {}", rk.name());
+            });
+        }
+    }
+}
+
+#[test]
+fn nest_lock_depth_probe_every_runtime() {
+    // Reentrancy depth probe: every member repeatedly takes the nest lock
+    // to depth 8 and fully unwinds, checking the depth returned at every
+    // step — the owner-token fast path must never bleed across a hand-off.
+    for rk in RuntimeKind::matrix() {
+        for lk in storm_kinds() {
+            let name = format!("nest probe {}/{lk:?}", rk.name());
+            with_watchdog(&name, Duration::from_secs(60), move || {
+                let rt = rk.build(OmpConfig::with_threads(4));
+                let lock = OmpNestLock::with_kind(lk, 16);
+                rt.parallel(|ctx| {
+                    for _ in 0..50 {
+                        for d in 1..=8usize {
+                            assert_eq!(lock.set(), d, "acquire depth");
+                        }
+                        for d in (0..8usize).rev() {
+                            assert_eq!(lock.unset(), d, "release depth");
+                        }
+                    }
+                    let _ = ctx;
+                });
+            });
+        }
+    }
+}
