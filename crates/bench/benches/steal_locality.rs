@@ -1,0 +1,56 @@
+//! Steal locality: flat worker ring vs per-domain sharded pools.
+//!
+//! The same single-producer task storm runs on the stealing backends
+//! under (a) the legacy flat layout (one domain — every steal is local)
+//! and (b) a synthetic two-socket SMT machine (`2x4x2`), both unbound
+//! (`proc_bind(false)`, thieves may roam) and bound (`proc_bind(close)`,
+//! cross-domain stealing gated off). The comparison isolates what the
+//! hierarchy costs on the hot steal path and what the binding gate saves
+//! by keeping thieves inside their socket.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use glt::Topology;
+use omp::{OmpConfig, ProcBind};
+use workloads::micro;
+use workloads::runtimes::RuntimeKind;
+
+fn cfg(n: usize, topo: Topology, bind: ProcBind) -> OmpConfig {
+    OmpConfig::with_threads(n).topology(topo).proc_bind(bind)
+}
+
+fn steal_locality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steal_locality");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    let sharded = Topology::parse("2x4x2").expect("valid spec");
+    for n in [8usize, 36] {
+        for kind in [RuntimeKind::GltoMth, RuntimeKind::GltoAbt] {
+            let variants = [
+                ("flat", Topology::flat(n), ProcBind::False),
+                ("sharded-unbound", sharded, ProcBind::False),
+                ("sharded-close", sharded, ProcBind::Close),
+            ];
+            for (layout, topo, bind) in variants {
+                let rt = kind.build(cfg(n, topo, bind));
+                let _ = micro::producer_consumer_tasks(rt.as_ref(), 200, 20); // warm-up
+                g.bench_function(format!("{}::{layout}::w{n}", kind.label()), |b| {
+                    b.iter(|| {
+                        let _ = micro::producer_consumer_tasks(rt.as_ref(), 500, 20);
+                    });
+                });
+                // Locality sanity alongside the timing: conservation always,
+                // zero cross-domain traffic whenever the team is bound.
+                let s = rt.counters().snapshot();
+                assert_eq!(s.steals_same_domain + s.steals_cross_domain, s.steals);
+                if matches!(bind, ProcBind::Close) {
+                    assert_eq!(s.steals_cross_domain, 0);
+                }
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, steal_locality);
+criterion_main!(benches);

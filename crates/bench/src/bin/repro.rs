@@ -16,6 +16,7 @@
 //!   fig10..fig13    task CG, granularity 10/20/50/100
 //!   table3          % queued tasks per granularity (Intel)
 //!   fig14           4,000-task cut-off study (cut-off 16/256/4096)
+//!   steal_locality  flat ring vs per-domain sharded stealing (+ counters)
 //!   all             everything above
 //! ```
 
@@ -25,8 +26,8 @@ use workloads::runtimes::RuntimeKind;
 use workloads::{cg, clover, micro, uts};
 
 use bench::{
-    paper_config, print_series_header, print_series_row, record_result, task_figure_runtimes,
-    time_reps, Scale,
+    paper_config, print_series_header, print_series_row, record_counter, record_result,
+    task_figure_runtimes, time_reps, Scale,
 };
 
 struct Opts {
@@ -137,6 +138,7 @@ fn main() {
             "fig13" => cg_fig(&opts, "fig13", 100),
             "table3" => table3(&opts),
             "fig14" => fig14(&opts),
+            "steal_locality" => steal_locality(&opts),
             "check" => shape_check(&opts),
             "all" => {
                 shape_check(&opts);
@@ -153,6 +155,7 @@ fn main() {
                 }
                 table3(&opts);
                 fig14(&opts);
+                steal_locality(&opts);
             }
             other => {
                 eprintln!("unknown target: {other}");
@@ -542,6 +545,86 @@ fn table3(opts: &Opts) {
             row.push_str(&format!(",{pct:.0}"));
         }
         println!("{row}");
+    }
+}
+
+// --------------------------------------------------- steal_locality (new)
+
+/// Flat worker ring vs per-domain sharded pools: the same single-producer
+/// task storm on the stealing backends under (a) the legacy flat layout
+/// (`1xWx1`, one domain) and (b) a synthetic two-socket SMT machine
+/// (`2x4x2`) with `proc_bind(close)`. Besides wall time, each row dumps
+/// the locality counters — under (b) the close binding must hold
+/// `steals_cross_domain` at exactly 0 (the ISSUE's acceptance criterion),
+/// and `same + cross == steals` must conserve in every row.
+fn steal_locality(opts: &Opts) {
+    let reps = opts.reps(5, 200);
+    let widths = opts.threads_override.clone().unwrap_or_else(|| vec![8, 36]);
+    println!("# steal_locality — flat ring vs per-domain sharded stealing");
+    println!(
+        "figure,runtime,layout,threads,seconds,stddev,steals,same_domain,cross_domain,migrations"
+    );
+    let sharded = glt::Topology::parse("2x4x2").expect("valid spec");
+    for &n in &widths {
+        for (layout, topo) in [("flat", glt::Topology::flat(n)), ("sharded-2x4x2", sharded)] {
+            for kind in [RuntimeKind::GltoMth, RuntimeKind::GltoAbt] {
+                let cfg = paper_config(n, WaitPolicy::Passive)
+                    .topology(topo)
+                    .proc_bind(omp::ProcBind::Close);
+                let rt = kind.build(cfg);
+                let _ = micro::producer_consumer_tasks(rt.as_ref(), 200, 20); // warm-up
+                rt.counters().reset();
+                let st = time_reps(reps, || {
+                    let _ = micro::producer_consumer_tasks(rt.as_ref(), 1000, 20);
+                });
+                let s = rt.counters().snapshot();
+                assert_eq!(
+                    s.steals_same_domain + s.steals_cross_domain,
+                    s.steals,
+                    "steal locality accounting must conserve"
+                );
+                if topo.num_domains() > 1 {
+                    assert_eq!(
+                        s.steals_cross_domain, 0,
+                        "proc_bind(close) must forbid cross-domain steals"
+                    );
+                }
+                println!(
+                    "steal_locality,{},{layout},{n},{:.6e},{:.2e},{},{},{},{}",
+                    kind.label(),
+                    st.mean(),
+                    st.stddev(),
+                    s.steals,
+                    s.steals_same_domain,
+                    s.steals_cross_domain,
+                    s.domain_migrations
+                );
+                let label = format!("{}/{layout}", kind.label());
+                record_result("steal_locality", &label, n, st.mean() * 1e9, st.min() * 1e9);
+                record_counter("steal_locality", &label, n, "steals", s.steals);
+                record_counter(
+                    "steal_locality",
+                    &label,
+                    n,
+                    "steals_same_domain",
+                    s.steals_same_domain,
+                );
+                record_counter(
+                    "steal_locality",
+                    &label,
+                    n,
+                    "steals_cross_domain",
+                    s.steals_cross_domain,
+                );
+                record_counter(
+                    "steal_locality",
+                    &label,
+                    n,
+                    "domain_migrations",
+                    s.domain_migrations,
+                );
+            }
+        }
     }
 }
 

@@ -127,6 +127,17 @@ pub fn record_result(target: &str, runtime: &str, threads: usize, mean_ns: f64, 
     });
 }
 
+/// Record one *counter* reading (steal locality, migrations, …) for
+/// `repro --json`: the target is suffixed with the counter name
+/// (`steal_locality:steals_cross_domain`) so counter rows sort next to
+/// their experiment's timing rows, and the raw count rides in the value
+/// fields (they are not nanoseconds for these rows).
+pub fn record_counter(target: &str, runtime: &str, threads: usize, counter: &str, value: u64) {
+    #[allow(clippy::cast_precision_loss)]
+    let v = value as f64;
+    record_result(&format!("{target}:{counter}"), runtime, threads, v, v);
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
@@ -205,6 +216,19 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape(r#"GLTO("ABT")\x"#), r#"GLTO(\"ABT\")\\x"#);
         assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn counter_records_suffix_the_target() {
+        record_counter("locT", "GLTO(MTH)/sharded", 8, "steals_cross_domain", 17);
+        let path = std::env::temp_dir().join("bench_counter_json_test.json");
+        let path = path.to_str().unwrap();
+        let n = write_json(path).unwrap();
+        assert!(n >= 1);
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains(r#""target":"locT:steals_cross_domain""#));
+        assert!(body.contains(r#""mean_ns":17.0"#));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

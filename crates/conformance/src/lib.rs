@@ -172,10 +172,15 @@ impl DetRun {
 /// randomized-decision budget (`u64::MAX` = fully randomized).
 #[must_use]
 pub fn run_det_once(case: Case, threads: usize, seed: u64, budget: u64) -> DetRun {
-    let rt = GltoRuntime::new(
-        Backend::Det { seed, max_random_decisions: budget },
-        OmpConfig::with_threads(threads),
-    );
+    run_det_once_cfg(case, &OmpConfig::with_threads(threads), seed, budget)
+}
+
+/// [`run_det_once`] with an explicit [`OmpConfig`] — how the seed sweep is
+/// parameterized over synthetic topologies (`OmpConfig::topology`) and
+/// binding policies without touching process-wide environment variables.
+#[must_use]
+pub fn run_det_once_cfg(case: Case, cfg: &OmpConfig, seed: u64, budget: u64) -> DetRun {
+    let rt = GltoRuntime::new(Backend::Det { seed, max_random_decisions: budget }, cfg.clone());
     let outcome = catch_unwind(AssertUnwindSafe(|| case(&*rt)));
     let (ok, panicked) = match outcome {
         Ok(b) => (b, false),
@@ -227,17 +232,31 @@ pub fn sweep_det(
     threads: usize,
     seeds: impl IntoIterator<Item = u64>,
 ) -> SweepReport {
+    sweep_det_cfg(name, case, &OmpConfig::with_threads(threads), seeds)
+}
+
+/// [`sweep_det`] with an explicit [`OmpConfig`]: the same seeds explore the
+/// same cases under a synthetic topology / binding policy (the replay
+/// recipe then needs the config too — pass the identical one to
+/// [`replay_det_cfg`] / [`shrink_det_cfg`]).
+pub fn sweep_det_cfg(
+    name: &str,
+    case: Case,
+    cfg: &OmpConfig,
+    seeds: impl IntoIterator<Item = u64>,
+) -> SweepReport {
+    let threads = cfg.num_threads;
     let mut failing = Vec::new();
     let mut seeds_run = 0;
     for seed in seeds {
         seeds_run += 1;
-        let run = run_det_once(case, threads, seed, u64::MAX);
+        let run = run_det_once_cfg(case, cfg, seed, u64::MAX);
         if !run.passed() {
             eprintln!(
                 "conformance: case `{name}` FAILED on glto-det \
                  (seed={seed} threads={threads} ok={} panicked={} stalled={} violations={:?})\n\
                  conformance: replay with RuntimeKind::GltoDet {{ seed: {seed} }} \
-                 or conformance::replay_det(case, {threads}, {seed})",
+                 or conformance::replay_det_cfg(case, &cfg, {seed})",
                 run.ok, run.panicked, run.stalled, run.violations
             );
             failing.push(seed);
@@ -274,6 +293,12 @@ pub fn replay_det(case: Case, threads: usize, seed: u64) -> DetRun {
     run_det_once(case, threads, seed, u64::MAX)
 }
 
+/// [`replay_det`] with an explicit [`OmpConfig`] (must match the sweep's).
+#[must_use]
+pub fn replay_det_cfg(case: Case, cfg: &OmpConfig, seed: u64) -> DetRun {
+    run_det_once_cfg(case, cfg, seed, u64::MAX)
+}
+
 /// Shrink a failing seed: binary-search the smallest randomized-decision
 /// budget that still fails. After the budget, every schedule decision falls
 /// back to the fixed first alternative, so the returned budget bounds the
@@ -281,7 +306,13 @@ pub fn replay_det(case: Case, threads: usize, seed: u64) -> DetRun {
 /// Returns `None` if the seed does not fail at full randomness.
 #[must_use]
 pub fn shrink_det(case: Case, threads: usize, seed: u64) -> Option<u64> {
-    let full = run_det_once(case, threads, seed, u64::MAX);
+    shrink_det_cfg(case, &OmpConfig::with_threads(threads), seed)
+}
+
+/// [`shrink_det`] with an explicit [`OmpConfig`] (must match the sweep's).
+#[must_use]
+pub fn shrink_det_cfg(case: Case, cfg: &OmpConfig, seed: u64) -> Option<u64> {
+    let full = run_det_once_cfg(case, cfg, seed, u64::MAX);
     if full.passed() {
         return None;
     }
@@ -291,7 +322,7 @@ pub fn shrink_det(case: Case, threads: usize, seed: u64) -> Option<u64> {
     let mut hi = full.decisions;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if run_det_once(case, threads, seed, mid).passed() {
+        if run_det_once_cfg(case, cfg, seed, mid).passed() {
             lo = mid + 1;
         } else {
             hi = mid;
@@ -681,6 +712,44 @@ pub fn planted_lost_wakeup(rt: &dyn OmpRuntime) -> bool {
     omp::planted_repairs() == before
 }
 
+/// The planted **cross-domain starvation** (`--features
+/// planted-cross-starvation`): the det scheduler's hierarchical victim
+/// selection is sabotaged to drop every steal tier beyond the thief's own
+/// domain — a thief whose domain has no work simply finds nothing, the
+/// classic locality-gate liveness bug. A backstop detects the starvation
+/// after repeated fruitless attempts, performs the cross-domain steal
+/// anyway, and bumps a rescue counter; this case fails iff a rescue
+/// happened during its run.
+///
+/// Run it under a **multi-domain** synthetic topology (e.g.
+/// `OmpConfig::topology(Topology::parse("2x4x1"))`) via
+/// [`sweep_det_cfg`]: the single-runner task burst lands in the
+/// producer's pool, so every thief in the *other* domain sees only
+/// cross-domain victims and starves until rescued. Under a single-domain
+/// (flat) topology the sabotage is inert — there is no cross tier to
+/// drop — which keeps the armed window harmless to unrelated tests.
+/// It is **not** part of [`cases`].
+#[cfg(feature = "planted-cross-starvation")]
+pub fn planted_cross_starvation(rt: &dyn OmpRuntime) -> bool {
+    let before = glt_det::planted_rescues();
+    glt_det::plant_cross_starvation();
+    let sink = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        let sink = &sink;
+        ctx.single(|| {
+            for i in 0..32u64 {
+                ctx.task(move |c| {
+                    sink.fetch_add(i, Ordering::SeqCst);
+                    c.taskyield();
+                });
+            }
+            ctx.taskwait();
+        });
+    });
+    glt_det::unplant_cross_starvation();
+    glt_det::planted_rescues() == before
+}
+
 // -------------------------------------------------- shared-queue matrix
 
 /// The §IV-F shared-queue (`GLT_SHARED_QUEUES=1`) variants of the three
@@ -1038,6 +1107,154 @@ mod tests {
             });
             let viol = check_counter_invariants(rt.as_ref());
             assert!(viol.is_empty(), "{}: {viol:?}", kind.name());
+        }
+    }
+
+    // ------------------------------------------------- topology matrix
+
+    /// The ISSUE's topology sweep shapes: flat single-domain, two-socket
+    /// without SMT, two-socket with SMT.
+    fn sweep_topologies() -> [glt::Topology; 3] {
+        ["1x1x1", "2x4x1", "2x4x2"].map(|s| glt::Topology::parse(s).expect("valid spec"))
+    }
+
+    fn run_task_storm(rt: &dyn OmpRuntime) {
+        let hits = AtomicU64::new(0);
+        let hits = &hits;
+        rt.parallel(|ctx| {
+            ctx.for_each(0..32, Schedule::Dynamic { chunk: 4 }, |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            ctx.single(|| {
+                for _ in 0..24 {
+                    ctx.task(move |c| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        c.taskyield();
+                    });
+                }
+            });
+            ctx.taskwait();
+        });
+    }
+
+    #[test]
+    fn locality_laws_hold_across_matrix_and_topologies() {
+        fast_stall();
+        for topo in sweep_topologies() {
+            for kind in RuntimeKind::matrix() {
+                let rt = kind.build(OmpConfig::with_threads(4).topology(topo));
+                run_task_storm(rt.as_ref());
+                let viol = check_counter_invariants(rt.as_ref());
+                assert!(viol.is_empty(), "{} under {topo:?}: {viol:?}", kind.name());
+                let s = rt.counters().snapshot();
+                assert_eq!(
+                    s.steals_same_domain + s.steals_cross_domain,
+                    s.steals,
+                    "{} under {topo:?}: steal locality accounting must conserve",
+                    kind.name()
+                );
+                if topo.num_domains() == 1 {
+                    assert_eq!(
+                        s.steals_cross_domain,
+                        0,
+                        "{} under {topo:?}: a single domain has no cross-domain steals",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_teams_never_steal_across_sockets() {
+        fast_stall();
+        let topo = glt::Topology::parse("2x4x2").expect("valid spec");
+        let kinds = [RuntimeKind::GltoAbt, RuntimeKind::GltoMth, RuntimeKind::GltoDet { seed: 7 }];
+        for bind in [omp::ProcBind::Close, omp::ProcBind::Master, omp::ProcBind::Spread] {
+            for kind in kinds {
+                let rt = kind.build(OmpConfig::with_threads(4).topology(topo).proc_bind(bind));
+                run_task_storm(rt.as_ref());
+                let viol = check_counter_invariants(rt.as_ref());
+                assert!(viol.is_empty(), "{} bind {bind:?}: {viol:?}", kind.name());
+                let s = rt.counters().snapshot();
+                assert_eq!(
+                    s.steals_cross_domain,
+                    0,
+                    "{} bound with {bind:?} stole across sockets",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_suite_passes_are_pinned_under_synthetic_topologies() {
+        fast_stall();
+        for topo in [glt::Topology::parse("2x4x1"), glt::Topology::parse("2x4x2")] {
+            let topo = topo.expect("valid spec");
+            for kind in shared_queue_matrix() {
+                let rt = kind.build(OmpConfig::with_threads(4).topology(topo));
+                let r = validation::run_suite(rt.as_ref());
+                assert_eq!(
+                    r.passed,
+                    expected_suite_passes(kind),
+                    "{} under {topo:?}: {}",
+                    kind.name(),
+                    r.row()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn det_sweep_under_synthetic_topologies() {
+        fast_stall();
+        // 64 seeds per shape: the same schedule explorer, now also deciding
+        // *which steal tier* a thief raids, must stay conforming whether
+        // the machine is flat or hierarchical.
+        for (i, topo) in sweep_topologies().into_iter().enumerate() {
+            let cfg = OmpConfig::with_threads(4).topology(topo);
+            let report = sweep_det_cfg(
+                "tasks-taskwait",
+                case_tasks_taskwait,
+                &cfg,
+                seed_stream(0x7090 + i as u64, 64),
+            );
+            assert!(
+                report.all_passed(),
+                "tasks-taskwait under {topo:?} failed seeds {:?} of {} swept",
+                report.failing,
+                report.seeds_run
+            );
+        }
+    }
+
+    #[cfg(feature = "planted-cross-starvation")]
+    #[test]
+    fn planted_cross_starvation_caught_replayed_and_shrunk() {
+        fast_stall();
+        // Two domains, no SMT: the single-runner's pool is in one domain,
+        // so the other domain's thieves see only cross-domain victims —
+        // exactly what the plant starves until the backstop rescues them.
+        let cfg =
+            OmpConfig::with_threads(4).topology(glt::Topology::parse("2x4x1").expect("valid spec"));
+        let report =
+            sweep_det_cfg("planted-cross-starvation", planted_cross_starvation, &cfg, 0..64);
+        assert!(
+            !report.failing.is_empty(),
+            "the seed sweep must expose the planted cross-domain starvation in 64 seeds"
+        );
+        let seed = report.failing[0];
+        let r1 = replay_det_cfg(planted_cross_starvation, &cfg, seed);
+        let r2 = replay_det_cfg(planted_cross_starvation, &cfg, seed);
+        assert!(!r1.passed() && !r2.passed(), "failing seed {seed} must replay");
+        assert_eq!(r1.decisions, r2.decisions, "replays must take the same schedule");
+        let budget = shrink_det_cfg(planted_cross_starvation, &cfg, seed)
+            .expect("seed fails, so it shrinks");
+        assert!(budget <= r1.decisions);
+        assert!(!run_det_once_cfg(planted_cross_starvation, &cfg, seed, budget).passed());
+        if budget > 0 {
+            assert!(run_det_once_cfg(planted_cross_starvation, &cfg, seed, budget - 1).passed());
         }
     }
 

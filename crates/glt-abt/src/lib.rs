@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use crossbeam_queue::SegQueue;
-use glt::{GltConfig, Placement, Pooled, Runtime, Scheduler, Unit};
+use glt::{GltConfig, Placement, Pooled, Runtime, Scheduler, Stolen, Unit};
 
 /// Argobots-like scheduler: per-rank private FIFO pools, no stealing.
 #[derive(Debug)]
@@ -71,7 +71,7 @@ impl Scheduler for AbtScheduler {
     }
 
     #[inline]
-    fn steal(&self, _thief: usize) -> Option<Unit> {
+    fn steal(&self, _thief: usize) -> Option<Stolen> {
         None // private pools: no migration, ever
     }
 

@@ -49,11 +49,49 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use glt::{coop, GltConfig, Placement, Runtime, Scheduler, Unit, WaitPolicy};
+use glt::{coop, GltConfig, Placement, Runtime, Scheduler, Stolen, Topology, Unit, WaitPolicy};
 use parking_lot::{Condvar, Mutex};
 
 /// Distinguishes stepper instances in the thread-local [`glt::coop`] stack.
 static NEXT_STEPPER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Arms the planted cross-domain starvation bug (see
+/// [`plant_cross_starvation`]).
+#[cfg(feature = "planted-cross-starvation")]
+static PLANT_CROSS_STARVATION: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Times the planted bug's liveness backstop had to fire (see
+/// [`planted_rescues`]).
+#[cfg(feature = "planted-cross-starvation")]
+static PLANTED_RESCUES: AtomicU64 = AtomicU64::new(0);
+
+/// Arm the **planted cross-domain starvation bug** (test-only; feature
+/// `planted-cross-starvation`): while armed, [`DetScheduler::steal`]
+/// silently drops victim groups that live in another domain, so a thief
+/// whose only available work is cross-socket finds nothing. A liveness
+/// backstop performs the suppressed steal anyway after a few fruitless
+/// attempts — bumping [`planted_rescues`] — so the bug manifests as a
+/// *detectable counter*, never a hang. Under a single-domain (default)
+/// topology the bug is inert: no victim group is ever cross-domain.
+#[cfg(feature = "planted-cross-starvation")]
+pub fn plant_cross_starvation() {
+    PLANT_CROSS_STARVATION.store(true, Ordering::SeqCst);
+}
+
+/// Disarm the planted cross-domain starvation bug.
+#[cfg(feature = "planted-cross-starvation")]
+pub fn unplant_cross_starvation() {
+    PLANT_CROSS_STARVATION.store(false, Ordering::SeqCst);
+}
+
+/// Process-wide count of backstop rescues performed while the planted
+/// cross-domain starvation bug was armed. A correct run has zero.
+#[cfg(feature = "planted-cross-starvation")]
+#[must_use]
+pub fn planted_rescues() -> u64 {
+    PLANTED_RESCUES.load(Ordering::SeqCst)
+}
 
 /// One SplitMix64 step: advances `state` and returns the next output.
 #[must_use]
@@ -369,6 +407,14 @@ pub struct DetScheduler {
     pools: Vec<Mutex<VecDeque<(u64, Unit)>>>,
     stepper: Arc<Stepper>,
     push_tokens: AtomicU64,
+    /// Worker layout for hierarchy-aware victim grouping.
+    topo: Topology,
+    /// Whether thieves may reach across a domain boundary.
+    cross_domain: bool,
+    /// Fruitless steal attempts while the planted bug suppressed
+    /// remote-only work (drives the liveness backstop).
+    #[cfg(feature = "planted-cross-starvation")]
+    starved_attempts: AtomicU64,
 }
 
 impl std::fmt::Debug for DetScheduler {
@@ -394,6 +440,10 @@ impl DetScheduler {
             pools: (0..npools).map(|_| Mutex::new(VecDeque::new())).collect(),
             stepper: Arc::new(Stepper::new(n, det)),
             push_tokens: AtomicU64::new(0),
+            topo: cfg.resolved_topology(),
+            cross_domain: cfg.cross_domain_steal,
+            #[cfg(feature = "planted-cross-starvation")]
+            starved_attempts: AtomicU64::new(0),
         }
     }
 
@@ -440,6 +490,31 @@ impl DetScheduler {
     fn note(&self, kind: EventKind) {
         let mut st = self.stepper.state.lock();
         self.stepper.record(&mut st, kind);
+    }
+
+    /// The planted cross-domain starvation bug: while armed, drop every
+    /// victim group outside the thief's domain. When that leaves a thief
+    /// with *no* groups although remote work exists, count the fruitless
+    /// attempt; after a handful, perform the suppressed steal anyway (the
+    /// liveness backstop) and record the rescue. Deterministic under the
+    /// stepper: attempts are counted in schedule order.
+    #[cfg(feature = "planted-cross-starvation")]
+    fn sabotage_cross_groups(&self, groups: Vec<Vec<usize>>, own_domain: usize) -> Vec<Vec<usize>> {
+        const BACKSTOP_AFTER: u64 = 6;
+        if !PLANT_CROSS_STARVATION.load(Ordering::Relaxed) {
+            return groups;
+        }
+        let (same, cross): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
+            groups.into_iter().partition(|g| self.topo.domain_of_rank(g[0]) == own_domain);
+        if !same.is_empty() || cross.is_empty() {
+            return same; // local work masks the bug; or nothing suppressed
+        }
+        if self.starved_attempts.fetch_add(1, Ordering::Relaxed) + 1 >= BACKSTOP_AFTER {
+            self.starved_attempts.store(0, Ordering::Relaxed);
+            PLANTED_RESCUES.fetch_add(1, Ordering::Relaxed);
+            return cross;
+        }
+        Vec::new()
     }
 }
 
@@ -496,24 +571,42 @@ impl Scheduler for DetScheduler {
         Some(unit)
     }
 
-    fn steal(&self, thief: usize) -> Option<Unit> {
+    fn steal(&self, thief: usize) -> Option<Stolen> {
         self.stepper.acquire(thief);
         if self.shared || self.n <= 1 {
             return None;
         }
         let mut st = self.stepper.state.lock();
         let own = thief % self.n;
-        let victims: Vec<usize> =
-            (0..self.n).filter(|&v| v != own && !self.pools[v].lock().is_empty()).collect();
-        if victims.is_empty() {
+        let own_domain = self.topo.domain_of_rank(own);
+        // Victims with work, grouped by distance tier nearest-first. The
+        // *domain* choice is itself a seeded schedule decision (which tier
+        // to raid), then the victim within the tier is a second decision —
+        // so schedule exploration covers both "stayed local" and "went
+        // remote" interleavings. Post-budget fallback (index 0 twice) is
+        // the nearest group's lowest-rank victim.
+        let mut groups: Vec<Vec<usize>> = self
+            .topo
+            .victim_tiers(own, self.n)
+            .into_iter()
+            .map(|g| g.into_iter().filter(|&v| !self.pools[v].lock().is_empty()).collect())
+            .filter(|g: &Vec<usize>| !g.is_empty())
+            .collect();
+        if !self.cross_domain {
+            groups.retain(|g| self.topo.domain_of_rank(g[0]) == own_domain);
+        }
+        #[cfg(feature = "planted-cross-starvation")]
+        let groups = self.sabotage_cross_groups(groups, own_domain);
+        if groups.is_empty() {
             return None;
         }
-        let from = victims[self.stepper.decide(&mut st, victims.len())];
+        let group = &groups[self.stepper.decide(&mut st, groups.len())];
+        let from = group[self.stepper.decide(&mut st, group.len())];
         // Thieves take the oldest unit (FIFO end), like the real stealing
         // backends.
         let (token, unit) = self.pools[from].lock().pop_front()?;
         self.stepper.record(&mut st, EventKind::Steal { by: thief, from, token });
-        Some(unit)
+        Some(Stolen { unit, from_domain: self.topo.domain_of_rank(from) })
     }
 
     fn can_steal(&self) -> bool {
@@ -722,6 +815,37 @@ mod tests {
             })
             .collect();
         assert_eq!(pushes, vec![0, 1, 2, 3], "per-unit Push events minted in batch order");
+    }
+
+    #[test]
+    fn steal_reports_victim_domain_and_honors_gate() {
+        // External creator bypasses the token, so the scheduler is driven
+        // directly. 2x4x1 scatter over 4 workers: ranks 0/2 domain 0,
+        // ranks 1/3 domain 1.
+        let topo = Topology::parse("2x4x1").unwrap();
+        let mk = || glt::Unit(glt::UnitState::new(glt::UnitKind::Ult, 0, Box::new(|| {})));
+        let s = DetScheduler::new(
+            &GltConfig::with_threads(4).topology(topo),
+            DetConfig { max_random_decisions: 0, ..DetConfig::with_seed(0) },
+        );
+        s.stepper().release_all(); // free-run: no worker set to serialize
+        s.push(None, Placement::To(2), mk());
+        s.push(None, Placement::To(1), mk());
+        // Budget 0: fallback picks the nearest tier's lowest victim — the
+        // same-domain rank 2 before the cross-domain rank 1.
+        let st = s.steal(0).expect("work queued");
+        assert_eq!(st.from_domain, 0);
+        let st = s.steal(0).expect("cross work remains");
+        assert_eq!(st.from_domain, 1);
+
+        let s = DetScheduler::new(
+            &GltConfig::with_threads(4).topology(topo).cross_domain_steal(false),
+            DetConfig::with_seed(0),
+        );
+        s.stepper().release_all();
+        s.push(None, Placement::To(1), mk());
+        assert!(s.steal(0).is_none(), "gate forbids the cross-domain steal");
+        assert!(s.steal(3).is_some(), "domain 1 thief may take it");
     }
 
     #[test]

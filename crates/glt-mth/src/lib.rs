@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_deque::{Steal, Stealer, Worker as Deque};
 use crossbeam_queue::SegQueue;
-use glt::{GltConfig, Placement, Pooled, Runtime, Scheduler, Unit};
+use glt::{GltConfig, Placement, Pooled, Runtime, Scheduler, Stolen, Topology, Unit};
 use parking_lot::Mutex;
 
 /// MassiveThreads-like scheduler: work-first deques + random stealing.
@@ -38,6 +38,10 @@ pub struct MthScheduler {
     inboxes: Vec<SegQueue<Unit>>,
     /// Cheap splittable state for random victim selection.
     rng: AtomicU64,
+    /// Worker layout for hierarchy-aware victim ordering.
+    topo: Topology,
+    /// Whether thieves may reach across a socket boundary.
+    cross_domain: bool,
 }
 
 impl std::fmt::Debug for MthScheduler {
@@ -58,7 +62,33 @@ impl MthScheduler {
             stealers,
             inboxes: (0..n).map(|_| SegQueue::new()).collect(),
             rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            topo: cfg.resolved_topology(),
+            cross_domain: cfg.cross_domain_steal,
         }
+    }
+
+    /// Try every victim in `group` starting from a random offset, draining
+    /// deque then inbox. Random rotation keeps MassiveThreads' randomized
+    /// victim selection *within* a locality tier.
+    fn steal_from_group(&self, group: &[usize]) -> Option<Stolen> {
+        let len = group.len();
+        let start = (self.next_rand() as usize) % len;
+        for i in 0..len {
+            let v = group[(start + i) % len];
+            loop {
+                match self.stealers[v].steal() {
+                    Steal::Success(unit) => {
+                        return Some(Stolen { unit, from_domain: self.topo.domain_of_rank(v) });
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+            if let Some(unit) = self.inboxes[v].pop() {
+                return Some(Stolen { unit, from_domain: self.topo.domain_of_rank(v) });
+            }
+        }
+        None
     }
 
     fn next_rand(&self) -> u64 {
@@ -124,27 +154,25 @@ impl Scheduler for MthScheduler {
         self.inboxes[r].pop()
     }
 
-    fn steal(&self, thief: usize) -> Option<Unit> {
+    fn steal(&self, thief: usize) -> Option<Stolen> {
         let n = self.stealers.len();
         if n <= 1 {
             return None;
         }
-        // Random victim, up to 2n probes (MassiveThreads probes random
-        // victims until it finds work or gives up for this round).
-        for _ in 0..(2 * n) {
-            let v = (self.next_rand() as usize) % n;
-            if v == thief % n {
-                continue;
+        // Hierarchy-aware stealing: probe victims tier by tier (SMT
+        // siblings, then same socket, then cross-socket), randomizing the
+        // starting victim within each tier — MassiveThreads' randomized
+        // victim selection, constrained by locality. Under the default flat
+        // topology there is a single tier holding every other worker, which
+        // is the classic uniform-random policy.
+        let thief = thief % n;
+        let own = self.topo.domain_of_rank(thief);
+        for group in self.topo.victim_tiers(thief, n) {
+            if !self.cross_domain && self.topo.domain_of_rank(group[0]) != own {
+                break; // tiers are ordered near-to-far: all later ones cross
             }
-            loop {
-                match self.stealers[v].steal() {
-                    Steal::Success(u) => return Some(u),
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
-                }
-            }
-            if let Some(u) = self.inboxes[v].pop() {
-                return Some(u);
+            if let Some(st) = self.steal_from_group(&group) {
+                return Some(st);
             }
         }
         None
@@ -263,6 +291,35 @@ mod tests {
     fn steal_gives_up_on_empty_system() {
         let sched = MthScheduler::new(&GltConfig::with_threads(4));
         assert!(sched.steal(0).is_none());
+    }
+
+    #[test]
+    fn steal_prefers_same_domain_victims() {
+        // 2x4x1 scatter: ranks 0/2 are domain 0, ranks 1/3 domain 1. With
+        // work on both a same-socket victim (2) and a cross-socket one (1),
+        // rank 0 must always take the same-socket unit first.
+        let topo = Topology::parse("2x4x1").unwrap();
+        let mk = || Unit(glt::UnitState::new(glt::UnitKind::Ult, 0, Box::new(|| {})));
+        for _ in 0..16 {
+            let sched = MthScheduler::new(&GltConfig::with_threads(4).topology(topo));
+            sched.push(Some(0), Placement::To(2), mk());
+            sched.push(Some(0), Placement::To(1), mk());
+            let st = sched.steal(0).expect("work available");
+            assert_eq!(st.from_domain, 0, "same-socket victim must be probed first");
+            let st = sched.steal(0).expect("cross-socket work remains");
+            assert_eq!(st.from_domain, 1);
+        }
+    }
+
+    #[test]
+    fn steal_honors_cross_domain_gate() {
+        let topo = Topology::parse("2x4x1").unwrap();
+        let sched =
+            MthScheduler::new(&GltConfig::with_threads(4).topology(topo).cross_domain_steal(false));
+        let unit = Unit(glt::UnitState::new(glt::UnitKind::Ult, 0, Box::new(|| {})));
+        sched.push(Some(0), Placement::To(1), unit);
+        assert!(sched.steal(0).is_none(), "rank 0 (domain 0) must not cross the socket");
+        assert!(sched.steal(3).is_some(), "rank 3 (domain 1) may take it");
     }
 
     #[test]

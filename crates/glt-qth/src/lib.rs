@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use glt::{FebTable, GltConfig, Placement, Pooled, Runtime, Scheduler, Unit};
+use glt::{FebTable, GltConfig, Placement, Pooled, Runtime, Scheduler, Stolen, Unit};
 use parking_lot::Mutex;
 
 /// Qthreads-like scheduler: shepherd queues guarded by FEB word locks.
@@ -124,7 +124,7 @@ impl Scheduler for QthScheduler {
         self.with_queue(idx, VecDeque::pop_front)
     }
 
-    fn steal(&self, _thief: usize) -> Option<Unit> {
+    fn steal(&self, _thief: usize) -> Option<Stolen> {
         None // shepherds do not migrate queued units
     }
 

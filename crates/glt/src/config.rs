@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use crate::topology::Topology;
+
 /// How an idle worker (or a joiner with nothing to help with) waits.
 ///
 /// This is the GLT-level analog of `OMP_WAIT_POLICY`:
@@ -61,6 +63,17 @@ pub struct GltConfig {
     pub spin_before_park: u32,
     /// Park timeout used as a lost-wakeup backstop.
     pub park_timeout: Duration,
+    /// Machine topology the workers are laid out over (`GLT_TOPOLOGY`).
+    /// `None` resolves to the flat single-domain
+    /// [`Topology::flat`]`(num_threads)`, which reproduces the pre-topology
+    /// flat-ring behaviour byte for byte.
+    pub topology: Option<Topology>,
+    /// Whether idle workers may steal across domain (socket) boundaries.
+    /// The OpenMP layer clears this under `proc_bind(master|close|spread)`
+    /// — a bound team must not migrate work off its domain. Same-domain
+    /// stealing (and the owner's own pool) stay available, which is enough
+    /// for liveness: every unit's home worker eventually runs it.
+    pub cross_domain_steal: bool,
 }
 
 impl Default for GltConfig {
@@ -72,6 +85,8 @@ impl Default for GltConfig {
             pin_threads: true,
             spin_before_park: 64,
             park_timeout: Duration::from_millis(1),
+            topology: None,
+            cross_domain_steal: true,
         }
     }
 }
@@ -101,7 +116,15 @@ impl GltConfig {
         if let Ok(v) = std::env::var("OMP_WAIT_POLICY") {
             cfg.wait_policy = WaitPolicy::from_env_str(&v);
         }
+        cfg.topology = Topology::from_env();
         cfg
+    }
+
+    /// The topology this configuration resolves to: the explicit/synthetic
+    /// one if set, else the flat single-domain layout over `num_threads`.
+    #[must_use]
+    pub fn resolved_topology(&self) -> Topology {
+        self.topology.unwrap_or_else(|| Topology::flat(self.num_threads))
     }
 
     /// Builder-style: set the shared-queues flag.
@@ -115,6 +138,20 @@ impl GltConfig {
     #[must_use]
     pub fn wait_policy(mut self, wp: WaitPolicy) -> Self {
         self.wait_policy = wp;
+        self
+    }
+
+    /// Builder-style: set a (usually synthetic) topology.
+    #[must_use]
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Builder-style: allow or forbid cross-domain stealing.
+    #[must_use]
+    pub fn cross_domain_steal(mut self, on: bool) -> Self {
+        self.cross_domain_steal = on;
         self
     }
 }
@@ -149,5 +186,23 @@ mod tests {
         assert_eq!(c.num_threads, 3);
         assert!(c.shared_queues);
         assert_eq!(c.wait_policy, WaitPolicy::Active);
+    }
+
+    #[test]
+    fn topology_defaults_to_flat_single_domain() {
+        let c = GltConfig::with_threads(6);
+        assert!(c.topology.is_none());
+        assert!(c.cross_domain_steal);
+        let t = c.resolved_topology();
+        assert_eq!(t, Topology::flat(6));
+        assert_eq!(t.num_domains(), 1);
+    }
+
+    #[test]
+    fn topology_builder_overrides_flat_resolution() {
+        let t = Topology::parse("2x4x2").unwrap();
+        let c = GltConfig::with_threads(8).topology(t).cross_domain_steal(false);
+        assert_eq!(c.resolved_topology(), t);
+        assert!(!c.cross_domain_steal);
     }
 }

@@ -208,7 +208,10 @@ impl SpinWait {
             return false;
         }
         self.yields += 1;
-        if self.passive && self.yields.is_multiple_of(Self::YIELDS_PER_SLEEP) && current_waiter().is_none() {
+        if self.passive
+            && self.yields.is_multiple_of(Self::YIELDS_PER_SLEEP)
+            && current_waiter().is_none()
+        {
             std::thread::sleep(std::time::Duration::from_micros(20));
         } else {
             yield_to_scheduler();

@@ -30,6 +30,19 @@ pub struct Counters {
     pub units_executed: AtomicU64,
     /// Successful steals (unit taken from another worker's pool).
     pub steals: AtomicU64,
+    /// Successful steals whose victim pool was in the thief's own topology
+    /// domain (socket). Every steal is classified: `steals_same_domain +
+    /// steals_cross_domain == steals`. Under the default flat (one-domain)
+    /// topology all steals are same-domain.
+    pub steals_same_domain: AtomicU64,
+    /// Successful steals that crossed a domain (socket) boundary. Zero
+    /// whenever cross-domain stealing is disabled
+    /// (`proc_bind(master|close|spread)`) or only one domain exists.
+    pub steals_cross_domain: AtomicU64,
+    /// Units that moved across a domain boundary: cross-domain steals plus
+    /// cross-domain service-unit forwards, so `steals_cross_domain ≤
+    /// domain_migrations`.
+    pub domain_migrations: AtomicU64,
     /// Failed steal attempts (victim empty).
     pub steal_fails: AtomicU64,
     /// Units pushed to a worker other than the creator.
@@ -113,6 +126,9 @@ impl Counters {
             tasklets_created: self.tasklets_created.load(Ordering::Relaxed),
             units_executed: self.units_executed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            steals_same_domain: self.steals_same_domain.load(Ordering::Relaxed),
+            steals_cross_domain: self.steals_cross_domain.load(Ordering::Relaxed),
+            domain_migrations: self.domain_migrations.load(Ordering::Relaxed),
             steal_fails: self.steal_fails.load(Ordering::Relaxed),
             remote_pushes: self.remote_pushes.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
@@ -134,7 +150,7 @@ impl Counters {
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 25] {
+    fn all(&self) -> [&AtomicU64; 28] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
@@ -143,6 +159,9 @@ impl Counters {
             &self.tasklets_created,
             &self.units_executed,
             &self.steals,
+            &self.steals_same_domain,
+            &self.steals_cross_domain,
+            &self.domain_migrations,
             &self.steal_fails,
             &self.remote_pushes,
             &self.parks,
@@ -176,6 +195,9 @@ pub struct CounterSnapshot {
     pub tasklets_created: u64,
     pub units_executed: u64,
     pub steals: u64,
+    pub steals_same_domain: u64,
+    pub steals_cross_domain: u64,
+    pub domain_migrations: u64,
     pub steal_fails: u64,
     pub remote_pushes: u64,
     pub parks: u64,
@@ -252,6 +274,13 @@ impl CounterSnapshot {
     ///   counts when the thief takes a schedulable unit: a GLT unit — which
     ///   shows up in `units_executed` once run — or a deferred task taken
     ///   from another thread's queue);
+    /// * steal locality: `steals_same_domain + steals_cross_domain ==
+    ///   steals` (every counted steal is classified against the machine
+    ///   topology — same-socket or cross-socket — with pthread task-deque
+    ///   steals counting as same-domain);
+    /// * migrations: `steals_cross_domain ≤ domain_migrations` (a
+    ///   cross-domain steal is one way a unit migrates between domains;
+    ///   cross-domain service forwards are the other);
     /// * tasks: `tasks_created == tasks_queued + tasks_direct` (every
     ///   `omp task` is either deferred or executed undeferred);
     /// * slab: `task_slab_fresh + task_slab_reused ≥ tasks_queued` (every
@@ -299,6 +328,20 @@ impl CounterSnapshot {
                  that took neither a GLT unit nor a deferred task",
                 self.steals,
                 self.units_executed + self.tasks_queued
+            ));
+        }
+        if self.steals_same_domain + self.steals_cross_domain != self.steals {
+            v.push(format!(
+                "steals_same_domain ({}) + steals_cross_domain ({}) != steals ({}): \
+                 a steal escaped locality classification (or was double-classified)",
+                self.steals_same_domain, self.steals_cross_domain, self.steals
+            ));
+        }
+        if self.steals_cross_domain > self.domain_migrations {
+            v.push(format!(
+                "steals_cross_domain ({}) > domain_migrations ({}): a cross-domain \
+                 steal was not counted as a migration",
+                self.steals_cross_domain, self.domain_migrations
             ));
         }
         if self.tasks_created != self.tasks_queued + self.tasks_direct {
@@ -435,6 +478,9 @@ mod tests {
             unit_slab_fresh: 7,
             unit_slab_reused: 5,
             steals: 3,
+            steals_same_domain: 2,
+            steals_cross_domain: 1,
+            domain_migrations: 1,
             tasks_created: 5,
             tasks_queued: 4,
             tasks_direct: 1,
@@ -478,6 +524,7 @@ mod tests {
             units_executed: 2,
             unit_slab_fresh: 4,
             steals: 4,
+            steals_same_domain: 4,
             tasks_created: 3,
             tasks_queued: 1,
             tasks_direct: 1,
@@ -542,6 +589,53 @@ mod tests {
         // reused frames with no fresh ones also violate the ≥-created law's
         // drained sibling only when units exist; here only the reuse law fires.
         assert!(v.iter().any(|m| m.contains("unit_slab_reused")), "got: {v:?}");
+    }
+
+    #[test]
+    fn steal_locality_conservation_violations_detected() {
+        // Unclassified steal: same + cross falls short of the total.
+        let s = CounterSnapshot {
+            steals: 3,
+            steals_same_domain: 1,
+            steals_cross_domain: 1,
+            domain_migrations: 1,
+            units_executed: 3,
+            ults_created: 3,
+            unit_slab_fresh: 3,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("escaped locality classification"));
+        // Cross-domain steal not counted as a migration.
+        let s = CounterSnapshot {
+            steals: 2,
+            steals_same_domain: 1,
+            steals_cross_domain: 1,
+            domain_migrations: 0,
+            units_executed: 2,
+            ults_created: 2,
+            unit_slab_fresh: 2,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("not counted as a migration"));
+    }
+
+    #[test]
+    fn steal_locality_consistent_snapshot_passes() {
+        let s = CounterSnapshot {
+            steals: 5,
+            steals_same_domain: 3,
+            steals_cross_domain: 2,
+            domain_migrations: 4, // 2 cross steals + 2 cross forwards
+            units_executed: 5,
+            ults_created: 5,
+            unit_slab_fresh: 5,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(true).is_empty());
     }
 
     #[test]

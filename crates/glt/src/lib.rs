@@ -47,6 +47,7 @@ pub mod runtime;
 pub mod sched;
 pub mod scope;
 pub mod timer;
+pub mod topology;
 pub mod unit;
 
 pub use config::{GltConfig, WaitPolicy};
@@ -54,9 +55,10 @@ pub use coop::{SpinWait, SyncWaiter};
 pub use counters::{CounterSnapshot, Counters};
 pub use feb::FebTable;
 pub use runtime::{start_shared, GltRuntime, Runtime, SharedRuntime};
-pub use sched::{Placement, Scheduler, SharedQueueScheduler};
+pub use sched::{Placement, Scheduler, SharedQueueScheduler, Stolen};
 pub use scope::{scope, GltScope};
 pub use timer::{wtick, GltTimer};
+pub use topology::Topology;
 pub use unit::{UltHandle, Unit, UnitClass, UnitKind, UnitSlab, UnitState, WorkFn, NO_RANK};
 
 /// Backends either implement their own policy or — when the user sets
@@ -116,7 +118,7 @@ impl<S: Scheduler> Scheduler for Pooled<S> {
     }
 
     #[inline]
-    fn steal(&self, thief: usize) -> Option<Unit> {
+    fn steal(&self, thief: usize) -> Option<sched::Stolen> {
         match self {
             Pooled::Backend(s) => s.steal(thief),
             Pooled::Shared(s) => s.steal(thief),

@@ -29,6 +29,7 @@ use crate::config::GltConfig;
 use crate::counters::Counters;
 use crate::park::{IdleWait, WaitSlot};
 use crate::sched::{Placement, Scheduler, SharedQueueScheduler};
+use crate::topology::Topology;
 use crate::unit::{UltHandle, Unit, UnitClass, UnitKind, UnitSlab, UnitState, WorkFn};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
@@ -153,6 +154,7 @@ pub trait GltRuntime: Send + Sync {
 struct Shared<S: Scheduler> {
     id: u64,
     cfg: GltConfig,
+    topo: Topology,
     sched: S,
     counters: Counters,
     unit_slab: UnitSlab,
@@ -163,6 +165,33 @@ struct Shared<S: Scheduler> {
 }
 
 impl<S: Scheduler> Shared<S> {
+    /// Count a successful steal by `rank` from a pool in `from_domain`,
+    /// classifying it as same- or cross-domain. A cross-domain steal is
+    /// also a domain migration: the unit will execute outside the socket
+    /// it was queued on.
+    fn count_steal(&self, rank: usize, from_domain: usize) {
+        Counters::bump(&self.counters.steals, 1);
+        if from_domain == self.topo.domain_of_rank(rank) {
+            Counters::bump(&self.counters.steals_same_domain, 1);
+        } else {
+            Counters::bump(&self.counters.steals_cross_domain, 1);
+            Counters::bump(&self.counters.domain_migrations, 1);
+        }
+    }
+
+    /// Forward target for a unit `rank` cannot run here (skipped service,
+    /// rejected region unit): the next rank in `rank`'s own domain, so a
+    /// forward never leaks work across a socket unless `rank` is its
+    /// domain's sole resident (global-ring fallback). A fallback that does
+    /// cross counts as a migration.
+    fn forward_target(&self, rank: usize) -> usize {
+        let n = self.slots.len().max(1);
+        let target = self.topo.next_in_domain(rank, n);
+        if self.topo.domain_of_rank(target) != self.topo.domain_of_rank(rank) {
+            Counters::bump(&self.counters.domain_migrations, 1);
+        }
+        target
+    }
     fn wake_for(&self, placement: Placement) {
         match placement {
             Placement::To(r) if r < self.slots.len() => self.slots[r].wake(),
@@ -205,15 +234,15 @@ impl<S: Scheduler> Shared<S> {
         }
         if found.is_none() && self.sched.can_steal() {
             match self.sched.steal(rank) {
-                Some(u) => {
+                Some(st) => {
+                    let u = st.unit;
                     if !run_services && u.0.class() == UnitClass::Service {
-                        let n = self.slots.len().max(1);
-                        let target = (rank + 1) % n;
+                        let target = self.forward_target(rank);
                         u.0.mark_migrated();
                         self.sched.push(Some(rank), Placement::To(target), u);
                         self.wake_for(Placement::To(target));
                     } else {
-                        Counters::bump(&self.counters.steals, 1);
+                        self.count_steal(rank, st.from_domain);
                         found = Some(u);
                     }
                 }
@@ -288,9 +317,11 @@ impl<S: Scheduler> Runtime<S> {
         let n = cfg.num_threads.max(1);
         let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
         let slots = (0..n).map(|_| Arc::new(WaitSlot::new())).collect();
+        let topo = cfg.resolved_topology();
         let shared = Arc::new(Shared {
             id,
             cfg,
+            topo,
             sched,
             counters: Counters::new(),
             unit_slab: UnitSlab::new(),
@@ -634,14 +665,15 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
             }
         }
         if found.is_none() && self.shared.sched.can_steal() {
-            while let Some(u) = self.shared.sched.steal(rank) {
+            while let Some(st) = self.shared.sched.steal(rank) {
+                let u = st.unit;
                 let cls = u.0.class();
                 if cls == UnitClass::Service
                     || (cls == UnitClass::Region && !allow_region(&u.0, false))
                 {
                     rejected_stolen.push(u);
                 } else {
-                    Counters::bump(&self.shared.counters.steals, 1);
+                    self.shared.count_steal(rank, st.from_domain);
                     found = Some(u);
                     break;
                 }
@@ -651,15 +683,15 @@ impl<S: Scheduler> GltRuntime for Runtime<S> {
             self.shared.sched.push(Some(rank), Placement::Local, u);
             self.shared.wake_for(Placement::Local);
         }
-        // Stolen rejects go toward a neighbour, not into this worker's own
-        // pool: keeping them out of "my pool" preserves the meaning of the
-        // `from_own_pool` allowance (units *I* forked), and some top-level
-        // loop will still run them. The unit is also tainted as migrated —
-        // it may land in its creator's pool after going around the ring,
-        // and the creator must not mistake it for a unit it just forked.
-        let n = self.shared.slots.len().max(1);
+        // Stolen rejects go toward a same-domain neighbour, not into this
+        // worker's own pool: keeping them out of "my pool" preserves the
+        // meaning of the `from_own_pool` allowance (units *I* forked), and
+        // some top-level loop will still run them. The unit is also tainted
+        // as migrated — it may land in its creator's pool after going
+        // around the ring, and the creator must not mistake it for a unit
+        // it just forked.
         for u in rejected_stolen {
-            let target = (rank + 1) % n;
+            let target = self.shared.forward_target(rank);
             u.0.mark_migrated();
             self.shared.sched.push(Some(rank), Placement::To(target), u);
             self.shared.wake_for(Placement::To(target));

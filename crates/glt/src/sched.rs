@@ -8,6 +8,7 @@
 //! scheduling semantics the paper attributes to them.
 
 use crate::config::GltConfig;
+use crate::topology::Topology;
 use crate::unit::Unit;
 
 /// Where a creation call asked the unit to run.
@@ -18,6 +19,17 @@ pub enum Placement {
     /// A specific worker's pool (GLT `ult_create_to`); GLTO uses this for
     /// its round-robin task dispatch (§IV-D).
     To(usize),
+}
+
+/// A successful steal: the unit plus the topology domain of the pool it was
+/// taken from, so the runtime can classify the steal as same- vs
+/// cross-domain (the `steals_same_domain`/`steals_cross_domain` counters).
+#[derive(Debug)]
+pub struct Stolen {
+    /// The stolen unit.
+    pub unit: Unit,
+    /// Domain (socket) of the victim pool under the scheduler's topology.
+    pub from_domain: usize,
 }
 
 /// Scheduling policy implemented by each backend crate.
@@ -53,7 +65,13 @@ pub trait Scheduler: Send + Sync + 'static {
 
     /// Attempt to take work from elsewhere (work stealing). Backends that
     /// do not steal (Argobots-like private pools) return `None`.
-    fn steal(&self, thief: usize) -> Option<Unit>;
+    ///
+    /// Stealing backends must honor the configured topology: prefer
+    /// same-domain victims, fall outward tier by tier, and never cross a
+    /// domain boundary when `GltConfig::cross_domain_steal` is off. The
+    /// returned [`Stolen::from_domain`] reports where the unit actually
+    /// came from.
+    fn steal(&self, thief: usize) -> Option<Stolen>;
 
     /// Whether this backend's policy migrates units between workers.
     fn can_steal(&self) -> bool;
@@ -98,21 +116,56 @@ pub trait Scheduler: Send + Sync + 'static {
     }
 }
 
-/// A trivial single-queue scheduler, used directly when
-/// `GLT_SHARED_QUEUES` is requested and as the reference implementation in
-/// tests. All workers share one injector queue; `pop_own` and `steal` both
-/// drain it, so load imbalance is neutralized by construction — exactly the
-/// work-sharing behaviour the paper's §IV-F describes.
+/// The shared-queue scheduler, used directly when `GLT_SHARED_QUEUES` is
+/// requested and as the reference implementation in tests. One injector
+/// queue **per topology domain**: all workers of a socket share their
+/// domain's queue, so load imbalance is neutralized within each domain
+/// (the paper's §IV-F behaviour) without making every push/pop in a
+/// multi-socket machine contend on one global line. Under the default flat
+/// topology there is exactly one shard — the original single shared queue.
+///
+/// `pop_own` drains the caller's domain shard; `steal` first re-probes the
+/// own shard (another worker may have pushed since `pop_own` failed), then
+/// — when cross-domain stealing is allowed — walks the other shards
+/// nearest-first.
 #[derive(Debug)]
 pub struct SharedQueueScheduler {
-    queue: crossbeam_queue::SegQueue<Unit>,
+    shards: Vec<crossbeam_queue::SegQueue<Unit>>,
+    topo: Topology,
+    cross_domain: bool,
 }
 
 impl SharedQueueScheduler {
-    /// Create a shared-queue scheduler for `_cfg.num_threads` workers.
+    /// Create a shared-queue scheduler for `cfg.num_threads` workers over
+    /// `cfg`'s (possibly synthetic) topology.
     #[must_use]
-    pub fn new(_cfg: &GltConfig) -> Self {
-        SharedQueueScheduler { queue: crossbeam_queue::SegQueue::new() }
+    pub fn new(cfg: &GltConfig) -> Self {
+        let topo = cfg.resolved_topology();
+        SharedQueueScheduler {
+            shards: (0..topo.num_domains()).map(|_| crossbeam_queue::SegQueue::new()).collect(),
+            topo,
+            cross_domain: cfg.cross_domain_steal,
+        }
+    }
+
+    /// Number of per-domain shards (tests/diagnostics).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queued units in domain `d`'s shard (tests/diagnostics).
+    #[must_use]
+    pub fn shard_len(&self, d: usize) -> usize {
+        self.shards.get(d).map_or(0, crossbeam_queue::SegQueue::len)
+    }
+
+    fn shard_of(&self, creator: Option<usize>, placement: Placement) -> usize {
+        let rank = match placement {
+            Placement::To(t) => t,
+            Placement::Local => creator.unwrap_or(0),
+        };
+        self.topo.domain_of_rank(rank)
     }
 }
 
@@ -121,16 +174,30 @@ impl Scheduler for SharedQueueScheduler {
         "shared-queue"
     }
 
-    fn push(&self, _creator: Option<usize>, _placement: Placement, unit: Unit) {
-        self.queue.push(unit);
+    fn push(&self, creator: Option<usize>, placement: Placement, unit: Unit) {
+        self.shards[self.shard_of(creator, placement)].push(unit);
     }
 
-    fn pop_own(&self, _rank: usize) -> Option<Unit> {
-        self.queue.pop()
+    fn pop_own(&self, rank: usize) -> Option<Unit> {
+        self.shards[self.topo.domain_of_rank(rank)].pop()
     }
 
-    fn steal(&self, _thief: usize) -> Option<Unit> {
-        self.queue.pop()
+    fn steal(&self, thief: usize) -> Option<Stolen> {
+        let own = self.topo.domain_of_rank(thief);
+        if let Some(unit) = self.shards[own].pop() {
+            return Some(Stolen { unit, from_domain: own });
+        }
+        if !self.cross_domain {
+            return None;
+        }
+        // Nearest-first ring walk over the other domains.
+        for off in 1..self.shards.len() {
+            let d = (own + off) % self.shards.len();
+            if let Some(unit) = self.shards[d].pop() {
+                return Some(Stolen { unit, from_domain: d });
+            }
+        }
+        None
     }
 
     fn can_steal(&self) -> bool {
@@ -138,7 +205,7 @@ impl Scheduler for SharedQueueScheduler {
     }
 
     fn queued_len(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(crossbeam_queue::SegQueue::len).sum()
     }
 
     fn shared_queues(&self) -> bool {
@@ -193,5 +260,41 @@ mod tests {
         assert!(s.can_steal());
         assert!(s.shared_queues());
         assert_eq!(s.name(), "shared-queue");
+        assert_eq!(s.num_shards(), 1, "flat topology collapses to the single shared queue");
+    }
+
+    #[test]
+    fn sharded_queue_routes_by_domain() {
+        let topo = Topology::parse("2x4x1").unwrap();
+        let s = SharedQueueScheduler::new(&GltConfig::with_threads(4).topology(topo));
+        assert_eq!(s.num_shards(), 2);
+        // Ranks 0/2 are domain 0; ranks 1/3 domain 1 (scatter layout).
+        s.push(Some(0), Placement::To(0), unit());
+        s.push(Some(0), Placement::To(2), unit());
+        s.push(Some(0), Placement::To(1), unit());
+        s.push(Some(1), Placement::Local, unit());
+        assert_eq!(s.shard_len(0), 2);
+        assert_eq!(s.shard_len(1), 2);
+        // pop_own drains only the caller's domain shard.
+        assert!(s.pop_own(0).is_some());
+        assert!(s.pop_own(2).is_some());
+        assert!(s.pop_own(0).is_none(), "domain 0 drained; rank 0 must not see domain 1 work");
+        // Cross-domain steal reports the victim domain.
+        let st = s.steal(0).expect("domain 1 still has work");
+        assert_eq!(st.from_domain, 1);
+        let st = s.steal(1).expect("own-domain steal");
+        assert_eq!(st.from_domain, 1);
+    }
+
+    #[test]
+    fn sharded_queue_honors_cross_domain_gate() {
+        let topo = Topology::parse("2x4x1").unwrap();
+        let s = SharedQueueScheduler::new(
+            &GltConfig::with_threads(4).topology(topo).cross_domain_steal(false),
+        );
+        s.push(Some(0), Placement::To(1), unit());
+        assert!(s.steal(0).is_none(), "rank 0 (domain 0) must not steal domain 1 work");
+        let st = s.steal(1).expect("domain 1's own worker takes it");
+        assert_eq!(st.from_domain, 1);
     }
 }

@@ -94,6 +94,10 @@ unsafe impl Send for ServiceCmd {}
 /// The parked team: one slot + service handle per member tid `1..width`.
 struct HotTeam {
     width: usize,
+    /// Home GLT_thread of each member tid `1..width` (index `tid - 1`).
+    /// A mapping change (places / proc_bind took effect) retires the team
+    /// just like a width change would.
+    ranks: Vec<usize>,
     epoch: u64,
     /// Whether this team has served at least one fork (the first fork
     /// pays creation and is *not* a reuse).
@@ -192,6 +196,21 @@ pub(crate) fn try_run_hot(team: &GltoTeam<'_>, body: &RegionFn<'static>) -> bool
     if team.level() > 1 || !rt.hot_enabled() || n <= 1 || n > w {
         return false;
     }
+    // Placement-aware home ranks for members tid `1..n`. A service loop
+    // parked on rank 0 would never run (the master never drains services
+    // at top level), and two loops on one worker deadlock under help-first
+    // scheduling — any mapping violating either goes cold.
+    let ranks: Vec<usize> = match crate::team::place_members(rt, n) {
+        Some(map) => {
+            let members = &map[1..];
+            let distinct: std::collections::HashSet<usize> = members.iter().copied().collect();
+            if members.contains(&0) || distinct.len() != members.len() {
+                return false;
+            }
+            members.to_vec()
+        }
+        None => (1..n).collect(),
+    };
     // Concurrent top-level forks (another registering thread) go cold
     // rather than queueing behind the parked team.
     let Some(mut pool) = rt.hot_pool().team.try_lock() else {
@@ -199,25 +218,25 @@ pub(crate) fn try_run_hot(team: &GltoTeam<'_>, body: &RegionFn<'static>) -> bool
     };
     let counters = rt.counters();
     let t0 = Instant::now();
-    // Width change: retire the old parked team before building anew. Old
-    // slots are gone from the pool before any new slot exists, so a stale
-    // loop can never be armed by this or any later fork.
-    if pool.as_ref().is_some_and(|t| t.width != n) {
+    // Width or mapping change: retire the old parked team before building
+    // anew. Old slots are gone from the pool before any new slot exists,
+    // so a stale loop can never be armed by this or any later fork.
+    if pool.as_ref().is_some_and(|t| t.width != n || t.ranks != ranks) {
         let old = pool.take().expect("checked is_some");
         retire_team(glt, &old);
     }
     if pool.is_none() {
-        // First fork at this width: park one service loop per member,
-        // pinned to its home GLT_thread (tid 1..n-1 -> rank tid; rank 0 is
-        // the master and never hosts a service loop).
+        // First fork at this shape: park one service loop per member,
+        // pinned to its home GLT_thread (default mapping: tid 1..n-1 ->
+        // rank tid; rank 0 is the master and never hosts a service loop).
         let slots: Vec<Arc<HotSlot>> = (1..n).map(|_| Arc::new(HotSlot::new())).collect();
         let handles: Vec<UltHandle> = slots
             .iter()
-            .enumerate()
-            .map(|(i, slot)| {
+            .zip(&ranks)
+            .map(|(slot, &rank)| {
                 let sc = ServiceCmd { rt: std::ptr::from_ref(rt), slot: Arc::clone(slot) };
                 glt.service_ult_create_to(
-                    i + 1,
+                    rank,
                     Box::new(move || {
                         let sc = sc;
                         // SAFETY: runtime outlives parked loops (see
@@ -228,7 +247,14 @@ pub(crate) fn try_run_hot(team: &GltoTeam<'_>, body: &RegionFn<'static>) -> bool
                 )
             })
             .collect();
-        *pool = Some(HotTeam { width: n, epoch: 0, armed_once: false, slots, handles });
+        *pool = Some(HotTeam {
+            width: n,
+            ranks: ranks.clone(),
+            epoch: 0,
+            armed_once: false,
+            slots,
+            handles,
+        });
     }
     let hot = pool.as_mut().expect("built above");
     hot.epoch += 1;
@@ -403,6 +429,31 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::SeqCst), 3);
         assert_eq!(r.counters().snapshot().ults_reused, 0);
+    }
+
+    #[test]
+    fn hot_teams_rearm_within_their_bound_placement() {
+        // proc_bind(close) on a synthetic two-socket box produces an
+        // injective member->rank map that excludes rank 0, so the hot path
+        // stays eligible: the parked members re-arm on their bound ranks
+        // and no steal ever crosses the socket boundary.
+        let cfg = omp::OmpConfig::with_threads(8)
+            .hot_ults(true)
+            .topology(glt::Topology::new(2, 4, 2))
+            .proc_bind(omp::ProcBind::Close);
+        let r = GltoRuntime::new(Backend::Abt, cfg);
+        r.counters().reset();
+        for _ in 0..5 {
+            let tids = parking_lot::Mutex::new(HashSet::new());
+            r.parallel(|ctx| {
+                tids.lock().insert(ctx.thread_num());
+            });
+            assert_eq!(tids.lock().len(), 8);
+        }
+        let s = r.counters().snapshot();
+        assert_eq!(s.ults_created, 7, "one service ULT per bound member, created once");
+        assert_eq!(s.ults_reused, 28, "4 re-arm forks x 7 members");
+        assert_eq!(s.steals_cross_domain, 0, "bound hot team crossed a socket");
     }
 
     #[test]

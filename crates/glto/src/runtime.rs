@@ -32,6 +32,12 @@ impl GltoRuntime {
             num_threads: cfg.num_threads,
             shared_queues: cfg.shared_queues,
             wait_policy: cfg.wait_policy,
+            // The OpenMP layer owns placement policy: the machine topology
+            // flows down (explicit config first, then `GLT_TOPOLOGY`), and
+            // the named proc_bind policies forbid the GLT backends from
+            // migrating a bound team's work across a socket boundary.
+            topology: cfg.topology.or_else(glt::Topology::from_env),
+            cross_domain_steal: cfg.proc_bind.allows_cross_domain(),
             ..GltConfig::default()
         };
         let glt = AnyGlt::start(backend, glt_cfg);

@@ -22,8 +22,8 @@ use std::time::Instant;
 use glt::{Counters, GltRuntime, SpinWait, WaitPolicy, WorkFn};
 use omp::serial::SerialTeam;
 use omp::{
-    run_region_member, CentralBarrier, Dep, OmpRuntime, RegionFn, TaskCore, TaskEngine, TaskMeta,
-    TaskNode, TeamOps, WorkshareTable,
+    run_region_member, CentralBarrier, Dep, OmpRuntime, ProcBind, RegionFn, TaskCore, TaskEngine,
+    TaskMeta, TaskNode, TeamOps, WorkshareTable,
 };
 
 use crate::runtime::GltoRuntime;
@@ -134,6 +134,81 @@ fn region_nesting_allowed(
     })
 }
 
+/// Map the OMP thread ids of a top-level region onto GLT_thread ranks,
+/// honoring `OMP_PLACES` and `OMP_PROC_BIND`. Returns `None` when the
+/// policy resolves to the legacy pinning `tid % nthreads` — which, under
+/// the scatter rank layout (`glt::Topology`), *is* a spread placement — so
+/// the common case pays no allocation on the fork path.
+///
+/// A returned mapping is always **injective over non-zero ranks** for the
+/// members (tids 1..n). Region members are run-to-completion units: one
+/// blocked at a barrier spins on its worker without releasing it, so two
+/// members sharing a rank deadlock at any intra-region barrier. And rank 0
+/// (the master's pool) is drained only at region join — no-steal backends
+/// (ABT) cannot rescue a member stranded there, and the barrier helper may
+/// not start Region-class units nested (see `run_region`'s join comment).
+/// Hence:
+///
+/// * The candidate rank set comes from `OMP_PLACES` (explicit lists are
+///   flattened in place order and filtered to live workers; abstract sets
+///   expose every rank).
+/// * `proc_bind(close)` orders candidates by topology distance from the
+///   master (rank 0), packing members onto its SMT siblings and socket
+///   before crossing the interconnect.
+/// * `proc_bind(master)` prefers the master's own domain, then spills
+///   outward by distance (a place cannot be oversubscribed, so "master"
+///   degrades toward "close" when the home domain is full).
+/// * A place list with fewer free ranks than members likewise spills to
+///   the nearest ranks not named by the list.
+/// * Oversubscribed teams (n > workers) fall back to the legacy mapping:
+///   no injective assignment exists.
+pub(crate) fn place_members(rt: &GltoRuntime, n: usize) -> Option<Vec<usize>> {
+    let cfg = rt.omp_config();
+    if cfg.places.is_none() && !matches!(cfg.proc_bind, ProcBind::Master | ProcBind::Close) {
+        return None;
+    }
+    let w = rt.glt().num_threads();
+    if n > w {
+        return None;
+    }
+    let topo = rt.glt().config().resolved_topology();
+    let mut candidates: Vec<usize> = match &cfg.places {
+        Some(p) => p.candidate_ranks(w),
+        None => (0..w).collect(),
+    };
+    let by_distance = |ranks: &mut Vec<usize>| {
+        ranks.sort_unstable_by_key(|&r| (topo.distance(0, r), r));
+    };
+    match cfg.proc_bind {
+        ProcBind::False | ProcBind::True | ProcBind::Spread => {}
+        ProcBind::Close => by_distance(&mut candidates),
+        ProcBind::Master => {
+            let home = topo.domain_of_rank(0);
+            by_distance(&mut candidates);
+            candidates.sort_by_key(|&r| usize::from(topo.domain_of_rank(r) != home));
+        }
+    }
+    // First n-1 distinct non-zero candidate ranks, in policy order; spill
+    // to the nearest ranks outside the candidate set if the policy cannot
+    // seat every member.
+    let mut taken = vec![false; w];
+    taken[0] = true;
+    let mut members: Vec<usize> = Vec::with_capacity(n.saturating_sub(1));
+    let mut spill: Vec<usize> = (1..w).filter(|&r| !candidates.contains(&r)).collect();
+    by_distance(&mut spill);
+    for r in candidates.into_iter().chain(spill) {
+        if members.len() + 1 == n {
+            break;
+        }
+        if r < w && !taken[r] {
+            taken[r] = true;
+            members.push(r);
+        }
+    }
+    debug_assert_eq!(members.len() + 1, n, "n <= w guarantees a full injective seating");
+    Some(std::iter::once(0).chain(members).collect())
+}
+
 /// One active GLTO parallel region.
 pub(crate) struct GltoTeam<'rt> {
     rt: &'rt GltoRuntime,
@@ -220,6 +295,7 @@ impl<'rt> GltoTeam<'rt> {
         let w = glt.num_threads();
         let n = self.nthreads;
         let t0 = Instant::now();
+        let map = if self.level <= 1 { place_members(self.rt, n) } else { None };
         let mut specs: Vec<(Option<usize>, WorkFn)> = Vec::with_capacity(n.saturating_sub(1));
         for tid in 1..n {
             let cmd = ForkCmd {
@@ -236,11 +312,16 @@ impl<'rt> GltoTeam<'rt> {
                 let _active = ActiveTeamGuard::enter(lineage);
                 run_region_member(team, cmd.tid, body);
             });
-            // Top-level regions pin OMP thread i to GLT_thread i (Fig. 3);
-            // nested regions create on the encountering thread (§IV-E).
-            // Members are Region-class units: barrier help may not start
-            // them nested (see glt::UnitClass).
-            specs.push(if self.level <= 1 { (Some(tid % w), work) } else { (None, work) });
+            // Top-level regions pin OMP thread i to GLT_thread i (Fig. 3) —
+            // or to its place under OMP_PLACES/proc_bind — while nested
+            // regions create on the encountering thread (§IV-E). Members
+            // are Region-class units: barrier help may not start them
+            // nested (see glt::UnitClass).
+            specs.push(if self.level <= 1 {
+                (Some(map.as_ref().map_or(tid % w, |m| m[tid])), work)
+            } else {
+                (None, work)
+            });
         }
         // One scheduler submit for the whole fork: per-pool locks (QTH: FEB
         // round-trips) and wakes are paid per target, not per member.
@@ -501,5 +582,142 @@ mod tests {
         // Guard dropped: team 42 no longer active.
         let u = unit(42, 1);
         assert!(region_nesting_allowed(&u, false, false, 0, false));
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::place_members;
+    use crate::{Backend, GltoRuntime};
+    use glt::Topology;
+    use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt, Places, ProcBind};
+    use std::collections::HashSet;
+
+    /// 2 sockets x 4 cores x 2 SMT; scatter layout puts even ranks on
+    /// socket 0 and odd ranks on socket 1.
+    fn two_socket() -> Topology {
+        Topology::new(2, 4, 2)
+    }
+
+    #[test]
+    fn default_policy_takes_the_allocation_free_path() {
+        let r = GltoRuntime::new(Backend::Abt, OmpConfig::with_threads(4).topology(two_socket()));
+        assert_eq!(place_members(&r, 4), None, "true/spread without places is legacy tid % w");
+    }
+
+    #[test]
+    fn close_packs_members_into_the_masters_socket_first() {
+        let cfg = OmpConfig::with_threads(8).topology(two_socket()).proc_bind(ProcBind::Close);
+        let r = GltoRuntime::new(Backend::Abt, cfg);
+        let map = place_members(&r, 8).expect("close must compute a mapping");
+        // Distance-from-rank-0 order: self, SMT sibling, same-socket
+        // even ranks, then the odd (cross-socket) ranks.
+        let topo = two_socket();
+        for tid in 0..4 {
+            assert_eq!(topo.domain_of_rank(map[tid]), 0, "first half stays on socket 0: {map:?}");
+        }
+        assert_eq!(map[0], 0);
+    }
+
+    #[test]
+    fn master_binds_every_member_to_the_masters_domain() {
+        let cfg = OmpConfig::with_threads(8).topology(two_socket()).proc_bind(ProcBind::Master);
+        let r = GltoRuntime::new(Backend::Abt, cfg);
+        // The home socket seats the master plus three members; a team of
+        // four fits entirely.
+        let map = place_members(&r, 4).expect("master must compute a mapping");
+        let topo = two_socket();
+        for (tid, &rank) in map.iter().enumerate() {
+            assert_eq!(
+                topo.domain_of_rank(rank),
+                0,
+                "tid {tid} escaped the master domain: {map:?}"
+            );
+        }
+        // A full-width team cannot be seated on one socket (members may not
+        // share a rank — run-to-completion units deadlock at barriers if
+        // they do): the home domain fills first, the rest spill outward.
+        let map = place_members(&r, 8).expect("master must compute a mapping");
+        let used: HashSet<usize> = map.iter().copied().collect();
+        assert_eq!(used.len(), 8, "seating must be injective: {map:?}");
+        for rank in [0, 2, 4, 6] {
+            assert!(used.contains(&rank), "home-domain rank {rank} left idle: {map:?}");
+        }
+        assert!(
+            (0..4).all(|tid| topo.domain_of_rank(map[tid]) == 0),
+            "home domain must fill before spilling: {map:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_places_restrict_the_candidate_ranks() {
+        let places = Places::parse("{0},{2},{4}").expect("valid explicit list");
+        let cfg = OmpConfig::with_threads(6).topology(two_socket()).places(places.clone());
+        let r = GltoRuntime::new(Backend::Abt, cfg);
+        let map = place_members(&r, 3).expect("explicit places force a mapping");
+        let used: HashSet<usize> = map.into_iter().collect();
+        assert!(used.is_subset(&HashSet::from([0, 2, 4])), "ranks outside the place list used");
+        // More members than free places: the named places are all seated,
+        // the remainder spill to the nearest unnamed ranks (injectively).
+        let cfg = OmpConfig::with_threads(6).topology(two_socket()).places(places);
+        let r = GltoRuntime::new(Backend::Abt, cfg);
+        let map = place_members(&r, 6).expect("explicit places force a mapping");
+        let used: HashSet<usize> = map.iter().copied().collect();
+        assert_eq!(used.len(), 6, "seating must be injective: {map:?}");
+        for rank in [0, 2, 4] {
+            assert!(used.contains(&rank), "named place {{{rank}}} left idle: {map:?}");
+        }
+    }
+
+    #[test]
+    fn bound_regions_never_steal_across_sockets() {
+        // ISSUE acceptance: cross-domain steals == 0 under proc_bind(close)
+        // on a synthetic 2x4x2 machine, while same-domain stealing and the
+        // region itself stay fully live.
+        for backend in [Backend::Abt, Backend::Mth] {
+            let cfg = OmpConfig::with_threads(8).topology(two_socket()).proc_bind(ProcBind::Close);
+            let r = GltoRuntime::new(backend, cfg);
+            r.counters().reset();
+            for _ in 0..4 {
+                let tids = parking_lot::Mutex::new(HashSet::new());
+                r.parallel(|ctx| {
+                    tids.lock().insert(ctx.thread_num());
+                    ctx.single(|| {
+                        for _ in 0..64 {
+                            ctx.task(|_| {
+                                std::hint::black_box(0u64);
+                            });
+                        }
+                    });
+                });
+                assert_eq!(tids.lock().len(), 8, "backend {backend:?}");
+            }
+            let s = r.counters().snapshot();
+            assert_eq!(s.steals_cross_domain, 0, "bound team stole across sockets ({backend:?})");
+            assert_eq!(
+                s.steals_same_domain + s.steals_cross_domain,
+                s.steals,
+                "steal locality accounting must conserve ({backend:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn unbound_regions_may_roam_and_still_conserve_steal_counts() {
+        let cfg = OmpConfig::with_threads(8).topology(two_socket()).proc_bind(ProcBind::False);
+        let r = GltoRuntime::new(Backend::Mth, cfg);
+        r.counters().reset();
+        r.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..128 {
+                    ctx.task(|_| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+        });
+        let s = r.counters().snapshot();
+        assert_eq!(s.steals_same_domain + s.steals_cross_domain, s.steals);
+        assert!(s.steals_cross_domain <= s.domain_migrations);
     }
 }

@@ -155,6 +155,26 @@ impl<'t, 'env> ParCtx<'t, 'env> {
         self.in_final
     }
 
+    /// `omp_get_proc_bind`: the binding policy this runtime was configured
+    /// with (the reproduction applies one policy to all nesting levels).
+    #[must_use]
+    pub fn proc_bind(&self) -> crate::env::ProcBind {
+        self.team.runtime().omp_config().proc_bind
+    }
+
+    /// `omp_get_num_places`: places in the configured `OMP_PLACES` set, or
+    /// 0 when no place set was given (matching the OpenMP API's "no place
+    /// list" answer).
+    #[must_use]
+    pub fn num_places(&self) -> usize {
+        let cfg = self.team.runtime().omp_config();
+        match &cfg.places {
+            Some(crate::env::Places::Explicit(groups)) => groups.len(),
+            Some(_) => cfg.num_threads,
+            None => 0,
+        }
+    }
+
     /// The team backing this context (runtime-internal consumers).
     #[must_use]
     pub fn team(&self) -> &'t dyn TeamOps {

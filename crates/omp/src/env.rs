@@ -8,10 +8,214 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use glt::WaitPolicy;
+use glt::{Topology, WaitPolicy};
 
 use crate::lock::LockKind;
 use crate::schedule::Schedule;
+
+/// `OMP_PROC_BIND`: thread-affinity policy for region members.
+///
+/// The OpenMP 4+ values. `True` is the paper's setting ("OMP_PROC_BIND=true
+/// ... against migration", §VI-A): binding requested, placement left to the
+/// implementation — which in this reproduction is the legacy round-robin
+/// member mapping. The named policies additionally control *where* members
+/// land relative to the machine topology and forbid cross-domain work
+/// migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcBind {
+    /// `false`: no binding; members may migrate anywhere.
+    False,
+    /// `true`: bind, implementation-defined placement (paper default).
+    True,
+    /// All members on the master's place (its socket domain).
+    Master,
+    /// Members packed onto places nearest the master, in rank order.
+    Close,
+    /// Members spread as evenly as possible over the places.
+    Spread,
+}
+
+impl ProcBind {
+    /// Parse the `OMP_PROC_BIND` spelling (case-insensitive). `1`/`yes`
+    /// map to `true`, `0`/`no` to `false`; unknown values yield `None`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" => Some(ProcBind::True),
+            "0" | "false" | "no" => Some(ProcBind::False),
+            "master" | "primary" => Some(ProcBind::Master),
+            "close" => Some(ProcBind::Close),
+            "spread" => Some(ProcBind::Spread),
+            _ => None,
+        }
+    }
+
+    /// Whether binding was requested at all (`omp_get_proc_bind() != false`).
+    #[must_use]
+    pub fn is_bound(self) -> bool {
+        self != ProcBind::False
+    }
+
+    /// Whether a team under this policy tolerates work migrating across a
+    /// domain (socket) boundary. The named policies pin members to their
+    /// places, so the GLT layer must not steal across sockets beneath them;
+    /// `False`/`True` keep the backend's full stealing policy.
+    #[must_use]
+    pub fn allows_cross_domain(self) -> bool {
+        matches!(self, ProcBind::False | ProcBind::True)
+    }
+}
+
+/// `OMP_PLACES`: the set of places team members may be bound to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Places {
+    /// One place per hardware thread (SMT lane).
+    Threads,
+    /// One place per physical core.
+    Cores,
+    /// One place per socket.
+    Sockets,
+    /// An explicit place list: each inner vec is one place's rank set,
+    /// e.g. `{0,2},{1,3}`.
+    Explicit(Vec<Vec<usize>>),
+}
+
+impl Places {
+    /// Parse an `OMP_PLACES` spec: an abstract name (`threads`, `cores`,
+    /// `sockets`, optionally with a `(n)` count that is validated and
+    /// dropped — this runtime always exposes all places), or an explicit
+    /// list of `{...}` groups whose entries are ranks or `start:count`
+    /// ranges.
+    ///
+    /// # Errors
+    /// A human-readable message naming the malformed part of the spec.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let spec = s.trim();
+        if spec.is_empty() {
+            return Err("empty OMP_PLACES spec".to_string());
+        }
+        if !spec.starts_with('{') {
+            if spec.starts_with(|c: char| c.is_ascii_digit()) {
+                return Err(format!(
+                    "OMP_PLACES `{spec}`: bare numbers are not a place list — \
+                     expected `{{` (e.g. `{{0,1}},{{2,3}}`)"
+                ));
+            }
+            let (name, count) = match spec.find('(') {
+                Some(i) => {
+                    let close = spec
+                        .find(')')
+                        .ok_or_else(|| format!("OMP_PLACES `{spec}`: unclosed `(`"))?;
+                    if close != spec.len() - 1 {
+                        return Err(format!("OMP_PLACES `{spec}`: trailing text after `)`"));
+                    }
+                    (spec[..i].trim(), Some(spec[i + 1..close].trim()))
+                }
+                None => (spec, None),
+            };
+            if let Some(c) = count {
+                let n: usize = c.parse().map_err(|_| {
+                    format!("OMP_PLACES `{spec}`: count `{c}` is not a positive integer")
+                })?;
+                if n == 0 {
+                    return Err(format!("OMP_PLACES `{spec}`: count must be >= 1"));
+                }
+            }
+            return match name.to_ascii_lowercase().as_str() {
+                "threads" => Ok(Places::Threads),
+                "cores" => Ok(Places::Cores),
+                "sockets" => Ok(Places::Sockets),
+                other => Err(format!(
+                    "OMP_PLACES `{spec}`: unknown abstract place name `{other}` \
+                     (expected threads, cores, sockets, or an explicit {{...}} list)"
+                )),
+            };
+        }
+        let mut places = Vec::new();
+        for group in split_top_level_groups(spec)? {
+            let mut ranks = Vec::new();
+            for entry in group.split(',') {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    return Err(format!("OMP_PLACES `{spec}`: empty entry in `{{{group}}}`"));
+                }
+                match entry.split_once(':') {
+                    Some((start, count)) => {
+                        let start: usize = start.trim().parse().map_err(|_| {
+                            format!("OMP_PLACES `{spec}`: `{entry}` has a non-numeric start")
+                        })?;
+                        let count: usize = count.trim().parse().map_err(|_| {
+                            format!("OMP_PLACES `{spec}`: `{entry}` has a non-numeric count")
+                        })?;
+                        if count == 0 {
+                            return Err(format!("OMP_PLACES `{spec}`: `{entry}` has a zero count"));
+                        }
+                        ranks.extend(start..start + count);
+                    }
+                    None => ranks.push(entry.parse().map_err(|_| {
+                        format!("OMP_PLACES `{spec}`: `{entry}` is not a rank number")
+                    })?),
+                }
+            }
+            places.push(ranks);
+        }
+        if places.is_empty() {
+            return Err(format!("OMP_PLACES `{spec}`: no places in list"));
+        }
+        Ok(Places::Explicit(places))
+    }
+
+    /// The worker ranks (`< n`) this place set allows team members on, in
+    /// place order. Abstract place sets expose every rank (the runtime's
+    /// workers *are* its places under the scatter layout); explicit lists
+    /// flatten in list order, dropping out-of-range ranks and duplicates.
+    /// Falls back to all ranks if the explicit list covers none of them —
+    /// a place list that excludes every worker must not empty the team.
+    #[must_use]
+    pub fn candidate_ranks(&self, n: usize) -> Vec<usize> {
+        match self {
+            Places::Threads | Places::Cores | Places::Sockets => (0..n).collect(),
+            Places::Explicit(groups) => {
+                let mut seen = vec![false; n];
+                let mut out = Vec::new();
+                for r in groups.iter().flatten() {
+                    if *r < n && !seen[*r] {
+                        seen[*r] = true;
+                        out.push(*r);
+                    }
+                }
+                if out.is_empty() {
+                    (0..n).collect()
+                } else {
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// Split `{a},{b},...` into the inner group strings, validating braces.
+fn split_top_level_groups(spec: &str) -> Result<Vec<&str>, String> {
+    let mut groups = Vec::new();
+    let mut rest = spec.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('{') {
+            return Err(format!("OMP_PLACES `{spec}`: expected `{{` at `{rest}`"));
+        }
+        let close = rest.find('}').ok_or_else(|| format!("OMP_PLACES `{spec}`: unclosed `{{`"))?;
+        groups.push(&rest[1..close]);
+        rest = rest[close + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return Err(format!("OMP_PLACES `{spec}`: trailing comma"));
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("OMP_PLACES `{spec}`: expected `,` between places at `{rest}`"));
+        }
+    }
+    Ok(groups)
+}
 
 /// Immutable startup configuration for an OpenMP runtime instance.
 #[derive(Debug, Clone)]
@@ -24,8 +228,14 @@ pub struct OmpConfig {
     pub max_active_levels: usize,
     /// `OMP_WAIT_POLICY`.
     pub wait_policy: WaitPolicy,
-    /// `OMP_PROC_BIND` intent (advisory on this container).
-    pub proc_bind: bool,
+    /// `OMP_PROC_BIND` policy. Affinity is advisory on this container, but
+    /// the policy steers member→worker mapping and cross-domain stealing.
+    pub proc_bind: ProcBind,
+    /// `OMP_PLACES`: place set members may land on (`None` = every rank).
+    pub places: Option<Places>,
+    /// `GLT_TOPOLOGY`: synthetic machine layout for the GLT layer beneath
+    /// (`None` = the flat single-domain default).
+    pub topology: Option<Topology>,
     /// `OMP_SCHEDULE`: schedule used by `Schedule::Runtime` loops.
     pub runtime_schedule: Schedule,
     /// `GLT_SHARED_QUEUES` (GLTO runtimes only, §IV-F).
@@ -53,7 +263,9 @@ impl Default for OmpConfig {
             nested: true, // paper: OMP_NESTED=true for all tests
             max_active_levels: 8,
             wait_policy: WaitPolicy::Passive,
-            proc_bind: true, // paper: OMP_PROC_BIND=true for all tests
+            proc_bind: ProcBind::True, // paper: OMP_PROC_BIND=true for all tests
+            places: None,
+            topology: None,
             runtime_schedule: Schedule::Static { chunk: None },
             shared_queues: false,
             hot_ults: false,
@@ -92,8 +304,18 @@ impl OmpConfig {
             c.wait_policy = WaitPolicy::from_env_str(&v);
         }
         if let Ok(v) = std::env::var("OMP_PROC_BIND") {
-            c.proc_bind = matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+            match ProcBind::parse(&v) {
+                Some(pb) => c.proc_bind = pb,
+                None => eprintln!("omp: ignoring OMP_PROC_BIND=`{v}`: unknown policy"),
+            }
         }
+        if let Ok(v) = std::env::var("OMP_PLACES") {
+            match Places::parse(&v) {
+                Ok(p) => c.places = Some(p),
+                Err(e) => eprintln!("omp: ignoring OMP_PLACES: {e}"),
+            }
+        }
+        c.topology = Topology::from_env();
         if let Ok(v) = std::env::var("OMP_SCHEDULE") {
             if let Some(s) = Schedule::parse(&v) {
                 c.runtime_schedule = s;
@@ -181,6 +403,27 @@ impl OmpConfig {
         self.spin_budget = n;
         self
     }
+
+    /// Builder: set the `OMP_PROC_BIND` policy.
+    #[must_use]
+    pub fn proc_bind(mut self, pb: ProcBind) -> Self {
+        self.proc_bind = pb;
+        self
+    }
+
+    /// Builder: set the `OMP_PLACES` place set.
+    #[must_use]
+    pub fn places(mut self, p: Places) -> Self {
+        self.places = Some(p);
+        self
+    }
+
+    /// Builder: set a (usually synthetic) machine topology.
+    #[must_use]
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
 }
 
 /// Mutable ICVs, adjustable at run time via the `omp_set_*` API analogs
@@ -245,8 +488,79 @@ mod tests {
     fn defaults_match_paper_setup() {
         let c = OmpConfig::default();
         assert!(c.nested, "paper sets OMP_NESTED=true");
-        assert!(c.proc_bind, "paper sets OMP_PROC_BIND=true");
+        assert_eq!(c.proc_bind, ProcBind::True, "paper sets OMP_PROC_BIND=true");
+        assert!(c.proc_bind.is_bound());
+        assert!(c.proc_bind.allows_cross_domain(), "plain `true` keeps backend stealing");
+        assert!(c.places.is_none());
+        assert!(c.topology.is_none());
         assert_eq!(c.task_cutoff, 256, "paper: Intel default cut-off is 256");
+    }
+
+    #[test]
+    fn proc_bind_parses_all_spellings() {
+        assert_eq!(ProcBind::parse("TRUE"), Some(ProcBind::True));
+        assert_eq!(ProcBind::parse("1"), Some(ProcBind::True));
+        assert_eq!(ProcBind::parse("no"), Some(ProcBind::False));
+        assert_eq!(ProcBind::parse(" master "), Some(ProcBind::Master));
+        assert_eq!(ProcBind::parse("primary"), Some(ProcBind::Master));
+        assert_eq!(ProcBind::parse("Close"), Some(ProcBind::Close));
+        assert_eq!(ProcBind::parse("SPREAD"), Some(ProcBind::Spread));
+        assert_eq!(ProcBind::parse("sideways"), None);
+    }
+
+    #[test]
+    fn named_bind_policies_forbid_cross_domain_migration() {
+        for pb in [ProcBind::Master, ProcBind::Close, ProcBind::Spread] {
+            assert!(pb.is_bound());
+            assert!(!pb.allows_cross_domain(), "{pb:?} must pin work to its domain");
+        }
+        assert!(!ProcBind::False.is_bound());
+        assert!(ProcBind::False.allows_cross_domain());
+    }
+
+    #[test]
+    fn places_parses_abstract_names() {
+        assert_eq!(Places::parse("threads").unwrap(), Places::Threads);
+        assert_eq!(Places::parse(" Cores ").unwrap(), Places::Cores);
+        assert_eq!(Places::parse("sockets(2)").unwrap(), Places::Sockets);
+        assert_eq!(Places::Threads.candidate_ranks(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn places_parses_explicit_lists_and_ranges() {
+        let p = Places::parse("{0,2},{1,3}").unwrap();
+        assert_eq!(p, Places::Explicit(vec![vec![0, 2], vec![1, 3]]));
+        assert_eq!(p.candidate_ranks(4), vec![0, 2, 1, 3], "flattened in place order");
+        assert_eq!(p.candidate_ranks(2), vec![0, 1], "out-of-range ranks dropped");
+        let p = Places::parse("{0:2}, {4:2}").unwrap();
+        assert_eq!(p, Places::Explicit(vec![vec![0, 1], vec![4, 5]]));
+    }
+
+    #[test]
+    fn places_rejects_malformed_specs_with_clear_errors() {
+        for (spec, needle) in [
+            ("", "empty OMP_PLACES"),
+            ("numa", "unknown abstract place name"),
+            ("cores(", "unclosed `(`"),
+            ("cores(0)", "count must be >= 1"),
+            ("cores(x)", "not a positive integer"),
+            ("{0,1", "unclosed `{`"),
+            ("{0,q}", "not a rank number"),
+            ("{0:0}", "zero count"),
+            ("{0},", "trailing comma"),
+            ("{0}{1}", "expected `,`"),
+            ("{0,,1}", "empty entry"),
+            ("0,1", "expected `{`"),
+        ] {
+            let err = Places::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec `{spec}`: error `{err}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn explicit_places_covering_no_worker_fall_back_to_all() {
+        let p = Places::parse("{8,9}").unwrap();
+        assert_eq!(p.candidate_ranks(4), vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -269,12 +583,18 @@ mod tests {
             .nested(false)
             .task_cutoff(16)
             .shared_queues(true)
-            .hot_ults(true);
+            .hot_ults(true)
+            .proc_bind(ProcBind::Close)
+            .places(Places::Cores)
+            .topology(Topology::parse("2x4x2").unwrap());
         assert_eq!(c.num_threads, 2);
         assert!(!c.nested);
         assert_eq!(c.task_cutoff, 16);
         assert!(c.shared_queues);
         assert!(c.hot_ults);
+        assert_eq!(c.proc_bind, ProcBind::Close);
+        assert_eq!(c.places, Some(Places::Cores));
+        assert_eq!(c.topology, Some(Topology::parse("2x4x2").unwrap()));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod workshare;
 pub use barrier::CentralBarrier;
 pub use critical::CriticalRegistry;
 pub use ctx::{region_epilogue, run_region_member, OrderedScope, ParCtx, TaskFlags};
-pub use env::{Icvs, OmpConfig};
+pub use env::{Icvs, OmpConfig, Places, ProcBind};
 #[cfg(feature = "planted-lost-wakeup")]
 pub use lock::{plant_drop_one, planted_repairs};
 pub use lock::{LockKind, OmpLock, OmpNestLock};

@@ -635,6 +635,10 @@ impl<'rt, P: TaskQueuePolicy> TaskEngine<'rt, P> {
             Some(p) => {
                 if p.stolen {
                     Counters::bump(&self.counters.steals, 1);
+                    // The pthread runtimes run on one (flat) domain; every
+                    // task-deque steal is same-domain by construction, and
+                    // the locality conservation law still has to hold.
+                    Counters::bump(&self.counters.steals_same_domain, 1);
                 }
                 self.run_node(p.task, tid);
                 true
