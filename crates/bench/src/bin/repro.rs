@@ -17,11 +17,13 @@
 //!   table3          % queued tasks per granularity (Intel)
 //!   fig14           4,000-task cut-off study (cut-off 16/256/4096)
 //!   steal_locality  flat ring vs per-domain sharded stealing (+ counters)
+//!   adaptive        omp-adaptive vs the composed specialists (+ decision
+//!                   counters; OMP_ADAPTIVE_TRACE=1 dumps the memo table)
 //!   all             everything above
 //! ```
 
 use glt::WaitPolicy;
-use omp::OmpConfig;
+use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt};
 use workloads::runtimes::RuntimeKind;
 use workloads::{cg, clover, micro, uts};
 
@@ -52,14 +54,11 @@ impl Opts {
         self.runtimes_override.clone().unwrap_or_else(|| RuntimeKind::all().to_vec())
     }
 
-    /// Same filter applied to the task figures' runtime set (Figs. 10-14
-    /// omit GNU; see `task_figure_runtimes`).
+    /// Task-figure runtime set (Figs. 10-14 omit GNU by default; see
+    /// `task_figure_runtimes`). An explicit `--runtimes` wins outright so
+    /// off-default runtimes (`adaptive`, `gnu`) can be swept too.
     fn task_runtimes(&self) -> Vec<RuntimeKind> {
-        let base = task_figure_runtimes();
-        match &self.runtimes_override {
-            Some(sel) => base.into_iter().filter(|k| sel.contains(k)).collect(),
-            None => base,
-        }
+        self.runtimes_override.clone().unwrap_or_else(task_figure_runtimes)
     }
 }
 
@@ -103,7 +102,7 @@ fn main() {
                         RuntimeKind::parse(s.trim()).unwrap_or_else(|| {
                             eprintln!(
                                 "unknown runtime `{}`; valid: serial, gnu, intel, \
-                                 glto-abt, glto-qth, glto-mth, glto-det",
+                                 glto-abt, glto-qth, glto-mth, glto-det, adaptive",
                                 s.trim()
                             );
                             std::process::exit(2);
@@ -139,6 +138,7 @@ fn main() {
             "table3" => table3(&opts),
             "fig14" => fig14(&opts),
             "steal_locality" => steal_locality(&opts),
+            "adaptive" => adaptive_target(&opts),
             "check" => shape_check(&opts),
             "all" => {
                 shape_check(&opts);
@@ -156,6 +156,7 @@ fn main() {
                 table3(&opts);
                 fig14(&opts);
                 steal_locality(&opts);
+                adaptive_target(&opts);
             }
             other => {
                 eprintln!("unknown target: {other}");
@@ -645,6 +646,111 @@ fn fig14(opts: &Opts) {
             });
             println!("fig14,{cutoff},{n},{:.6e},{:.2e},{}", st.mean(), st.stddev(), st.count());
             record_result("fig14", &format!("cutoff{cutoff}"), n, st.mean() * 1e9, st.min() * 1e9);
+        }
+    }
+}
+
+// ------------------------------------------------------- adaptive (new)
+
+/// `omp-adaptive` against the two specialists it composes, one scenario
+/// per regime the cost model must get right: flat forks (Fig. 7's shape),
+/// nested regions (Figs. 8–9), and the all-queued task storm (Fig. 14,
+/// cut-off 4096). Adaptive rows are measured *after* a warm-up long
+/// enough for every callsite to commit — the ≤10%-of-best acceptance
+/// criterion is a steady-state claim — while the exploration tax stays
+/// visible in the decision counters each adaptive row records for
+/// `--json`. Set `OMP_ADAPTIVE_TRACE=1` to additionally dump each
+/// adaptive runtime's per-callsite memo table when it drops.
+fn adaptive_target(opts: &Opts) {
+    struct Scen {
+        name: &'static str,
+        wait: WaitPolicy,
+        cutoff: Option<usize>,
+        quick_reps: usize,
+        paper_reps: usize,
+        run: fn(&dyn OmpRuntime),
+    }
+    let scens = [
+        Scen {
+            name: "flat_fork",
+            wait: WaitPolicy::Active,
+            cutoff: None,
+            quick_reps: 300,
+            paper_reps: 5000,
+            run: |rt| rt.parallel(|_| {}),
+        },
+        Scen {
+            name: "nested",
+            wait: WaitPolicy::Active,
+            cutoff: None,
+            quick_reps: 5,
+            paper_reps: 200,
+            run: |rt| {
+                let _ = micro::nested_null(rt, 30, 30);
+            },
+        },
+        Scen {
+            name: "tasks_cutoff4096",
+            wait: WaitPolicy::Passive,
+            cutoff: Some(4096),
+            quick_reps: 5,
+            paper_reps: 200,
+            run: |rt| {
+                let _ = micro::producer_consumer_tasks(rt, 2000, 50);
+            },
+        },
+    ];
+
+    let n = opts.threads_override.as_ref().and_then(|t| t.last().copied()).unwrap_or(4);
+    let trace = std::env::var("OMP_ADAPTIVE_TRACE").is_ok_and(|v| v.trim() == "1");
+    println!("# adaptive — mechanism selection vs the composed specialists");
+    println!("figure,scenario,runtime,threads,mean_ns,reps");
+    for sc in &scens {
+        let mut best_specialist = f64::INFINITY;
+        // Intel = the pomp hot-team engine; hot GLTO(ABT) = the ULT
+        // engine — exactly the two mechanisms the adaptive table routes
+        // between, each in its specialist configuration.
+        for kind in [RuntimeKind::Intel, RuntimeKind::GltoAbt, RuntimeKind::Adaptive] {
+            let mut cfg = paper_config(n, sc.wait);
+            if let Some(c) = sc.cutoff {
+                cfg = cfg.task_cutoff(c);
+            }
+            if kind == RuntimeKind::GltoAbt {
+                cfg = cfg.hot_ults(true);
+            }
+            if kind == RuntimeKind::Adaptive && trace {
+                cfg = cfg.adaptive_trace(true);
+            }
+            let rt = kind.build(cfg);
+            for _ in 0..16 {
+                (sc.run)(rt.as_ref()); // warm pools, hot teams, and commits
+            }
+            let st = time_reps(opts.reps(sc.quick_reps, sc.paper_reps), || (sc.run)(rt.as_ref()));
+            let mean_ns = st.mean() * 1e9;
+            println!("adaptive,{},{},{n},{:.1},{}", sc.name, kind.label(), mean_ns, st.count());
+            let target = format!("adaptive:{}", sc.name);
+            record_result(&target, kind.label(), n, mean_ns, st.min() * 1e9);
+            if kind == RuntimeKind::Adaptive {
+                let s = rt.counters().snapshot();
+                for (c, v) in [
+                    ("adaptive_probes", s.adaptive_probes),
+                    ("adaptive_commits_os", s.adaptive_commits_os),
+                    ("adaptive_commits_ult", s.adaptive_commits_ult),
+                    ("adaptive_reprobes", s.adaptive_reprobes),
+                ] {
+                    record_counter(&target, kind.label(), n, c, v);
+                }
+                println!(
+                    "# adaptive:{} vs best specialist: {:.2}x (probes={} commits os/ult={}/{})",
+                    sc.name,
+                    mean_ns / best_specialist,
+                    s.adaptive_probes,
+                    s.adaptive_commits_os,
+                    s.adaptive_commits_ult
+                );
+            } else {
+                best_specialist = best_specialist.min(mean_ns);
+            }
         }
     }
 }

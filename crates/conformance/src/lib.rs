@@ -3,7 +3,7 @@
 //! The paper's Table I argument ("GLTO complies with the evaluated OpenMP
 //! constructs") is only as strong as the harness behind it. This crate
 //! turns the repository's semantics suites into a *matrix*: every case and
-//! the full validation suite run against **all seven** runtimes the stack
+//! the full validation suite run against **all eight** runtimes the stack
 //! can execute a region on ([`RuntimeKind::matrix`]):
 //!
 //! | runtime      | what it checks                                          |
@@ -15,6 +15,7 @@
 //! | `glto-qth`   | GLT backend: shepherds + FEB                            |
 //! | `glto-mth`   | GLT backend: work-first deques + stealing               |
 //! | `glto-det`   | deterministic seeded stepper (`glt-det`), many seeds    |
+//! | `adaptive`   | pomp + GLTO composed, mechanism picked per callsite     |
 //!
 //! On top of pass/fail, every case run ends with a **counter-invariant
 //! check**: after [`quiesce`], the runtime's counter snapshot must
@@ -51,6 +52,7 @@ use glt::CounterSnapshot;
 use glt_det::EventKind;
 use glto::{Backend, GltoRuntime};
 use omp::{Dep, LockKind, OmpConfig, OmpLock, OmpNestLock, OmpRuntime, OmpRuntimeExt, Schedule};
+use omp_adaptive::{AdaptiveRuntime, CallsiteDecision, Mechanism};
 use workloads::RuntimeKind;
 
 /// A conformance case: exercises one construct cluster on any runtime and
@@ -323,6 +325,204 @@ pub fn shrink_det_cfg(case: Case, cfg: &OmpConfig, seed: u64) -> Option<u64> {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if run_det_once_cfg(case, cfg, seed, mid).passed() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+// ------------------------------------------- adaptive mechanism decisions
+
+/// Outcome of one deterministic run of a case on `omp-adaptive` over the
+/// det ULT backend ([`AdaptiveRuntime::with_backend`] with
+/// [`Backend::Det`]). Under that backend every mechanism decision the
+/// dispatcher takes — each probe's engine pick and the final commit — is a
+/// seeded stepper draw recorded as [`EventKind::External`], so the whole
+/// decision history of a run is a pure function of the seed.
+///
+/// Beyond the [`DetRun`]-style verdicts, every run is audited for **commit
+/// consistency**: each committed memo-table entry must match the last
+/// seeded draw recorded for its callsite (the commit draw; `pick == 1` ⇒
+/// ULT). An inconsistent commit means the dispatcher chose a mechanism its
+/// own replayable decision stream did not pick — exactly the wrong-commit
+/// class of bug `--features planted-bad-commit` plants.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDetRun {
+    /// Seed the decision stream was drawn from.
+    pub seed: u64,
+    /// Randomized-decision budget the run was capped at.
+    pub budget: u64,
+    /// The case returned `true`.
+    pub ok: bool,
+    /// The case panicked (counts as a failure).
+    pub panicked: bool,
+    /// The stall watchdog fired (schedule no longer trustworthy).
+    pub stalled: bool,
+    /// Counter conservation-law violations after quiesce.
+    pub violations: Vec<String>,
+    /// The `(callsite, pick)` stream of adaptive decisions, in
+    /// master-thread program order. Replays of the same seed must produce
+    /// the identical stream — that equality is the determinism guarantee
+    /// the OS-probe regions (whose pomp threads free-run) cannot disturb.
+    pub external: Vec<(u64, usize)>,
+    /// Commit-consistency audit failures (empty = every committed entry
+    /// matches its seeded commit draw).
+    pub wrong_commits: Vec<String>,
+}
+
+impl AdaptiveDetRun {
+    /// Conforming run: case passed, no stall, laws hold, and every commit
+    /// matches its seeded draw.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.ok
+            && !self.panicked
+            && !self.stalled
+            && self.violations.is_empty()
+            && self.wrong_commits.is_empty()
+    }
+}
+
+/// The commit-consistency audit behind [`AdaptiveDetRun::wrong_commits`]:
+/// a committed entry's mechanism must equal the **last** external draw
+/// recorded for its callsite — in det mode the commit pick is itself the
+/// final seeded draw of the explore phase. Entries still exploring are
+/// skipped; a post-budget fallback draw (`pick == 0`) legitimately commits
+/// the OS mechanism, which is what lets [`shrink_det_adaptive`] bound the
+/// failure to a minimal prefix of real draws.
+fn audit_commits(decisions: &[CallsiteDecision], external: &[(u64, usize)]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for d in decisions {
+        let Some(committed) = d.committed else { continue };
+        let Some(&(_, pick)) = external.iter().rev().find(|&&(tag, _)| tag == d.callsite) else {
+            bad.push(format!(
+                "callsite {:#x} committed {committed:?} with no recorded decision draw",
+                d.callsite
+            ));
+            continue;
+        };
+        let drawn = if pick == 1 { Mechanism::Ult } else { Mechanism::Os };
+        if committed != drawn {
+            bad.push(format!(
+                "callsite {:#x} committed {committed:?} but its seeded commit draw picked {drawn:?}",
+                d.callsite
+            ));
+        }
+    }
+    bad
+}
+
+/// Run `case` once on `omp-adaptive` with the det ULT backend at the given
+/// seed and randomized-decision budget (`u64::MAX` = fully randomized).
+#[must_use]
+pub fn run_det_adaptive_once(case: Case, threads: usize, seed: u64, budget: u64) -> AdaptiveDetRun {
+    run_det_adaptive_once_cfg(case, &OmpConfig::with_threads(threads), seed, budget)
+}
+
+/// [`run_det_adaptive_once`] with an explicit [`OmpConfig`].
+#[must_use]
+pub fn run_det_adaptive_once_cfg(
+    case: Case,
+    cfg: &OmpConfig,
+    seed: u64,
+    budget: u64,
+) -> AdaptiveDetRun {
+    let rt = AdaptiveRuntime::with_backend(
+        Backend::Det { seed, max_random_decisions: budget },
+        cfg.clone(),
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| case(&*rt)));
+    let (ok, panicked) = match outcome {
+        Ok(b) => (b, false),
+        Err(_) => (false, true),
+    };
+    let violations = if panicked {
+        Vec::new() // mid-unwind counters are legitimately mid-flight
+    } else {
+        check_counter_invariants(&*rt)
+    };
+    let det = rt.det_scheduler().expect("Det backend exposes its scheduler");
+    let external: Vec<(u64, usize)> = det
+        .events()
+        .into_iter()
+        .filter_map(|e| match e.kind {
+            EventKind::External { tag, pick } => Some((tag, pick)),
+            _ => None,
+        })
+        .collect();
+    let wrong_commits = audit_commits(&rt.decisions(), &external);
+    AdaptiveDetRun {
+        seed,
+        budget,
+        ok,
+        panicked,
+        stalled: det.stalled(),
+        violations,
+        external,
+        wrong_commits,
+    }
+}
+
+/// Sweep `case` on `omp-adaptive` over the det backend across `seeds`:
+/// every seed fully determines the dispatcher's decision history, and each
+/// run ends with the commit-consistency audit. Failing seeds print a
+/// replay recipe, exactly like [`sweep_det`].
+pub fn sweep_det_adaptive(
+    name: &str,
+    case: Case,
+    threads: usize,
+    seeds: impl IntoIterator<Item = u64>,
+) -> SweepReport {
+    let mut failing = Vec::new();
+    let mut seeds_run = 0;
+    for seed in seeds {
+        seeds_run += 1;
+        let run = run_det_adaptive_once(case, threads, seed, u64::MAX);
+        if !run.passed() {
+            eprintln!(
+                "conformance: case `{name}` FAILED on adaptive(det) \
+                 (seed={seed} threads={threads} ok={} panicked={} stalled={} violations={:?} \
+                 wrong_commits={:?})\n\
+                 conformance: replay with conformance::replay_det_adaptive(case, {threads}, {seed})",
+                run.ok, run.panicked, run.stalled, run.violations, run.wrong_commits
+            );
+            failing.push(seed);
+        }
+    }
+    SweepReport { case_name: name.to_string(), threads, seeds_run, failing }
+}
+
+/// Re-run a failing adaptive seed at full randomness. The same seed must
+/// reproduce the same verdict *and* the same decision stream
+/// ([`AdaptiveDetRun::external`]).
+#[must_use]
+pub fn replay_det_adaptive(case: Case, threads: usize, seed: u64) -> AdaptiveDetRun {
+    run_det_adaptive_once(case, threads, seed, u64::MAX)
+}
+
+/// Shrink a failing adaptive seed: binary-search the smallest
+/// randomized-decision budget that still fails. Past the budget every
+/// draw — scheduler *and* adaptive — falls back to alternative 0 (the OS
+/// pick), so the returned budget bounds the prefix of real seeded
+/// decisions needed to trigger the wrong commit. Returns `None` if the
+/// seed does not fail at full randomness.
+#[must_use]
+pub fn shrink_det_adaptive(case: Case, threads: usize, seed: u64) -> Option<u64> {
+    let full = run_det_adaptive_once(case, threads, seed, u64::MAX);
+    if full.passed() {
+        return None;
+    }
+    // Every adaptive draw in the full run is within its own count; use
+    // that as the known-failing upper bound (the wrong-commit audit only
+    // depends on which adaptive draws are real, which is monotone in the
+    // budget: see `audit_commits`).
+    let mut lo = 0u64;
+    let mut hi = full.external.len() as u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if run_det_adaptive_once(case, threads, seed, mid).passed() {
             lo = mid + 1;
         } else {
             hi = mid;
@@ -750,6 +950,38 @@ pub fn planted_cross_starvation(rt: &dyn OmpRuntime) -> bool {
     glt_det::planted_rescues() == before
 }
 
+/// Commit-heavy adaptive workload: drives two distinct callsites — one
+/// flat, one task-heavy — past the explore budget (at the default
+/// `OMP_ADAPTIVE_PROBE_K` each commits after four probes), then keeps
+/// forking on the committed path. On `omp-adaptive` this exercises the
+/// full memo-table lifecycle; on every other runtime it is an ordinary
+/// fork/task loop. Used by the adaptive det sweep, where the
+/// [`AdaptiveDetRun`] commit-consistency audit turns any wrong commit
+/// (planted or real) into a failing, replayable, shrinkable seed.
+pub fn adaptive_commit_storm(rt: &dyn OmpRuntime) -> bool {
+    let hits = AtomicU64::new(0);
+    let hits = &hits;
+    for _ in 0..10 {
+        rt.parallel(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let flat = hits.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        rt.parallel(|ctx| {
+            ctx.single(|| {
+                for _ in 0..2 {
+                    ctx.task(move |_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            ctx.taskwait();
+        });
+    }
+    flat >= 10 && hits.load(Ordering::SeqCst) >= flat + 20
+}
+
 // -------------------------------------------------- shared-queue matrix
 
 /// The §IV-F shared-queue (`GLT_SHARED_QUEUES=1`) variants of the three
@@ -792,6 +1024,11 @@ pub fn expected_suite_passes(kind: RuntimeKind) -> usize {
         // rely on OS timeslicing see token-serialized execution and cannot
         // demonstrate detection under the stepper.
         RuntimeKind::GltoDet { .. } => DET_SUITE_PASSES,
+        // Composes the Intel-like and GLTO engines, but both composed
+        // engines honor `final` (the adaptive pomp engine executes final
+        // tasks directly), so whichever mechanism a suite entry's region
+        // is routed to — probe or commit — it scores the GLTO count.
+        RuntimeKind::Adaptive => 122,
     }
 }
 
@@ -1002,6 +1239,124 @@ mod tests {
         assert!(!run_det_once(planted_depend_race, 2, seed, budget).passed());
         if budget > 0 {
             assert!(run_det_once(planted_depend_race, 2, seed, budget - 1).passed());
+        }
+    }
+
+    // ------------------------------------------------ adaptive runtime
+
+    /// Under `--features planted-bad-commit` every adaptive commit is
+    /// deliberately wrong, so the honest-decision assertions below are
+    /// compiled out (the sabotage is a compile-time plant, not an armable
+    /// one) and `planted_bad_commit_caught_replayed_and_shrunk` takes
+    /// over as the suite's teeth.
+    #[cfg(not(feature = "planted-bad-commit"))]
+    #[test]
+    fn adaptive_det_decisions_replay_by_seed() {
+        fast_stall();
+        for seed in [0u64, 7, 0xC0FFEE] {
+            let a = run_det_adaptive_once(adaptive_commit_storm, 3, seed, u64::MAX);
+            let b = run_det_adaptive_once(adaptive_commit_storm, 3, seed, u64::MAX);
+            assert!(
+                a.passed(),
+                "seed {seed}: ok={} violations={:?} wrong_commits={:?}",
+                a.ok,
+                a.violations,
+                a.wrong_commits
+            );
+            assert!(!a.external.is_empty(), "the storm must draw mechanism decisions");
+            assert_eq!(a.external, b.external, "decision stream must replay (seed {seed})");
+        }
+    }
+
+    #[cfg(not(feature = "planted-bad-commit"))]
+    #[test]
+    fn adaptive_det_sweep_commits_consistently() {
+        fast_stall();
+        let n = seeds_from_env(64);
+        let report = sweep_det_adaptive(
+            "adaptive-commit-storm",
+            adaptive_commit_storm,
+            3,
+            seed_stream(0xADA7, n),
+        );
+        assert!(
+            report.all_passed(),
+            "adaptive-commit-storm failed seeds {:?} of {} swept",
+            report.failing,
+            report.seeds_run
+        );
+    }
+
+    #[test]
+    fn adaptive_counter_laws_hold_across_probe_budgets() {
+        fast_stall();
+        for k in [1u32, 2, 4] {
+            let rt = RuntimeKind::Adaptive.build(OmpConfig::with_threads(3).adaptive_probe_k(k));
+            assert!(adaptive_commit_storm(rt.as_ref()), "storm must pass (probe_k={k})");
+            let viol = check_counter_invariants(rt.as_ref());
+            assert!(viol.is_empty(), "probe_k={k}: {viol:?}");
+            let s = rt.counters().snapshot();
+            assert!(
+                s.adaptive_probes >= s.adaptive_commits_os + s.adaptive_commits_ult,
+                "probe_k={k}: commits without probes"
+            );
+            assert!(
+                s.adaptive_commits_os + s.adaptive_commits_ult >= 2,
+                "probe_k={k}: both storm callsites must commit \
+                 (probes={} commits_os={} commits_ult={})",
+                s.adaptive_probes,
+                s.adaptive_commits_os,
+                s.adaptive_commits_ult
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_suite_passes_pinned_across_probe_budgets() {
+        fast_stall();
+        // probe_k=1 is the CI fast-explore setting; 2 is the default. The
+        // pinned count must hold under both — mechanism routing may
+        // differ, semantics may not.
+        for k in [1u32, 2] {
+            let rt = RuntimeKind::Adaptive.build(OmpConfig::with_threads(4).adaptive_probe_k(k));
+            let r = validation::run_suite(rt.as_ref());
+            assert_eq!(
+                r.passed,
+                expected_suite_passes(RuntimeKind::Adaptive),
+                "adaptive (probe_k={k}): {}",
+                r.row()
+            );
+        }
+    }
+
+    #[cfg(feature = "planted-bad-commit")]
+    #[test]
+    fn planted_bad_commit_caught_replayed_and_shrunk() {
+        fast_stall();
+        let report = sweep_det_adaptive("planted-bad-commit", adaptive_commit_storm, 2, 0..64);
+        assert!(
+            !report.failing.is_empty(),
+            "the seed sweep must expose the planted wrong commit in 64 seeds"
+        );
+        let seed = report.failing[0];
+        let r1 = replay_det_adaptive(adaptive_commit_storm, 2, seed);
+        let r2 = replay_det_adaptive(adaptive_commit_storm, 2, seed);
+        assert!(!r1.passed() && !r2.passed(), "failing seed {seed} must replay");
+        assert_eq!(r1.external, r2.external, "replays must draw the same decisions");
+        assert!(
+            !r1.wrong_commits.is_empty(),
+            "the failure must be a commit contradicting its own seeded draw, got \
+             ok={} violations={:?}",
+            r1.ok,
+            r1.violations
+        );
+        // And it shrinks to a minimal prefix of real seeded decisions.
+        let budget =
+            shrink_det_adaptive(adaptive_commit_storm, 2, seed).expect("seed fails, so it shrinks");
+        assert!(budget <= r1.external.len() as u64);
+        assert!(!run_det_adaptive_once(adaptive_commit_storm, 2, seed, budget).passed());
+        if budget > 0 {
+            assert!(run_det_adaptive_once(adaptive_commit_storm, 2, seed, budget - 1).passed());
         }
     }
 

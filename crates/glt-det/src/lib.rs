@@ -180,6 +180,17 @@ pub enum EventKind {
         /// Push token of the unit taken.
         token: u64,
     },
+    /// A consumer outside the scheduler (the `omp-adaptive` dispatcher)
+    /// drew a seeded decision: `tag` identifies the choice point (the
+    /// callsite key) and `pick` is the index drawn. In the log so schedule
+    /// fingerprints cover mechanism picks, and replays/shrinks reproduce
+    /// them like any pop/steal decision.
+    External {
+        /// Caller-supplied choice-point identity (adaptive callsite key).
+        tag: u64,
+        /// Index drawn (0 = the deterministic post-budget fallback).
+        pick: usize,
+    },
     /// `on_shutdown` released the stepper into free-run mode.
     Shutdown,
     /// The stall watchdog fired: a token holder blocked outside the
@@ -211,6 +222,13 @@ struct StepState {
     decisions: u64,
     /// Post-budget grant rotation (see [`Stepper::grant_choice`]).
     fallback_grants: u64,
+    /// Per-tag SplitMix64 streams for [`Stepper::external_decision`] —
+    /// separate from `rng` so an external pick is a pure function of
+    /// (seed, tag, per-tag draw index), independent of how scheduling
+    /// draws interleave with it.
+    external_rng: std::collections::HashMap<u64, u64>,
+    /// External draws taken so far (budget accounting for external picks).
+    external_decisions: u64,
     seq: u64,
     events: Vec<Event>,
 }
@@ -240,6 +258,8 @@ impl Stepper {
                 rng,
                 decisions: 0,
                 fallback_grants: 0,
+                external_rng: std::collections::HashMap::new(),
+                external_decisions: 0,
                 seq: 0,
                 events: Vec::new(),
             }),
@@ -359,6 +379,37 @@ impl Stepper {
         }
         st.holder = None;
         self.cv.notify_all();
+    }
+
+    /// Draw one seeded decision among `choices` for a consumer outside the
+    /// scheduler (the `omp-adaptive` dispatcher routes its explore-phase
+    /// mechanism picks here when running over the det backend). Each `tag`
+    /// gets its own SplitMix64 stream derived from the seed, so the pick is
+    /// a pure function of (seed, tag, per-tag draw index) — replayable even
+    /// though *scheduling* draws race ahead on worker threads between two
+    /// external draws. The same randomized-decision budget applies (its own
+    /// counter), with the same post-budget fallback (index 0), so a mis-pick
+    /// shrinks by binary-searching the budget exactly like a pop/steal
+    /// mis-schedule. The draw is recorded as an [`EventKind::External`]
+    /// event.
+    #[must_use]
+    pub fn external_decision(&self, tag: u64, choices: usize) -> usize {
+        let mut st = self.state.lock();
+        let pick = if choices <= 1 || st.external_decisions >= self.cfg.max_random_decisions {
+            0
+        } else {
+            st.external_decisions += 1;
+            let seed = self.cfg.seed;
+            let rng = st.external_rng.entry(tag).or_insert_with(|| {
+                let mut s = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // One warm-up step decorrelates nearby tags.
+                let _ = splitmix64(&mut s);
+                s
+            });
+            (splitmix64(rng) % choices as u64) as usize
+        };
+        self.record(&mut st, EventKind::External { tag, pick });
+        pick
     }
 
     /// Whether the stall watchdog fired at any point (the schedule is not
@@ -736,6 +787,34 @@ mod tests {
             "8 seeds must produce at least 2 distinct schedules, got {}",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn external_decisions_are_seeded_logged_and_budgeted() {
+        let draw = |seed, budget| {
+            let rt = start(
+                GltConfig::with_threads(1),
+                DetConfig { seed, max_random_decisions: budget, ..DetConfig::default() },
+            );
+            let picks: Vec<usize> =
+                (0..6).map(|i| rt.scheduler().stepper().external_decision(i, 4)).collect();
+            let logged = rt
+                .scheduler()
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::External { .. }))
+                .count();
+            (picks, logged)
+        };
+        let (a, la) = draw(42, u64::MAX);
+        let (b, lb) = draw(42, u64::MAX);
+        assert_eq!(a, b, "same seed, same pick stream");
+        assert_eq!((la, lb), (6, 6), "every draw is logged");
+        let (c, _) = draw(43, u64::MAX);
+        assert_ne!(a, c, "different seed should explore different picks");
+        let (d, ld) = draw(42, 0);
+        assert_eq!(d, vec![0; 6], "exhausted budget falls back to index 0");
+        assert_eq!(ld, 6, "fallback draws are still logged");
     }
 
     #[test]

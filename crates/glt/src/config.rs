@@ -6,8 +6,10 @@
 //! switches every backend to a single shared work queue, which the paper
 //! uses to neutralize load imbalance (§IV-F).
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use crate::counters::Counters;
 use crate::topology::Topology;
 
 /// How an idle worker (or a joiner with nothing to help with) waits.
@@ -74,6 +76,11 @@ pub struct GltConfig {
     /// stealing (and the owner's own pool) stay available, which is enough
     /// for liveness: every unit's home worker eventually runs it.
     pub cross_domain_steal: bool,
+    /// Counter block the runtime charges into. `None` (the default) gives
+    /// the runtime a private block; a composing runtime (`omp-adaptive`)
+    /// passes one shared block so both of its execution engines feed the
+    /// same statistics and the conservation laws hold across the pair.
+    pub counters: Option<Arc<Counters>>,
 }
 
 impl Default for GltConfig {
@@ -87,6 +94,7 @@ impl Default for GltConfig {
             park_timeout: Duration::from_millis(1),
             topology: None,
             cross_domain_steal: true,
+            counters: None,
         }
     }
 }
@@ -152,6 +160,14 @@ impl GltConfig {
     #[must_use]
     pub fn cross_domain_steal(mut self, on: bool) -> Self {
         self.cross_domain_steal = on;
+        self
+    }
+
+    /// Builder-style: charge this runtime's statistics into a shared
+    /// counter block instead of a private one.
+    #[must_use]
+    pub fn counters(mut self, c: Arc<Counters>) -> Self {
+        self.counters = Some(c);
         self
     }
 }

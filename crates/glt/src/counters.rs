@@ -93,6 +93,19 @@ pub struct Counters {
     /// attempt (no cross-stripe contention): with striped hot words this
     /// should be the overwhelming majority of `feb_ops`.
     pub feb_stripe_hits: AtomicU64,
+    /// Adaptive-runtime exploration forks: region forks the `omp-adaptive`
+    /// dispatcher ran while still sampling both mechanisms for a callsite
+    /// (the explore phase of its explore/exploit rule).
+    pub adaptive_probes: AtomicU64,
+    /// Adaptive-runtime commits to the OS-thread (pomp hot-team) mechanism:
+    /// one per callsite commit event, including re-commits after a re-probe.
+    pub adaptive_commits_os: AtomicU64,
+    /// Adaptive-runtime commits to the ULT (GLTO) mechanism, counted like
+    /// `adaptive_commits_os`.
+    pub adaptive_commits_ult: AtomicU64,
+    /// Adaptive-runtime re-probe events: a committed callsite whose fork
+    /// count crossed the re-probe period and re-entered the explore phase.
+    pub adaptive_reprobes: AtomicU64,
 }
 
 impl Counters {
@@ -147,10 +160,14 @@ impl Counters {
             lock_yields: self.lock_yields.load(Ordering::Relaxed),
             lock_handoffs: self.lock_handoffs.load(Ordering::Relaxed),
             feb_stripe_hits: self.feb_stripe_hits.load(Ordering::Relaxed),
+            adaptive_probes: self.adaptive_probes.load(Ordering::Relaxed),
+            adaptive_commits_os: self.adaptive_commits_os.load(Ordering::Relaxed),
+            adaptive_commits_ult: self.adaptive_commits_ult.load(Ordering::Relaxed),
+            adaptive_reprobes: self.adaptive_reprobes.load(Ordering::Relaxed),
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 28] {
+    fn all(&self) -> [&AtomicU64; 32] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
@@ -180,6 +197,10 @@ impl Counters {
             &self.lock_yields,
             &self.lock_handoffs,
             &self.feb_stripe_hits,
+            &self.adaptive_probes,
+            &self.adaptive_commits_os,
+            &self.adaptive_commits_ult,
+            &self.adaptive_reprobes,
         ]
     }
 }
@@ -216,6 +237,10 @@ pub struct CounterSnapshot {
     pub lock_yields: u64,
     pub lock_handoffs: u64,
     pub feb_stripe_hits: u64,
+    pub adaptive_probes: u64,
+    pub adaptive_commits_os: u64,
+    pub adaptive_commits_ult: u64,
+    pub adaptive_reprobes: u64,
 }
 
 impl CounterSnapshot {
@@ -303,7 +328,12 @@ impl CounterSnapshot {
     ///   queued waiter, and a waiter only enqueues after a counted failed
     ///   fast-path probe);
     /// * FEB stripes: `feb_stripe_hits ≤ feb_ops` (a first-attempt stripe
-    ///   hit is still one FEB operation).
+    ///   hit is still one FEB operation);
+    /// * adaptive commits: `adaptive_commits_os + adaptive_commits_ult ≤
+    ///   adaptive_probes` (every commit is preceded by at least one probe
+    ///   fork — the explore budget is clamped to ≥ 1);
+    /// * adaptive re-probes: `adaptive_reprobes ≤ adaptive_probes` (a
+    ///   re-probe re-opens the explore phase, whose first fork is a probe).
     #[must_use]
     pub fn invariant_violations(&self, drained: bool) -> Vec<String> {
         let mut v = Vec::new();
@@ -420,6 +450,22 @@ impl CounterSnapshot {
                 "feb_stripe_hits ({}) > feb_ops ({}): a stripe hit was counted \
                  without its FEB operation",
                 self.feb_stripe_hits, self.feb_ops
+            ));
+        }
+        let commits = self.adaptive_commits_os + self.adaptive_commits_ult;
+        if commits > self.adaptive_probes {
+            v.push(format!(
+                "adaptive_commits_os + adaptive_commits_ult ({commits}) > \
+                 adaptive_probes ({}): a callsite committed a mechanism without \
+                 a preceding probe fork",
+                self.adaptive_probes
+            ));
+        }
+        if self.adaptive_reprobes > self.adaptive_probes {
+            v.push(format!(
+                "adaptive_reprobes ({}) > adaptive_probes ({}): a re-probe was \
+                 counted without its explore-phase probe fork",
+                self.adaptive_reprobes, self.adaptive_probes
             ));
         }
         v
@@ -684,6 +730,50 @@ mod tests {
         assert!(v.iter().any(|m| m.contains("lock_yields")));
         assert!(v.iter().any(|m| m.contains("lock_handoffs")));
         assert!(v.iter().any(|m| m.contains("feb_stripe_hits")));
+    }
+
+    #[test]
+    fn adaptive_counter_violations_detected() {
+        // Commits without probes, and re-probes exceeding probes.
+        let s = CounterSnapshot {
+            adaptive_probes: 1,
+            adaptive_commits_os: 1,
+            adaptive_commits_ult: 1,
+            adaptive_reprobes: 2,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 2, "got: {v:?}");
+        assert!(v.iter().any(|m| m.contains("adaptive_commits_os")));
+        assert!(v.iter().any(|m| m.contains("adaptive_reprobes")));
+    }
+
+    #[test]
+    fn adaptive_counters_consistent_snapshot_passes() {
+        let s = CounterSnapshot {
+            adaptive_probes: 8,
+            adaptive_commits_os: 2,
+            adaptive_commits_ult: 3,
+            adaptive_reprobes: 3,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(true).is_empty());
+    }
+
+    #[test]
+    fn adaptive_counters_survive_without_timing() {
+        // Decisions must compare equal across runs of one det schedule, so
+        // the timing filter leaves them alone.
+        let s = CounterSnapshot {
+            adaptive_probes: 4,
+            adaptive_commits_ult: 2,
+            adaptive_reprobes: 1,
+            ..CounterSnapshot::default()
+        };
+        let t = s.without_timing();
+        assert_eq!(t.adaptive_probes, 4);
+        assert_eq!(t.adaptive_commits_ult, 2);
+        assert_eq!(t.adaptive_reprobes, 1);
     }
 
     #[test]

@@ -156,7 +156,7 @@ struct Shared<S: Scheduler> {
     cfg: GltConfig,
     topo: Topology,
     sched: S,
-    counters: Counters,
+    counters: Arc<Counters>,
     unit_slab: UnitSlab,
     slots: Vec<Arc<WaitSlot>>,
     stop: AtomicBool,
@@ -318,12 +318,13 @@ impl<S: Scheduler> Runtime<S> {
         let id = NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed);
         let slots = (0..n).map(|_| Arc::new(WaitSlot::new())).collect();
         let topo = cfg.resolved_topology();
+        let counters = cfg.counters.clone().unwrap_or_else(|| Arc::new(Counters::new()));
         let shared = Arc::new(Shared {
             id,
             cfg,
             topo,
             sched,
-            counters: Counters::new(),
+            counters,
             unit_slab: UnitSlab::new(),
             slots,
             stop: AtomicBool::new(false),

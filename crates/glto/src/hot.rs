@@ -192,8 +192,13 @@ pub(crate) fn try_run_hot(team: &GltoTeam<'_>, body: &RegionFn<'static>) -> bool
     let w = glt.num_threads();
     // Eligibility; see the module docs for why each arm exists. The n > w
     // case would park two service loops on one worker — deadlock under
-    // help-first scheduling — so it must go cold.
-    if team.level() > 1 || !rt.hot_enabled() || n <= 1 || n > w {
+    // help-first scheduling — so it must go cold. The w <= 1 arm is the
+    // sole-worker guard: with only the master's GLT_thread there is no
+    // rank to park a service loop on, and an armed member could only run
+    // by displacing the master — the single-core MTH regression documented
+    // in EXPERIMENTS.md. It is implied by `1 < n <= w` today but stated
+    // explicitly so no future widening of the width rule re-opens it.
+    if team.level() > 1 || !rt.hot_enabled() || w <= 1 || n <= 1 || n > w {
         return false;
     }
     // Placement-aware home ranks for members tid `1..n`. A service loop
@@ -381,6 +386,30 @@ mod tests {
         });
         assert_eq!(tids.lock().len(), 4);
         assert_eq!(r.counters().snapshot().ults_reused, 0, "cold path must not count reuse");
+    }
+
+    #[test]
+    fn single_worker_runtimes_fall_back_cold() {
+        // GLTO_HOT_ULTS=1 on one worker regressed MTH wall time (a parked
+        // member can only run by displacing the master; EXPERIMENTS.md,
+        // PR 6): hot eligibility requires workers > 1, and a sole-worker
+        // runtime must serve every fork cold yet correct.
+        for b in Backend::all() {
+            let r = hot_rt(b, 1);
+            r.counters().reset();
+            for _ in 0..3 {
+                let hits = AtomicUsize::new(0);
+                r.parallel(|ctx| {
+                    assert_eq!(ctx.num_threads(), 1);
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(hits.load(Ordering::SeqCst), 1, "backend {b:?}");
+            }
+            let s = r.counters().snapshot();
+            assert_eq!(s.forks, 3, "backend {b:?}");
+            assert_eq!(s.ults_created, 0, "no service loop may park on the sole worker ({b:?})");
+            assert_eq!(s.ults_reused, 0, "hot path must never engage with one worker ({b:?})");
+        }
     }
 
     #[test]

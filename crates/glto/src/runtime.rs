@@ -1,9 +1,9 @@
 //! `GltoRuntime`: the OpenMP runtime over GLT (the paper's contribution).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use glt::{Counters, GltConfig, GltRuntime, WaitPolicy};
-use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
+use omp::{CriticalRegistry, Icvs, NestedHandoff, OmpConfig, OmpRuntime, RegionFn};
 
 use crate::backend::{AnyGlt, Backend};
 use crate::hot::HotPool;
@@ -14,12 +14,14 @@ use crate::team::GltoTeam;
 /// the selected LWT backend.
 pub struct GltoRuntime {
     cfg: OmpConfig,
-    icvs: Icvs,
-    criticals: CriticalRegistry,
+    icvs: Arc<Icvs>,
+    criticals: Arc<CriticalRegistry>,
     backend: Backend,
     glt: AnyGlt,
     /// Parked hot-ULT team (`GLTO_HOT_ULTS`, see [`crate::hot`]).
     hot: HotPool,
+    /// Cross-mechanism nested-region handoff (see [`NestedHandoff`]).
+    nested_handoff: OnceLock<NestedHandoff>,
 }
 
 impl GltoRuntime {
@@ -28,6 +30,46 @@ impl GltoRuntime {
     /// to CPU cores and are created when the library is loaded" (§IV-B).
     #[must_use]
     pub fn new(backend: Backend, cfg: OmpConfig) -> Arc<Self> {
+        Self::with_counters(backend, cfg, None)
+    }
+
+    /// As [`GltoRuntime::new`], optionally charging into a shared counter
+    /// block (the `omp-adaptive` composition passes the block it also hands
+    /// its pomp engine, so one statistics stream covers both mechanisms).
+    #[must_use]
+    pub fn with_counters(
+        backend: Backend,
+        cfg: OmpConfig,
+        counters: Option<Arc<Counters>>,
+    ) -> Arc<Self> {
+        let icvs = Arc::new(Icvs::new(&cfg));
+        let criticals = Arc::new(CriticalRegistry::from_config(&cfg));
+        Self::build(backend, cfg, counters, icvs, criticals)
+    }
+
+    /// Build the ULT engine of an `omp-adaptive` composition: counter
+    /// block, mutable ICVs, and named-critical registry are shared with the
+    /// composing runtime (and its OS-thread engine), so `omp_set_*` calls
+    /// and named criticals behave identically whichever mechanism a region
+    /// runs on.
+    #[must_use]
+    pub fn adaptive_engine(
+        backend: Backend,
+        cfg: OmpConfig,
+        counters: Arc<Counters>,
+        icvs: Arc<Icvs>,
+        criticals: Arc<CriticalRegistry>,
+    ) -> Arc<Self> {
+        Self::build(backend, cfg, Some(counters), icvs, criticals)
+    }
+
+    fn build(
+        backend: Backend,
+        cfg: OmpConfig,
+        counters: Option<Arc<Counters>>,
+        icvs: Arc<Icvs>,
+        criticals: Arc<CriticalRegistry>,
+    ) -> Arc<Self> {
         let glt_cfg = GltConfig {
             num_threads: cfg.num_threads,
             shared_queues: cfg.shared_queues,
@@ -38,12 +80,49 @@ impl GltoRuntime {
             // migrating a bound team's work across a socket boundary.
             topology: cfg.topology.or_else(glt::Topology::from_env),
             cross_domain_steal: cfg.proc_bind.allows_cross_domain(),
+            counters,
             ..GltConfig::default()
         };
         let glt = AnyGlt::start(backend, glt_cfg);
-        let icvs = Icvs::new(&cfg);
-        let criticals = CriticalRegistry::from_config(&cfg);
-        Arc::new(GltoRuntime { cfg, icvs, criticals, backend, glt, hot: HotPool::new() })
+        Arc::new(GltoRuntime {
+            cfg,
+            icvs,
+            criticals,
+            backend,
+            glt,
+            hot: HotPool::new(),
+            nested_handoff: OnceLock::new(),
+        })
+    }
+
+    /// Install the cross-mechanism nested handoff (at most once, before
+    /// first use). Consulted by [`crate::team::GltoTeam`] after the
+    /// serial-fallback checks: a hook that returns `true` has run the
+    /// nested region on the other mechanism.
+    pub fn install_nested_handoff(&self, hook: NestedHandoff) {
+        assert!(self.nested_handoff.set(hook).is_ok(), "nested handoff already installed");
+    }
+
+    /// The installed cross-mechanism nested handoff, if any.
+    pub(crate) fn nested_handoff(&self) -> Option<&NestedHandoff> {
+        self.nested_handoff.get()
+    }
+
+    /// Run a nested region at `level + 1` as a fresh ULT team — the entry
+    /// point the OS-thread engine's handoff uses for the "ULT region nested
+    /// under an OS-thread region" direction. The encountering thread (a
+    /// pomp pool member, foreign to GLT) runs the master share inline;
+    /// member ULTs run on the GLT workers. The team starts a fresh lineage:
+    /// no GLT frame of an ancestor team lives on the calling OS thread.
+    pub fn run_nested_region(
+        &self,
+        level: usize,
+        nthreads: Option<usize>,
+        body: &RegionFn<'static>,
+    ) {
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let team = GltoTeam::with_parent(self, level + 1, n, &[]);
+        team.run_region(body);
     }
 
     /// The underlying GLT runtime.

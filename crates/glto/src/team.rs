@@ -296,6 +296,13 @@ impl<'rt> GltoTeam<'rt> {
         let n = self.nthreads;
         let t0 = Instant::now();
         let map = if self.level <= 1 { place_members(self.rt, n) } else { None };
+        // A foreign encountering thread (cross-mechanism nested handoff:
+        // a pomp pool member, no GLT rank) must not use Local placement —
+        // those units land in pool 0, whose owner (the OpenMP master
+        // thread) may be busy inside the *other* engine and never drain
+        // it, and private-pool backends cannot steal them out. Spread the
+        // members over the spawned workers (ranks 1..w) instead.
+        let foreign = glt.self_rank().is_none();
         let mut specs: Vec<(Option<usize>, WorkFn)> = Vec::with_capacity(n.saturating_sub(1));
         for tid in 1..n {
             let cmd = ForkCmd {
@@ -319,6 +326,8 @@ impl<'rt> GltoTeam<'rt> {
             // nested (see glt::UnitClass).
             specs.push(if self.level <= 1 {
                 (Some(map.as_ref().map_or(tid % w, |m| m[tid])), work)
+            } else if foreign && w > 1 {
+                (Some(1 + (tid - 1) % (w - 1)), work)
             } else {
                 (None, work)
             });
@@ -476,6 +485,15 @@ impl TeamOps for GltoTeam<'_> {
         if !icvs.nested() || self.level >= icvs.max_active_levels() {
             SerialTeam::new(self.rt, self.rt.criticals(), self.level + 1).run(body);
             return;
+        }
+        // Cross-mechanism handoff (omp-adaptive): the composing runtime may
+        // route this nested region to its OS-thread engine instead — e.g.
+        // when a single GLT worker would serialize the inner team while the
+        // OS pool offers real concurrency.
+        if let Some(hook) = self.rt.nested_handoff() {
+            if hook(self.level, nthreads, body) {
+                return;
+            }
         }
         let n = nthreads.unwrap_or_else(|| icvs.num_threads()).max(1);
         // §IV-E: the nested team is ULTs on the existing GLT_threads — no

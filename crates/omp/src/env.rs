@@ -254,6 +254,18 @@ pub struct OmpConfig {
     /// `OMP_SPIN_BUDGET`: failed acquire probes before a waiter starts
     /// yielding to the scheduler (also bounds barrier idle spinning).
     pub spin_budget: u32,
+    /// `OMP_ADAPTIVE_PROBE_K` (omp-adaptive only): exploration forks per
+    /// callsite *per mechanism* before the dispatcher commits to the
+    /// cheaper one. Clamped to ≥ 1 so every commit is preceded by at least
+    /// one probe (the `probes ≥ commits` conservation law).
+    pub adaptive_probe_k: u32,
+    /// `OMP_ADAPTIVE_REPROBE` (omp-adaptive only): committed forks at one
+    /// callsite before its decision is re-opened for exploration, so phase
+    /// changes re-trigger sampling. `0` disables re-probing.
+    pub adaptive_reprobe: u32,
+    /// `OMP_ADAPTIVE_TRACE` (omp-adaptive only): dump the per-callsite
+    /// decision table to stderr when the runtime is dropped.
+    pub adaptive_trace: bool,
 }
 
 impl Default for OmpConfig {
@@ -272,6 +284,9 @@ impl Default for OmpConfig {
             task_cutoff: 256, // paper: Intel default cut-off
             lock_kind: LockKind::SpinYield,
             spin_budget: 100,
+            adaptive_probe_k: 2,
+            adaptive_reprobe: 1024,
+            adaptive_trace: false,
         }
     }
 }
@@ -341,6 +356,20 @@ impl OmpConfig {
                 c.spin_budget = n;
             }
         }
+        if let Ok(v) = std::env::var("OMP_ADAPTIVE_PROBE_K") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                c.adaptive_probe_k = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("OMP_ADAPTIVE_REPROBE") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                c.adaptive_reprobe = n;
+            }
+        }
+        if let Ok(v) = std::env::var("OMP_ADAPTIVE_TRACE") {
+            c.adaptive_trace =
+                matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes");
+        }
         c
     }
 
@@ -401,6 +430,27 @@ impl OmpConfig {
     #[must_use]
     pub fn spin_budget(mut self, n: u32) -> Self {
         self.spin_budget = n;
+        self
+    }
+
+    /// Builder: set the adaptive explore budget (clamped to ≥ 1).
+    #[must_use]
+    pub fn adaptive_probe_k(mut self, k: u32) -> Self {
+        self.adaptive_probe_k = k.max(1);
+        self
+    }
+
+    /// Builder: set the adaptive re-probe period (`0` disables).
+    #[must_use]
+    pub fn adaptive_reprobe(mut self, n: u32) -> Self {
+        self.adaptive_reprobe = n;
+        self
+    }
+
+    /// Builder: enable the per-callsite decision dump on drop.
+    #[must_use]
+    pub fn adaptive_trace(mut self, on: bool) -> Self {
+        self.adaptive_trace = on;
         self
     }
 
@@ -614,5 +664,19 @@ mod tests {
         let c = OmpConfig::with_threads(2).lock_kind(LockKind::Mcs).spin_budget(7);
         assert_eq!(c.lock_kind, LockKind::Mcs);
         assert_eq!(c.spin_budget, 7);
+    }
+
+    #[test]
+    fn adaptive_defaults_and_builders() {
+        let c = OmpConfig::default();
+        assert!(c.adaptive_probe_k >= 1, "every commit needs a preceding probe");
+        assert!(!c.adaptive_trace);
+        let c = OmpConfig::with_threads(2)
+            .adaptive_probe_k(0) // clamped
+            .adaptive_reprobe(64)
+            .adaptive_trace(true);
+        assert_eq!(c.adaptive_probe_k, 1);
+        assert_eq!(c.adaptive_reprobe, 64);
+        assert!(c.adaptive_trace);
     }
 }

@@ -52,7 +52,10 @@ pub use env::{Icvs, OmpConfig, Places, ProcBind};
 #[cfg(feature = "planted-lost-wakeup")]
 pub use lock::{plant_drop_one, planted_repairs};
 pub use lock::{LockKind, OmpLock, OmpNestLock};
-pub use runtime::{wtime, OmpRuntime, OmpRuntimeExt, RegionFn, TaskGroup, TaskMeta, TeamOps};
+pub use runtime::{
+    callsite_id, wtime, NestedHandoff, OmpRuntime, OmpRuntimeExt, RegionFn, TaskGroup, TaskMeta,
+    TeamOps,
+};
 pub use schedule::Schedule;
 pub use serial::SerialRuntime;
 pub use taskcore::{

@@ -109,6 +109,20 @@ pub trait OmpRuntime: Send + Sync {
     /// method returns (the OpenMP implicit barrier).
     fn parallel_erased(&self, nthreads: Option<usize>, body: &RegionFn<'static>);
 
+    /// As [`OmpRuntime::parallel_erased`], additionally carrying a stable
+    /// *callsite identity* for the forking program location. The typed
+    /// front-end ([`OmpRuntimeExt::parallel_n`]) derives it from the
+    /// `#[track_caller]` source location of the `parallel` construct, so
+    /// the same source-level construct maps to the same key across forks
+    /// and across runs — the analog of the caller-address keying an
+    /// outlined-function ABI would give a real compiler. Runtimes that
+    /// dispatch per callsite (`omp-adaptive`) override this; everyone else
+    /// ignores the key.
+    fn parallel_erased_at(&self, nthreads: Option<usize>, body: &RegionFn<'static>, callsite: u64) {
+        let _ = callsite;
+        self.parallel_erased(nthreads, body);
+    }
+
     /// Whether the runtime implements the `final` clause (executes final
     /// tasks directly, included). The pthread baselines return `false`,
     /// reproducing the `omp_task_final` validation failure the paper
@@ -126,9 +140,21 @@ pub trait OmpRuntime: Send + Sync {
     fn retire_cached(&self) {}
 }
 
+/// A cross-mechanism nested-region handoff hook, installed by a composing
+/// runtime (`omp-adaptive`) into an execution engine. Called when a team
+/// member opens a nested region *after* the engine's own serial-fallback
+/// checks (`OMP_NESTED`, `omp_get_max_active_levels`) have passed, with the
+/// **outer** region's level, the requested width, and the erased body.
+/// Returns `true` if the hook ran the nested region to completion on the
+/// other mechanism (the engine must then do nothing); `false` hands the
+/// region back to the engine's native nesting path.
+pub type NestedHandoff =
+    Box<dyn Fn(usize, Option<usize>, &RegionFn<'static>) -> bool + Send + Sync>;
+
 /// Safe, ergonomic entry points over [`OmpRuntime::parallel_erased`].
 pub trait OmpRuntimeExt: OmpRuntime {
     /// `#pragma omp parallel`: run `f` on a team of the default size.
+    #[track_caller]
     fn parallel<'env, F>(&self, f: F)
     where
         F: for<'t> Fn(&ParCtx<'t, 'env>) + Sync + 'env,
@@ -137,17 +163,19 @@ pub trait OmpRuntimeExt: OmpRuntime {
     }
 
     /// `#pragma omp parallel num_threads(n)`.
+    #[track_caller]
     fn parallel_n<'env, F>(&self, nthreads: Option<usize>, f: F)
     where
         F: for<'t> Fn(&ParCtx<'t, 'env>) + Sync + 'env,
     {
+        let callsite = callsite_id(std::panic::Location::caller());
         let body: &RegionFn<'env> = &f;
         // SAFETY: lifetime erasure only. `parallel_erased` contractually
         // completes the whole region (body + tasks) before returning, so
         // nothing referencing `'env` survives this call.
         let body: &RegionFn<'static> =
             unsafe { std::mem::transmute::<&RegionFn<'env>, &RegionFn<'static>>(body) };
-        self.parallel_erased(nthreads, body);
+        self.parallel_erased_at(nthreads, body, callsite);
     }
 
     /// `omp_set_num_threads`.
@@ -162,6 +190,30 @@ pub trait OmpRuntimeExt: OmpRuntime {
 }
 
 impl<R: OmpRuntime + ?Sized> OmpRuntimeExt for R {}
+
+/// Stable identity for a `parallel` callsite, derived from its
+/// `#[track_caller]` source location (file, line, column). Two different
+/// source-level constructs hash differently — even two closures in the
+/// same function, which `std::any::type_name` cannot tell apart — while
+/// the same construct, even invoked through `dyn OmpRuntime` or inside a
+/// loop, hashes identically across forks *and across runs* (source
+/// coordinates are compile-time facts, unlike function addresses subject
+/// to ASLR). FNV-1a keeps this dependency-free and cheap.
+#[inline]
+#[must_use]
+pub fn callsite_id(loc: &std::panic::Location<'_>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &b in loc.file().as_bytes() {
+        step(u64::from(b));
+    }
+    step(u64::from(loc.line()));
+    step(u64::from(loc.column()));
+    h
+}
 
 /// `omp_get_wtime` analog: seconds since an arbitrary epoch.
 #[must_use]
@@ -188,6 +240,22 @@ mod tests {
         assert_eq!(g.pending(), 1);
         g.done();
         assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn callsite_ids_are_stable_and_distinct() {
+        #[track_caller]
+        fn id() -> u64 {
+            callsite_id(std::panic::Location::caller())
+        }
+        let mut in_loop = Vec::new();
+        for _ in 0..3 {
+            in_loop.push(id()); // one source construct: one identity
+        }
+        assert_eq!(in_loop[0], in_loop[1], "same callsite hashes identically");
+        assert_eq!(in_loop[1], in_loop[2]);
+        let elsewhere = id();
+        assert_ne!(in_loop[0], elsewhere, "distinct constructs are distinct callsites");
     }
 
     #[test]

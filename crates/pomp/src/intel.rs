@@ -12,12 +12,12 @@
 //! * the `final` clause is not honored (validation Table I).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::ThreadId;
 
 use glt::{Counters, WaitPolicy};
 use omp::serial::SerialTeam;
-use omp::{CriticalRegistry, Icvs, OmpConfig, OmpRuntime, RegionFn};
+use omp::{CriticalRegistry, Icvs, NestedHandoff, OmpConfig, OmpRuntime, RegionFn};
 use parking_lot::Mutex;
 
 use crate::common::{PompPolicy, PompRt, PompTeam, ThreadPool};
@@ -25,12 +25,20 @@ use crate::common::{PompPolicy, PompRt, PompTeam, ThreadPool};
 /// Intel-like OpenMP runtime over OS threads.
 pub struct IntelRuntime {
     cfg: OmpConfig,
-    icvs: Icvs,
-    counters: Counters,
-    criticals: CriticalRegistry,
+    icvs: Arc<Icvs>,
+    counters: Arc<Counters>,
+    criticals: Arc<CriticalRegistry>,
     pool: Mutex<ThreadPool>,
     /// Hot nested teams, keyed by (owning thread, nesting level).
     hot_teams: Mutex<HotTeams>,
+    /// Whether the `final` clause is honored. The standalone Intel baseline
+    /// reproduces the paper's validation failure (`false`); as the OS-thread
+    /// engine of `omp-adaptive` the clause is honored (`true`) — the front
+    /// end implements it mechanism-independently, and the composed runtime
+    /// must behave identically whichever engine a region lands on.
+    honors_final: bool,
+    /// Cross-mechanism nested-region handoff (see [`NestedHandoff`]).
+    nested_handoff: OnceLock<NestedHandoff>,
 }
 
 /// Hot nested team pools, keyed by (owning thread, nesting level).
@@ -40,17 +48,88 @@ impl IntelRuntime {
     /// Build an Intel-like runtime.
     #[must_use]
     pub fn new(cfg: OmpConfig) -> Arc<Self> {
-        let icvs = Icvs::new(&cfg);
+        let icvs = Arc::new(Icvs::new(&cfg));
+        let criticals = Arc::new(CriticalRegistry::from_config(&cfg));
+        Self::build(cfg, Arc::new(Counters::new()), icvs, criticals, false)
+    }
+
+    /// Build an Intel-like runtime charging into a shared counter block
+    /// (the `omp-adaptive` composition: both mechanisms, one statistics
+    /// stream, so the conservation laws hold across the pair).
+    #[must_use]
+    pub fn with_counters(cfg: OmpConfig, counters: Arc<Counters>) -> Arc<Self> {
+        let icvs = Arc::new(Icvs::new(&cfg));
+        let criticals = Arc::new(CriticalRegistry::from_config(&cfg));
+        Self::build(cfg, counters, icvs, criticals, false)
+    }
+
+    /// Build the OS-thread engine of an `omp-adaptive` composition: counter
+    /// block, mutable ICVs, and named-critical registry are all shared with
+    /// the composing runtime (and its ULT engine), so `omp_set_*` calls and
+    /// named criticals behave identically whichever mechanism a region runs
+    /// on. Unlike the standalone baseline, the engine honors `final`.
+    #[must_use]
+    pub fn adaptive_engine(
+        cfg: OmpConfig,
+        counters: Arc<Counters>,
+        icvs: Arc<Icvs>,
+        criticals: Arc<CriticalRegistry>,
+    ) -> Arc<Self> {
+        Self::build(cfg, counters, icvs, criticals, true)
+    }
+
+    fn build(
+        cfg: OmpConfig,
+        counters: Arc<Counters>,
+        icvs: Arc<Icvs>,
+        criticals: Arc<CriticalRegistry>,
+        honors_final: bool,
+    ) -> Arc<Self> {
         let pool = Mutex::new(ThreadPool::new(cfg.wait_policy));
-        let criticals = CriticalRegistry::from_config(&cfg);
         Arc::new(IntelRuntime {
             cfg,
             icvs,
-            counters: Counters::new(),
+            counters,
             criticals,
             pool,
             hot_teams: Mutex::new(HashMap::new()),
+            honors_final,
+            nested_handoff: OnceLock::new(),
         })
+    }
+
+    /// Install the cross-mechanism nested handoff (at most once, before
+    /// first use). Consulted after the serial-fallback checks: a hook that
+    /// returns `true` has run the nested region on the other mechanism.
+    pub fn install_nested_handoff(&self, hook: NestedHandoff) {
+        assert!(self.nested_handoff.set(hook).is_ok(), "nested handoff already installed");
+    }
+
+    /// Run a nested region at `level + 1` on this engine's OS-thread
+    /// machinery — the entry point the ULT engine's handoff uses for the
+    /// "OS-thread region nested under a ULT region" direction.
+    pub fn run_nested_region(
+        &self,
+        level: usize,
+        nthreads: Option<usize>,
+        body: &RegionFn<'static>,
+    ) {
+        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
+        let key = (std::thread::current().id(), level);
+        let pool = {
+            let mut map = self.hot_teams.lock();
+            Arc::clone(
+                map.entry(key)
+                    .or_insert_with(|| Arc::new(Mutex::new(ThreadPool::new(self.cfg.wait_policy)))),
+            )
+        };
+        let mut pool = pool.lock();
+        if pool.size() >= n - 1 {
+            Counters::bump(&self.counters.os_threads_reused, (n - 1) as u64);
+        }
+        pool.ensure(n - 1, &self.counters);
+        let team = PompTeam::new(self, level + 1, n);
+        pool.run_region(&team, body, &self.counters);
     }
 }
 
@@ -84,7 +163,9 @@ impl OmpRuntime for IntelRuntime {
     }
 
     fn honors_final(&self) -> bool {
-        false // reproduces the Intel `omp_task_final` validation failure
+        // `false` standalone (reproduces the Intel `omp_task_final`
+        // validation failure); `true` as an adaptive engine (see `build`).
+        self.honors_final
     }
 }
 
@@ -102,23 +183,15 @@ impl PompRt for IntelRuntime {
             SerialTeam::new(self, &self.criticals, level + 1).run(body);
             return;
         }
-        let n = nthreads.unwrap_or_else(|| self.icvs.num_threads()).max(1);
-        let key = (std::thread::current().id(), level);
-        let pool = {
-            let mut map = self.hot_teams.lock();
-            Arc::clone(
-                map.entry(key)
-                    .or_insert_with(|| Arc::new(Mutex::new(ThreadPool::new(self.cfg.wait_policy)))),
-            )
-        };
-        let mut pool = pool.lock();
-        if pool.size() >= n - 1 {
-            // Hot team hit: the whole nested team is reused idle threads.
-            Counters::bump(&self.counters.os_threads_reused, (n - 1) as u64);
+        // Cross-mechanism handoff (omp-adaptive): a nested or task-heavy
+        // region is where ULTs win (Figs. 8–9) — the composing runtime may
+        // route this region to its ULT engine instead of a nested OS pool.
+        if let Some(hook) = self.nested_handoff.get() {
+            if hook(level, nthreads, body) {
+                return;
+            }
         }
-        pool.ensure(n - 1, &self.counters);
-        let team = PompTeam::new(self, level + 1, n);
-        pool.run_region(&team, body, &self.counters);
+        self.run_nested_region(level, nthreads, body);
     }
 
     fn make_task_policy(&self, nthreads: usize) -> PompPolicy {

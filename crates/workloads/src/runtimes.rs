@@ -33,6 +33,9 @@ pub enum RuntimeKind {
         /// Seed of the scheduling-decision stream.
         seed: u64,
     },
+    /// Adaptive composition ("ADAPT"): picks the pomp hot-team OS path or
+    /// the GLTO hot-ULT path per region, per callsite. See `omp-adaptive`.
+    Adaptive,
 }
 
 impl RuntimeKind {
@@ -53,10 +56,10 @@ impl RuntimeKind {
 
     /// The full conformance matrix: every runtime the stack can execute a
     /// region on — the serialized baseline, both pthread runtimes, the
-    /// three paper GLTO backends, and the deterministic backend (seed 0;
-    /// harnesses substitute their own seeds).
+    /// three paper GLTO backends, the deterministic backend (seed 0;
+    /// harnesses substitute their own seeds), and the adaptive composition.
     #[must_use]
-    pub fn matrix() -> [RuntimeKind; 7] {
+    pub fn matrix() -> [RuntimeKind; 8] {
         [
             RuntimeKind::Serial,
             RuntimeKind::Gnu,
@@ -65,6 +68,7 @@ impl RuntimeKind {
             RuntimeKind::GltoQth,
             RuntimeKind::GltoMth,
             RuntimeKind::GltoDet { seed: 0 },
+            RuntimeKind::Adaptive,
         ]
     }
 
@@ -85,6 +89,7 @@ impl RuntimeKind {
             RuntimeKind::GltoQth => "GLTO(QTH)",
             RuntimeKind::GltoMth => "GLTO(MTH)",
             RuntimeKind::GltoDet { .. } => "GLTO(DET)",
+            RuntimeKind::Adaptive => "ADAPT",
         }
     }
 
@@ -99,6 +104,7 @@ impl RuntimeKind {
             RuntimeKind::GltoQth => "glto-qth",
             RuntimeKind::GltoMth => "glto-mth",
             RuntimeKind::GltoDet { .. } => "glto-det",
+            RuntimeKind::Adaptive => "adaptive",
         }
     }
 
@@ -113,6 +119,7 @@ impl RuntimeKind {
             "glto-qth" | "qth" | "qthreads" => Some(RuntimeKind::GltoQth),
             "glto-mth" | "mth" | "massivethreads" => Some(RuntimeKind::GltoMth),
             "glto-det" | "det" => Some(RuntimeKind::GltoDet { seed: 0 }),
+            "adaptive" | "adapt" | "omp-adaptive" => Some(RuntimeKind::Adaptive),
             _ => None,
         }
     }
@@ -152,6 +159,7 @@ impl RuntimeKind {
             RuntimeKind::GltoQth => GltoRuntime::new(Backend::Qth, cfg),
             RuntimeKind::GltoMth => GltoRuntime::new(Backend::Mth, cfg),
             RuntimeKind::GltoDet { seed } => GltoRuntime::new(Backend::det(seed), cfg),
+            RuntimeKind::Adaptive => omp_adaptive::AdaptiveRuntime::new(cfg),
         }
     }
 
@@ -201,9 +209,9 @@ mod tests {
     }
 
     #[test]
-    fn matrix_is_seven_and_every_runtime_runs_a_region() {
+    fn matrix_is_eight_and_every_runtime_runs_a_region() {
         let m = RuntimeKind::matrix();
-        assert_eq!(m.len(), 7);
+        assert_eq!(m.len(), 8);
         for k in m {
             let rt = k.build(OmpConfig::with_threads(2));
             let hits = AtomicUsize::new(0);
@@ -226,6 +234,18 @@ mod tests {
         assert!(k.is_glto());
         assert_eq!(k.label(), "GLTO(DET)");
         assert!(!RuntimeKind::Serial.is_glto());
+    }
+
+    #[test]
+    fn adaptive_kind_parses_and_is_not_glto() {
+        assert_eq!(RuntimeKind::parse("adaptive"), Some(RuntimeKind::Adaptive));
+        assert_eq!(RuntimeKind::parse("adapt"), Some(RuntimeKind::Adaptive));
+        assert_eq!(RuntimeKind::Adaptive.label(), "ADAPT");
+        assert_eq!(RuntimeKind::Adaptive.name(), "adaptive");
+        assert_eq!(RuntimeKind::Adaptive.backend(), None, "composes both mechanisms");
+        assert!(!RuntimeKind::Adaptive.is_glto());
+        assert!(!RuntimeKind::all().contains(&RuntimeKind::Adaptive), "paper series stay five");
+        assert!(RuntimeKind::matrix().contains(&RuntimeKind::Adaptive));
     }
 
     #[test]
