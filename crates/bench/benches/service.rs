@@ -1,0 +1,63 @@
+//! Multi-tenant service throughput: one batch of tenants through the
+//! shared substrate per iteration.
+//!
+//! Each iteration starts a substrate (4 domains, exclusive leases),
+//! submits one mixed-rotation job per tenant, waits for every ticket, and
+//! shuts down — so the measured cost is the whole service lifecycle the
+//! `repro -- service` target reports on: admission, dispatch onto cached
+//! lanes, execution, per-tenant accounting, and the retirement audit. The
+//! pomp baseline (GNU-style) is included so the LWT backends' coexistence
+//! claim is measured against the pthread world it argues with.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omp_service::{JobSpec, ServiceConfig, Substrate, Workload};
+use workloads::runtimes::RuntimeKind;
+
+fn run_batch(kind: RuntimeKind, tenants: usize) {
+    let mut cfg = ServiceConfig::new(tenants);
+    cfg.topology = glt::Topology::new(4, 2, 1);
+    cfg.max_concurrent = 4;
+    cfg.queue_cap = tenants + 1;
+    let s = Substrate::start(cfg);
+    let mix = Workload::mix();
+    let tickets: Vec<_> = (0..tenants)
+        .map(|t| {
+            s.submit(JobSpec {
+                tenant: t,
+                workload: mix[t % mix.len()].clone(),
+                threads: 2,
+                runtime: kind,
+            })
+            .expect("queue sized for every tenant")
+        })
+        .collect();
+    for t in tickets {
+        assert!(t.wait().ok);
+    }
+    let report = s.shutdown();
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+fn service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10);
+    for tenants in [10usize, 100] {
+        for kind in [
+            RuntimeKind::Gnu,
+            RuntimeKind::GltoAbt,
+            RuntimeKind::GltoQth,
+            RuntimeKind::GltoMth,
+            RuntimeKind::Adaptive,
+        ] {
+            g.bench_function(format!("{}::t{tenants}", kind.label()), |b| {
+                b.iter(|| run_batch(kind, tenants));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, service);
+criterion_main!(benches);

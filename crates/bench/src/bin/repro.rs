@@ -19,6 +19,8 @@
 //!   steal_locality  flat ring vs per-domain sharded stealing (+ counters)
 //!   adaptive        omp-adaptive vs the composed specialists (+ decision
 //!                   counters; OMP_ADAPTIVE_TRACE=1 dumps the memo table)
+//!   service         multi-tenant job server: throughput + p50/p95/p99
+//!                   latency at 10/100(/1000 with --paper) tenants
 //!   all             everything above
 //! ```
 
@@ -139,6 +141,7 @@ fn main() {
             "fig14" => fig14(&opts),
             "steal_locality" => steal_locality(&opts),
             "adaptive" => adaptive_target(&opts),
+            "service" => service_target(&opts),
             "check" => shape_check(&opts),
             "all" => {
                 shape_check(&opts);
@@ -157,6 +160,7 @@ fn main() {
                 fig14(&opts);
                 steal_locality(&opts);
                 adaptive_target(&opts);
+                service_target(&opts);
             }
             other => {
                 eprintln!("unknown target: {other}");
@@ -625,6 +629,117 @@ fn steal_locality(opts: &Opts) {
                     s.domain_migrations,
                 );
             }
+        }
+    }
+}
+
+// ------------------------------------------------------- service (new)
+
+/// The multi-tenant service bench: N tenants each submit one job from the
+/// mixed rotation (UTS / CG / Clover / task burst) to one shared
+/// substrate, per OpenMP implementation. Reports job throughput and the
+/// p50/p95/p99 submit-to-completion latency (queue wait included — this
+/// is an *admission* tail). Tenant counts: 10 and 100 at quick scale,
+/// plus the 1000-tenant soak point under `--paper`.
+fn service_target(opts: &Opts) {
+    let tenant_counts: &[usize] = match opts.scale {
+        Scale::Quick => &[10, 100],
+        Scale::Paper => &[10, 100, 1000],
+    };
+    let kinds = opts.runtimes_override.clone().unwrap_or_else(|| {
+        vec![
+            RuntimeKind::Gnu,
+            RuntimeKind::Intel,
+            RuntimeKind::GltoAbt,
+            RuntimeKind::GltoQth,
+            RuntimeKind::GltoMth,
+            RuntimeKind::Adaptive,
+        ]
+    });
+    println!(
+        "# service — N concurrent tenants on one shared substrate (4 domains, FIFO admission)"
+    );
+    println!(
+        "figure,runtime,tenants,throughput_jobs_per_s,mean_s,p50_s,p95_s,p99_s,\
+         admitted,rejected,leaked"
+    );
+    for &n in tenant_counts {
+        for &kind in &kinds {
+            let mut cfg = omp_service::ServiceConfig::new(n);
+            cfg.topology = glt::Topology::new(4, 2, 1);
+            cfg.max_concurrent = 4;
+            cfg.queue_cap = n + 1;
+            let s = omp_service::Substrate::start(cfg);
+            let mix = omp_service::Workload::mix();
+            let t0 = std::time::Instant::now();
+            let tickets: Vec<_> = (0..n)
+                .map(|t| {
+                    s.submit(omp_service::JobSpec {
+                        tenant: t,
+                        workload: mix[t % mix.len()].clone(),
+                        threads: 2,
+                        runtime: kind,
+                    })
+                    .expect("queue sized for every tenant")
+                })
+                .collect();
+            let mut lat: Vec<u64> = tickets
+                .into_iter()
+                .map(|t| {
+                    let out = t.wait();
+                    assert!(out.ok, "tenant {} wrong digest on {}", out.tenant, kind.label());
+                    u64::try_from(out.latency.as_nanos()).unwrap_or(u64::MAX)
+                })
+                .collect();
+            let wall = t0.elapsed();
+            let stats = omp_service::latency_stats(&mut lat);
+            let report = s.shutdown();
+            assert!(report.is_clean(), "{}: {:?}", kind.label(), report.violations);
+            let throughput = n as f64 / wall.as_secs_f64();
+            println!(
+                "service,{},{n},{throughput:.1},{:.6e},{:.6e},{:.6e},{:.6e},{},{},{}",
+                kind.label(),
+                stats.mean_ns as f64 * 1e-9,
+                stats.p50_ns as f64 * 1e-9,
+                stats.p95_ns as f64 * 1e-9,
+                stats.p99_ns as f64 * 1e-9,
+                report.service.jobs_admitted,
+                report.service.jobs_rejected,
+                report.aggregate.tenant_steals_leaked,
+            );
+            record_result("service", kind.label(), n, stats.mean_ns as f64, stats.p50_ns as f64);
+            record_counter("service", kind.label(), n, "lat_p50_ns", stats.p50_ns);
+            record_counter("service", kind.label(), n, "lat_p95_ns", stats.p95_ns);
+            record_counter("service", kind.label(), n, "lat_p99_ns", stats.p99_ns);
+            record_counter(
+                "service",
+                kind.label(),
+                n,
+                "throughput_jobs_per_s",
+                throughput.round() as u64,
+            );
+            record_counter(
+                "service",
+                kind.label(),
+                n,
+                "jobs_admitted",
+                report.service.jobs_admitted,
+            );
+            record_counter("service", kind.label(), n, "jobs_queued", report.service.jobs_queued);
+            record_counter(
+                "service",
+                kind.label(),
+                n,
+                "jobs_rejected",
+                report.service.jobs_rejected,
+            );
+            record_counter(
+                "service",
+                kind.label(),
+                n,
+                "tenant_steals_leaked",
+                report.aggregate.tenant_steals_leaked,
+            );
         }
     }
 }

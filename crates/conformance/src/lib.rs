@@ -950,6 +950,47 @@ pub fn planted_cross_starvation(rt: &dyn OmpRuntime) -> bool {
     glt_det::planted_rescues() == before
 }
 
+// -------------------------------------------------------- service layer
+
+/// Det-sweepable shape of the multi-tenant accounting hazard: four tenants
+/// complete four jobs each as concurrent tasks on one runtime, every
+/// completion charging its own ledger slot
+/// ([`omp_service::colocated_accounting_probe`]). Clean builds must be
+/// exact on every seed; with `--features planted-tenant-bleed` the ledger
+/// parks the tenant id in a shared scratch cell across a scheduling point,
+/// and seeded schedules that interleave two charges misdirect one. It is
+/// **not** part of [`cases`] (the service crate is an optional tenant of
+/// the conformance matrix, not an OpenMP construct).
+pub fn tenant_accounting(rt: &dyn OmpRuntime) -> bool {
+    omp_service::colocated_accounting_probe(rt, 4, 4)
+}
+
+/// Per-runtime fault scoping, service-shaped: a co-tenant runtime arms the
+/// planted lost wakeup in *its* lock scope and goes away; this tenant's
+/// contended MCS hand-offs must be untouched (repairs in its own scope
+/// stay flat). All-green across the sweep = the `omp::lock` fault statics
+/// are really per-runtime now. It is **not** part of [`cases`].
+#[cfg(feature = "planted-lost-wakeup")]
+pub fn planted_lost_wakeup_foreign_arm(rt: &dyn OmpRuntime) -> bool {
+    {
+        // Building the co-tenant installs its waiter innermost on this
+        // thread, so the arm lands in the co-tenant's cell only.
+        let foreign = RuntimeKind::GltoAbt.build(OmpConfig::with_threads(2));
+        omp::plant_drop_one();
+        drop(foreign);
+    }
+    let lock = OmpLock::with_kind(LockKind::Mcs, 4);
+    let before = omp::planted_repairs();
+    rt.parallel(|_| {
+        for _ in 0..4 {
+            lock.set();
+            glt::coop::yield_to_scheduler();
+            lock.unset();
+        }
+    });
+    omp::planted_repairs() == before
+}
+
 /// Commit-heavy adaptive workload: drives two distinct callsites — one
 /// flat, one task-heavy — past the explore budget (at the default
 /// `OMP_ADAPTIVE_PROBE_K` each commits after four probes), then keeps
@@ -1620,5 +1661,147 @@ mod tests {
         let s = seed_stream(0, 64);
         let uniq: std::collections::HashSet<_> = s.iter().collect();
         assert_eq!(uniq.len(), s.len());
+    }
+
+    // ---------------------------------------------------- service layer
+
+    /// 2–8 concurrent tenants on one substrate: every job verifies, the
+    /// admission conservation laws hold once drained, and each tenant's
+    /// ledger slot counts exactly its own jobs.
+    #[test]
+    fn service_admission_conserves_across_tenant_counts() {
+        fast_stall();
+        for tenants in [2usize, 3, 5, 8] {
+            let mut cfg = omp_service::ServiceConfig::new(tenants);
+            cfg.topology = glt::Topology::new(4, 2, 1);
+            cfg.max_concurrent = 4;
+            let s = omp_service::Substrate::start(cfg);
+            let mix = omp_service::Workload::mix();
+            let kinds = [RuntimeKind::GltoAbt, RuntimeKind::GltoQth, RuntimeKind::GltoMth];
+            let tickets: Vec<_> = (0..tenants * 2)
+                .map(|i| {
+                    s.submit(omp_service::JobSpec {
+                        tenant: i % tenants,
+                        workload: mix[i % mix.len()].clone(),
+                        threads: 2,
+                        runtime: kinds[i % kinds.len()],
+                    })
+                    .expect("unbounded queue")
+                })
+                .collect();
+            for t in tickets {
+                let out = t.wait();
+                assert!(out.ok, "tenant {} wrong digest with {tenants} tenants", out.tenant);
+            }
+            let report = s.shutdown();
+            assert!(report.is_clean(), "{tenants} tenants: {:?}", report.violations);
+            assert!(
+                report.per_tenant_violations().is_empty(),
+                "{tenants} tenants: {:?}",
+                report.per_tenant_violations()
+            );
+            assert_eq!(report.service.jobs_queued, (tenants * 2) as u64);
+            assert_eq!(report.service.jobs_admitted, (tenants * 2) as u64);
+            assert_eq!(report.aggregate.tenant_steals_leaked, 0);
+            for (t, totals) in report.per_tenant.iter().enumerate() {
+                assert_eq!((totals.jobs_ok, totals.jobs_bad), (2, 0), "tenant {t}");
+            }
+        }
+    }
+
+    /// Coexistence must not change semantics: tenants that each run the
+    /// full validation suite as a service job still score their runtime's
+    /// pinned pass count (Table I) while sharing one substrate.
+    #[test]
+    fn concurrent_tenant_suites_keep_pinned_pass_counts() {
+        fast_stall();
+        let kinds = [
+            RuntimeKind::Gnu,
+            RuntimeKind::Intel,
+            RuntimeKind::GltoAbt,
+            RuntimeKind::GltoQth,
+            RuntimeKind::GltoMth,
+            RuntimeKind::Adaptive,
+        ];
+        let mut cfg = omp_service::ServiceConfig::new(kinds.len());
+        cfg.topology = glt::Topology::new(4, 2, 1);
+        cfg.max_concurrent = 4;
+        let s = omp_service::Substrate::start(cfg);
+        let tickets: Vec<_> = kinds
+            .iter()
+            .enumerate()
+            .map(|(t, &kind)| {
+                let suite = omp_service::Workload::Custom(std::sync::Arc::new(|rt| {
+                    validation::run_suite(rt).passed as u64
+                }));
+                s.submit(omp_service::JobSpec {
+                    tenant: t,
+                    workload: suite,
+                    threads: 2,
+                    runtime: kind,
+                })
+                .expect("unbounded queue")
+            })
+            .collect();
+        for (t, ticket) in tickets.into_iter().enumerate() {
+            let out = ticket.wait();
+            assert_eq!(
+                out.digest,
+                expected_suite_passes(kinds[t]) as u64,
+                "{} under multi-tenancy",
+                kinds[t].name()
+            );
+        }
+        let report = s.shutdown();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    /// The clean accounting probe is exact on every swept schedule (the
+    /// planted-bleed build must flip this same sweep red).
+    #[cfg(not(feature = "planted-tenant-bleed"))]
+    #[test]
+    fn tenant_accounting_sweep_is_clean() {
+        fast_stall();
+        let report = sweep_det(
+            "tenant-accounting",
+            tenant_accounting,
+            4,
+            seed_stream(97, seeds_from_env(64)),
+        );
+        assert!(report.all_passed(), "failing seeds: {:?}", report.failing);
+    }
+
+    #[cfg(feature = "planted-tenant-bleed")]
+    #[test]
+    fn planted_tenant_bleed_caught_replayed_and_shrunk() {
+        fast_stall();
+        let report = sweep_det("planted-tenant-bleed", tenant_accounting, 2, 0..64);
+        assert!(
+            !report.failing.is_empty(),
+            "the seed sweep must expose the planted cross-tenant charge bleed in 64 seeds"
+        );
+        let seed = report.failing[0];
+        let r1 = replay_det(tenant_accounting, 2, seed);
+        let r2 = replay_det(tenant_accounting, 2, seed);
+        assert!(!r1.passed() && !r2.passed(), "failing seed {seed} must replay");
+        assert_eq!(r1.decisions, r2.decisions, "replays must take the same schedule");
+        let budget = shrink_det(tenant_accounting, 2, seed).expect("seed fails, so it shrinks");
+        assert!(budget <= r1.decisions);
+        assert!(!run_det_once(tenant_accounting, 2, seed, budget).passed());
+        if budget > 0 {
+            assert!(run_det_once(tenant_accounting, 2, seed, budget - 1).passed());
+        }
+    }
+
+    /// A co-tenant arming the planted lock fault never fires in another
+    /// runtime's lock scope — all-green across the sweep even though the
+    /// arm is live for the whole case.
+    #[cfg(feature = "planted-lost-wakeup")]
+    #[test]
+    fn foreign_arm_sweep_is_all_green() {
+        fast_stall();
+        let report =
+            sweep_det("planted-lost-wakeup-foreign-arm", planted_lost_wakeup_foreign_arm, 2, 0..32);
+        assert!(report.all_passed(), "failing seeds: {:?}", report.failing);
     }
 }

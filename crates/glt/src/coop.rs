@@ -139,6 +139,20 @@ pub fn current_waiter() -> Option<Arc<dyn SyncWaiter>> {
     WAITERS.with(|w| w.borrow().last().map(|(_, s)| Arc::clone(s)))
 }
 
+/// The runtime id the innermost sync waiter was installed under, if any.
+///
+/// This is the key the `omp` layer scopes per-runtime synchronization
+/// state by (nest-lock owner tokens, fault-injection arming): every thread
+/// a GLT runtime registers — rank 0 and workers alike — carries the same
+/// id, so state keyed by it is shared exactly across one runtime instance
+/// and never across coexisting instances. Threads with no waiter (external
+/// submitters, pthread-style runtimes) return `None` and share a common
+/// fallback namespace.
+#[must_use]
+pub fn current_runtime_id() -> Option<u64> {
+    WAITERS.with(|w| w.borrow().last().map(|(i, _)| *i))
+}
+
 /// Yield to the calling thread's scheduler: the innermost installed
 /// waiter's backend-specific yield, else a plain OS `yield_now` (external
 /// threads and pthread-style runtimes).
@@ -341,6 +355,19 @@ mod tests {
         assert_eq!(a.yields.load(Ordering::Relaxed), 1);
         uninstall_waiter(1);
         assert!(current_waiter().is_none());
+    }
+
+    #[test]
+    fn current_runtime_id_tracks_innermost_waiter() {
+        assert_eq!(current_runtime_id(), None);
+        install_waiter(41, TestWaiter::new(false));
+        assert_eq!(current_runtime_id(), Some(41));
+        install_waiter(42, TestWaiter::new(false));
+        assert_eq!(current_runtime_id(), Some(42));
+        uninstall_waiter(42);
+        assert_eq!(current_runtime_id(), Some(41));
+        uninstall_waiter(41);
+        assert_eq!(current_runtime_id(), None);
     }
 
     #[test]

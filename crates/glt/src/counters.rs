@@ -106,6 +106,24 @@ pub struct Counters {
     /// Adaptive-runtime re-probe events: a committed callsite whose fork
     /// count crossed the re-probe period and re-entered the explore phase.
     pub adaptive_reprobes: AtomicU64,
+    /// Service-layer jobs dispatched onto a substrate lane (`omp-service`
+    /// admission controller). Charged on the substrate's service counter
+    /// block, not on any tenant's.
+    pub jobs_admitted: AtomicU64,
+    /// Service-layer jobs accepted into the FIFO submission queue. Every
+    /// queued job is eventually admitted, so once the substrate drains,
+    /// `jobs_queued ≤ jobs_admitted + jobs_rejected`.
+    pub jobs_queued: AtomicU64,
+    /// Service-layer jobs refused at submission (queue at capacity). A
+    /// rejected job is never queued and never admitted.
+    pub jobs_rejected: AtomicU64,
+    /// Cross-domain steals observed inside a tenant's counter delta — work
+    /// that escaped the topology domain the substrate leased to the tenant.
+    /// Charged onto the tenant lane's block by the post-job audit, so
+    /// `tenant_steals_leaked ≤ steals_cross_domain` on any block. Zero for
+    /// domain-isolated leases (single-domain lane topology) and whenever a
+    /// bound lane's cross-domain gate holds.
+    pub tenant_steals_leaked: AtomicU64,
 }
 
 impl Counters {
@@ -164,10 +182,14 @@ impl Counters {
             adaptive_commits_os: self.adaptive_commits_os.load(Ordering::Relaxed),
             adaptive_commits_ult: self.adaptive_commits_ult.load(Ordering::Relaxed),
             adaptive_reprobes: self.adaptive_reprobes.load(Ordering::Relaxed),
+            jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
+            jobs_queued: self.jobs_queued.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            tenant_steals_leaked: self.tenant_steals_leaked.load(Ordering::Relaxed),
         }
     }
 
-    fn all(&self) -> [&AtomicU64; 32] {
+    fn all(&self) -> [&AtomicU64; 36] {
         [
             &self.os_threads_created,
             &self.os_threads_reused,
@@ -201,6 +223,10 @@ impl Counters {
             &self.adaptive_commits_os,
             &self.adaptive_commits_ult,
             &self.adaptive_reprobes,
+            &self.jobs_admitted,
+            &self.jobs_queued,
+            &self.jobs_rejected,
+            &self.tenant_steals_leaked,
         ]
     }
 }
@@ -241,6 +267,10 @@ pub struct CounterSnapshot {
     pub adaptive_commits_os: u64,
     pub adaptive_commits_ult: u64,
     pub adaptive_reprobes: u64,
+    pub jobs_admitted: u64,
+    pub jobs_queued: u64,
+    pub jobs_rejected: u64,
+    pub tenant_steals_leaked: u64,
 }
 
 impl CounterSnapshot {
@@ -283,6 +313,117 @@ impl CounterSnapshot {
             feb_stripe_hits: 0,
             ..*self
         }
+    }
+
+    /// Field-wise difference `self − earlier` (saturating), for scoping a
+    /// shared counter block to one interval: the `omp-service` ledger
+    /// brackets each tenant job with two snapshots of its lane's block and
+    /// charges the tenant with the delta. Counters are monotonic, so on
+    /// quiesced brackets the subtraction is exact.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut d = CounterSnapshot::default();
+        for (out, (now, was)) in
+            d.fields_mut().into_iter().zip(self.fields().into_iter().zip(earlier.fields()))
+        {
+            *out = now.saturating_sub(was);
+        }
+        d
+    }
+
+    /// Field-wise sum `self + other` (saturating), for aggregating one
+    /// tenant's per-job deltas into a running total.
+    #[must_use]
+    pub fn accumulate(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        let mut s = CounterSnapshot::default();
+        for (out, (a, b)) in
+            s.fields_mut().into_iter().zip(self.fields().into_iter().zip(other.fields()))
+        {
+            *out = a.saturating_add(b);
+        }
+        s
+    }
+
+    fn fields(&self) -> [u64; 36] {
+        [
+            self.os_threads_created,
+            self.os_threads_reused,
+            self.ults_created,
+            self.ults_reused,
+            self.tasklets_created,
+            self.units_executed,
+            self.steals,
+            self.steals_same_domain,
+            self.steals_cross_domain,
+            self.domain_migrations,
+            self.steal_fails,
+            self.remote_pushes,
+            self.parks,
+            self.feb_ops,
+            self.tasks_created,
+            self.tasks_queued,
+            self.tasks_direct,
+            self.task_slab_fresh,
+            self.task_slab_reused,
+            self.unit_slab_fresh,
+            self.unit_slab_reused,
+            self.dep_tasks,
+            self.assign_ns,
+            self.forks,
+            self.lock_spins,
+            self.lock_yields,
+            self.lock_handoffs,
+            self.feb_stripe_hits,
+            self.adaptive_probes,
+            self.adaptive_commits_os,
+            self.adaptive_commits_ult,
+            self.adaptive_reprobes,
+            self.jobs_admitted,
+            self.jobs_queued,
+            self.jobs_rejected,
+            self.tenant_steals_leaked,
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut u64; 36] {
+        [
+            &mut self.os_threads_created,
+            &mut self.os_threads_reused,
+            &mut self.ults_created,
+            &mut self.ults_reused,
+            &mut self.tasklets_created,
+            &mut self.units_executed,
+            &mut self.steals,
+            &mut self.steals_same_domain,
+            &mut self.steals_cross_domain,
+            &mut self.domain_migrations,
+            &mut self.steal_fails,
+            &mut self.remote_pushes,
+            &mut self.parks,
+            &mut self.feb_ops,
+            &mut self.tasks_created,
+            &mut self.tasks_queued,
+            &mut self.tasks_direct,
+            &mut self.task_slab_fresh,
+            &mut self.task_slab_reused,
+            &mut self.unit_slab_fresh,
+            &mut self.unit_slab_reused,
+            &mut self.dep_tasks,
+            &mut self.assign_ns,
+            &mut self.forks,
+            &mut self.lock_spins,
+            &mut self.lock_yields,
+            &mut self.lock_handoffs,
+            &mut self.feb_stripe_hits,
+            &mut self.adaptive_probes,
+            &mut self.adaptive_commits_os,
+            &mut self.adaptive_commits_ult,
+            &mut self.adaptive_reprobes,
+            &mut self.jobs_admitted,
+            &mut self.jobs_queued,
+            &mut self.jobs_rejected,
+            &mut self.tenant_steals_leaked,
+        ]
     }
 
     /// Check the conservation laws that must hold for *any* runtime once it
@@ -333,7 +474,14 @@ impl CounterSnapshot {
     ///   adaptive_probes` (every commit is preceded by at least one probe
     ///   fork — the explore budget is clamped to ≥ 1);
     /// * adaptive re-probes: `adaptive_reprobes ≤ adaptive_probes` (a
-    ///   re-probe re-opens the explore phase, whose first fork is a probe).
+    ///   re-probe re-opens the explore phase, whose first fork is a probe);
+    /// * service queue: once drained, `jobs_queued ≤ jobs_admitted +
+    ///   jobs_rejected` (every job accepted into the submission FIFO was
+    ///   eventually dispatched; a rejected job never entered the queue, so
+    ///   mid-flight the queue may lead admissions but never after drain);
+    /// * tenant leaks: `tenant_steals_leaked ≤ steals_cross_domain` (a
+    ///   leaked steal is a cross-domain steal that crossed a tenant's lease
+    ///   boundary — the audit can never charge more leaks than crossings).
     #[must_use]
     pub fn invariant_violations(&self, drained: bool) -> Vec<String> {
         let mut v = Vec::new();
@@ -466,6 +614,21 @@ impl CounterSnapshot {
                 "adaptive_reprobes ({}) > adaptive_probes ({}): a re-probe was \
                  counted without its explore-phase probe fork",
                 self.adaptive_reprobes, self.adaptive_probes
+            ));
+        }
+        if drained && self.jobs_queued > self.jobs_admitted + self.jobs_rejected {
+            v.push(format!(
+                "drained but jobs_queued ({}) > jobs_admitted + jobs_rejected ({}): \
+                 a queued job was never dispatched",
+                self.jobs_queued,
+                self.jobs_admitted + self.jobs_rejected
+            ));
+        }
+        if self.tenant_steals_leaked > self.steals_cross_domain {
+            v.push(format!(
+                "tenant_steals_leaked ({}) > steals_cross_domain ({}): the lease \
+                 audit charged a leak without a cross-domain steal",
+                self.tenant_steals_leaked, self.steals_cross_domain
             ));
         }
         v
@@ -774,6 +937,81 @@ mod tests {
         assert_eq!(t.adaptive_probes, 4);
         assert_eq!(t.adaptive_commits_ult, 2);
         assert_eq!(t.adaptive_reprobes, 1);
+    }
+
+    #[test]
+    fn service_counter_violations_detected() {
+        // A queued job that was never dispatched is only visible once the
+        // substrate drained; mid-flight the queue legitimately leads.
+        let s = CounterSnapshot {
+            jobs_queued: 3,
+            jobs_admitted: 1,
+            jobs_rejected: 1,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(false).is_empty());
+        let v = s.invariant_violations(true);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("never dispatched"));
+        // A leak charged without a cross-domain steal is always a violation.
+        let s = CounterSnapshot {
+            steals: 1,
+            steals_same_domain: 1,
+            tenant_steals_leaked: 1,
+            units_executed: 1,
+            ults_created: 1,
+            unit_slab_fresh: 1,
+            ..CounterSnapshot::default()
+        };
+        let v = s.invariant_violations(false);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("tenant_steals_leaked"));
+    }
+
+    #[test]
+    fn service_counters_consistent_snapshot_passes() {
+        let s = CounterSnapshot {
+            jobs_queued: 5,
+            jobs_admitted: 5,
+            jobs_rejected: 2,
+            steals: 2,
+            steals_same_domain: 1,
+            steals_cross_domain: 1,
+            domain_migrations: 1,
+            tenant_steals_leaked: 1,
+            units_executed: 2,
+            ults_created: 2,
+            unit_slab_fresh: 2,
+            ..CounterSnapshot::default()
+        };
+        assert!(s.invariant_violations(true).is_empty());
+    }
+
+    #[test]
+    fn delta_and_accumulate_are_field_wise() {
+        let before = CounterSnapshot {
+            ults_created: 3,
+            steals: 1,
+            jobs_admitted: 2,
+            ..CounterSnapshot::default()
+        };
+        let after = CounterSnapshot {
+            ults_created: 10,
+            steals: 1,
+            jobs_admitted: 5,
+            tenant_steals_leaked: 1,
+            ..CounterSnapshot::default()
+        };
+        let d = after.delta_since(&before);
+        assert_eq!(d.ults_created, 7);
+        assert_eq!(d.steals, 0);
+        assert_eq!(d.jobs_admitted, 3);
+        assert_eq!(d.tenant_steals_leaked, 1);
+        let sum = d.accumulate(&before);
+        assert_eq!(sum.ults_created, 10);
+        assert_eq!(sum.jobs_admitted, 5);
+        // Deltas of a monotonic block never go negative (saturating).
+        assert_eq!(before.delta_since(&after).ults_created, 0);
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct GltoRuntime {
     criticals: Arc<CriticalRegistry>,
     backend: Backend,
     glt: AnyGlt,
+    /// Unique per-instance key scoping this runtime's thread-local team
+    /// bookkeeping (`glto::team::ACTIVE_TEAMS`): an OS thread hosting
+    /// frames for several coexisting runtimes keeps their team stacks
+    /// disjoint.
+    key: u64,
     /// Parked hot-ULT team (`GLTO_HOT_ULTS`, see [`crate::hot`]).
     hot: HotPool,
     /// Cross-mechanism nested-region handoff (see [`NestedHandoff`]).
@@ -84,15 +89,24 @@ impl GltoRuntime {
             ..GltConfig::default()
         };
         let glt = AnyGlt::start(backend, glt_cfg);
+        static NEXT_RUNTIME_KEY: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(1);
         Arc::new(GltoRuntime {
             cfg,
             icvs,
             criticals,
             backend,
             glt,
+            key: NEXT_RUNTIME_KEY.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             hot: HotPool::new(),
             nested_handoff: OnceLock::new(),
         })
+    }
+
+    /// The key under which this instance's team frames register in the
+    /// thread-local active-team stack (see [`crate::team`]).
+    pub(crate) fn team_key(&self) -> u64 {
+        self.key
     }
 
     /// Install the cross-mechanism nested handoff (at most once, before

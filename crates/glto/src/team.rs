@@ -48,9 +48,14 @@ static NEXT_TEAM_TAG: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     /// Lineages (ancestor-tag chains, own tag last) of the teams whose
-    /// member frames are live on this OS thread, innermost last. Pushed on
-    /// entry to a member's body, popped on exit.
-    static ACTIVE_TEAMS: std::cell::RefCell<Vec<std::sync::Arc<Vec<u64>>>> =
+    /// member frames are live on this OS thread, innermost last, each
+    /// keyed by the owning runtime instance ([`GltoRuntime::team_key`]).
+    /// Pushed on entry to a member's body, popped on exit. The key is
+    /// what lets N coexisting runtime instances share OS threads (the
+    /// multi-tenant service substrate, cross-mechanism handoffs): nesting
+    /// decisions made on behalf of one runtime see only that runtime's
+    /// frames, never a co-tenant's.
+    static ACTIVE_TEAMS: std::cell::RefCell<Vec<(u64, std::sync::Arc<Vec<u64>>)>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
@@ -59,8 +64,8 @@ thread_local! {
 pub(crate) struct ActiveTeamGuard;
 
 impl ActiveTeamGuard {
-    pub(crate) fn enter(lineage: std::sync::Arc<Vec<u64>>) -> ActiveTeamGuard {
-        ACTIVE_TEAMS.with(|t| t.borrow_mut().push(lineage));
+    pub(crate) fn enter(key: u64, lineage: std::sync::Arc<Vec<u64>>) -> ActiveTeamGuard {
+        ACTIVE_TEAMS.with(|t| t.borrow_mut().push((key, lineage)));
         ActiveTeamGuard
     }
 }
@@ -98,7 +103,15 @@ impl Drop for ActiveTeamGuard {
 ///   schedule sweep (`glto-det`, single-copy case, seed 1).
 /// * A member of an ancestor team is never safe: its barriers need frames
 ///   buried beneath this one.
+///
+/// Decisions are scoped to one runtime instance (`key`): only frames that
+/// runtime registered on this thread are consulted. Frames a *co-tenant*
+/// runtime buried here are invisible — their teams' barriers involve only
+/// that runtime's own frames and units, which this runtime's scheduler can
+/// never hand us (team tags are allocated process-globally, so a tag names
+/// exactly one team in exactly one runtime).
 fn region_nesting_allowed(
+    key: u64,
     u: &glt::UnitState,
     from_own_pool: bool,
     at_quiescent_point: bool,
@@ -116,8 +129,15 @@ fn region_nesting_allowed(
         // master waits for the very frame beneath us). Each active entry
         // carries its full lineage, so one containment check covers both
         // "on my stack" and "ancestor of something on my stack".
-        let innermost_own = t.last().map(|l| *l.last().expect("non-empty lineage"));
-        for lineage in t.iter() {
+        let innermost_own = t
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, l)| *l.last().expect("non-empty lineage"));
+        for (k, lineage) in t.iter() {
+            if *k != key {
+                continue;
+            }
             if lineage.contains(&tag) {
                 // Exception: the innermost current team itself, at a
                 // quiescent point (its body is provably past every
@@ -311,12 +331,13 @@ impl<'rt> GltoTeam<'rt> {
                 tid,
             };
             let lineage = std::sync::Arc::clone(&self.lineage);
+            let key = self.rt.team_key();
             let work: WorkFn = Box::new(move || {
                 let cmd = cmd;
                 // SAFETY: fork/join protocol (master joins all handles).
                 let team: &GltoTeam<'_> = unsafe { &*cmd.team };
                 let body: &RegionFn<'static> = unsafe { &*cmd.body };
-                let _active = ActiveTeamGuard::enter(lineage);
+                let _active = ActiveTeamGuard::enter(key, lineage);
                 run_region_member(team, cmd.tid, body);
             });
             // Top-level regions pin OMP thread i to GLT_thread i (Fig. 3) —
@@ -338,7 +359,8 @@ impl<'rt> GltoTeam<'rt> {
         Counters::bump(&counters.assign_ns, t0.elapsed().as_nanos() as u64);
         Counters::bump(&counters.forks, 1);
         {
-            let _active = ActiveTeamGuard::enter(std::sync::Arc::clone(&self.lineage));
+            let _active =
+                ActiveTeamGuard::enter(self.rt.team_key(), std::sync::Arc::clone(&self.lineage));
             run_region_member(self, 0, body);
         }
         let mut sw = self.spin_wait();
@@ -369,7 +391,10 @@ impl<'rt> GltoTeam<'rt> {
         let glt = self.rt.glt();
         let Some(me) = glt.self_rank() else { return false };
         let shared = glt.config().shared_queues;
-        glt.help_once_filtered(&move |u, own| region_nesting_allowed(u, own, false, me, shared))
+        let key = self.rt.team_key();
+        glt.help_once_filtered(&move |u, own| {
+            region_nesting_allowed(key, u, own, false, me, shared)
+        })
     }
 
     /// Help once from a quiescent point (`end_region` / fork join).
@@ -377,7 +402,8 @@ impl<'rt> GltoTeam<'rt> {
         let glt = self.rt.glt();
         let Some(me) = glt.self_rank() else { return false };
         let shared = glt.config().shared_queues;
-        glt.help_once_filtered(&move |u, own| region_nesting_allowed(u, own, true, me, shared))
+        let key = self.rt.team_key();
+        glt.help_once_filtered(&move |u, own| region_nesting_allowed(key, u, own, true, me, shared))
     }
 }
 
@@ -526,44 +552,47 @@ mod tests {
         std::sync::Arc::new(tags.to_vec())
     }
 
+    /// Runtime key used by the single-runtime tests.
+    const RT: u64 = 1;
+
     #[test]
     fn unrelated_team_is_always_allowed() {
-        let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let _g = ActiveTeamGuard::enter(RT, lineage(&[1, 2]));
         let u = unit(99, 5);
-        assert!(region_nesting_allowed(&u, false, false, 0, false));
-        assert!(region_nesting_allowed(&u, true, true, 0, true));
+        assert!(region_nesting_allowed(RT, &u, false, false, 0, false));
+        assert!(region_nesting_allowed(RT, &u, true, true, 0, true));
     }
 
     #[test]
     fn ancestor_team_is_never_allowed() {
         // Active frame of team 2 whose lineage includes team 1: a member
         // of team 1 (the parent) must never nest here.
-        let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let _g = ActiveTeamGuard::enter(RT, lineage(&[1, 2]));
         let u = unit(1, 0);
-        assert!(!region_nesting_allowed(&u, true, false, 0, false));
-        assert!(!region_nesting_allowed(&u, false, true, 0, false));
-        assert!(!region_nesting_allowed(&u, true, true, 0, false));
+        assert!(!region_nesting_allowed(RT, &u, true, false, 0, false));
+        assert!(!region_nesting_allowed(RT, &u, false, true, 0, false));
+        assert!(!region_nesting_allowed(RT, &u, true, true, 0, false));
     }
 
     #[test]
     fn current_team_allowed_only_at_quiescence_or_as_own_fork() {
-        let _g = ActiveTeamGuard::enter(lineage(&[1, 2]));
+        let _g = ActiveTeamGuard::enter(RT, lineage(&[1, 2]));
         let mine = unit(2, 7); // created by rank 7
                                // At a barrier-like wait, from a steal: never.
-        assert!(!region_nesting_allowed(&mine, false, false, 7, false));
+        assert!(!region_nesting_allowed(RT, &mine, false, false, 7, false));
         // At a barrier-like wait, own pool, own fork: the sole-runner case.
-        assert!(region_nesting_allowed(&mine, true, false, 7, false));
+        assert!(region_nesting_allowed(RT, &mine, true, false, 7, false));
         // ... but not if someone else forked it.
-        assert!(!region_nesting_allowed(&mine, true, false, 3, false));
+        assert!(!region_nesting_allowed(RT, &mine, true, false, 3, false));
         // ... and not in shared-queue mode (no pool ownership).
-        assert!(!region_nesting_allowed(&mine, true, false, 7, true));
+        assert!(!region_nesting_allowed(RT, &mine, true, false, 7, true));
         // ... and never once the unit has migrated between pools: it can
         // wander back into its creator's pool mid-region, and nesting it
         // there deadlocks two-barrier bodies (glto-det single-copy, seed 1).
         mine.mark_migrated();
-        assert!(!region_nesting_allowed(&mine, true, false, 7, false));
+        assert!(!region_nesting_allowed(RT, &mine, true, false, 7, false));
         // At a quiescent point: always, even migrated.
-        assert!(region_nesting_allowed(&mine, false, true, 3, true));
+        assert!(region_nesting_allowed(RT, &mine, false, true, 3, true));
     }
 
     #[test]
@@ -572,34 +601,62 @@ mod tests {
         // longer the innermost current team; its members are "ancestor of
         // an active frame" from here and must be rejected even at
         // quiescent points.
-        let _g1 = ActiveTeamGuard::enter(lineage(&[1, 2]));
-        let _g2 = ActiveTeamGuard::enter(lineage(&[1, 9]));
+        let _g1 = ActiveTeamGuard::enter(RT, lineage(&[1, 2]));
+        let _g2 = ActiveTeamGuard::enter(RT, lineage(&[1, 9]));
         let u2 = unit(2, 0);
-        assert!(!region_nesting_allowed(&u2, true, true, 0, false));
+        assert!(!region_nesting_allowed(RT, &u2, true, true, 0, false));
         // The innermost team (9) keeps its own-fork allowance.
         let u9 = unit(9, 0);
-        assert!(region_nesting_allowed(&u9, true, false, 0, false));
+        assert!(region_nesting_allowed(RT, &u9, true, false, 0, false));
         // Team 1 (common ancestor) still rejected.
         let u1 = unit(1, 0);
-        assert!(!region_nesting_allowed(&u1, false, true, 0, false));
+        assert!(!region_nesting_allowed(RT, &u1, false, true, 0, false));
     }
 
     #[test]
     fn empty_stack_allows_everything() {
         let u = unit(5, 0);
-        assert!(region_nesting_allowed(&u, false, false, 0, false));
+        assert!(region_nesting_allowed(RT, &u, false, false, 0, false));
     }
 
     #[test]
     fn guards_pop_on_drop() {
         {
-            let _g = ActiveTeamGuard::enter(lineage(&[42]));
+            let _g = ActiveTeamGuard::enter(RT, lineage(&[42]));
             let u = unit(42, 1);
-            assert!(!region_nesting_allowed(&u, false, false, 0, false));
+            assert!(!region_nesting_allowed(RT, &u, false, false, 0, false));
         }
         // Guard dropped: team 42 no longer active.
         let u = unit(42, 1);
-        assert!(region_nesting_allowed(&u, false, false, 0, false));
+        assert!(region_nesting_allowed(RT, &u, false, false, 0, false));
+    }
+
+    #[test]
+    fn co_tenant_frames_are_invisible() {
+        // An OS thread hosting a frame of runtime 1 must not let that frame
+        // influence nesting decisions made on behalf of runtime 2: each
+        // tenant sees only its own team stack.
+        let _g = ActiveTeamGuard::enter(1, lineage(&[1, 2]));
+        let u = unit(2, 0);
+        // Under the owning runtime: the usual barrier-wait rejection.
+        assert!(!region_nesting_allowed(1, &u, false, false, 0, false));
+        // Under a co-tenant: the same tag is an unrelated lineage.
+        assert!(region_nesting_allowed(2, &u, false, false, 0, false));
+    }
+
+    #[test]
+    fn innermost_own_is_per_runtime_not_per_stack() {
+        // Stack: runtime 1's team 5 buried beneath runtime 2's team 9. For
+        // runtime 1's decisions, team 5 is still the innermost *own* team
+        // and keeps its sole-runner allowance — the co-tenant frame above
+        // it does not shadow it.
+        let _g1 = ActiveTeamGuard::enter(1, lineage(&[5]));
+        let _g2 = ActiveTeamGuard::enter(2, lineage(&[9]));
+        let u5 = unit(5, 0);
+        assert!(region_nesting_allowed(1, &u5, true, false, 0, false));
+        // And runtime 2's own innermost allowance is equally unaffected.
+        let u9 = unit(9, 0);
+        assert!(region_nesting_allowed(2, &u9, true, false, 0, false));
     }
 }
 

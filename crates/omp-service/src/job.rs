@@ -1,0 +1,195 @@
+//! Jobs: what a tenant submits, and what comes back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use glt::CounterSnapshot;
+use omp::{OmpConfig, OmpRuntime, OmpRuntimeExt, SerialRuntime};
+use workloads::{cg, clover, uts, RuntimeKind};
+
+/// A caller-supplied job body: runs on the leased runtime, returns a digest.
+pub type CustomBody = Arc<dyn Fn(&dyn OmpRuntime) -> u64 + Send + Sync>;
+
+/// A tenant's workload. Each variant is sized so a single job finishes in
+/// milliseconds — the service axis under test is *admission and
+/// coexistence*, not single-job FLOPs — and each deterministic variant
+/// carries a digest the dispatcher verifies against a serial reference, so
+/// a cross-tenant scribble shows up as a wrong answer, not just a wrong
+/// counter.
+#[derive(Clone)]
+pub enum Workload {
+    /// Unbalanced Tree Search, shrunk (fixed geometric instance): digest is
+    /// the node count, checked against the sequential count.
+    UtsTiny,
+    /// Task-parallel conjugate gradient on a small banded SPD system:
+    /// digest is the iteration count to convergence.
+    CgTiny,
+    /// CloverLeaf-like hydro mini-step on a small grid: digest is the final
+    /// total mass (bit pattern) — any misplaced cell write changes it.
+    CloverTiny,
+    /// `ntasks` spinning tasks produced from a `single` region: digest is
+    /// the sum of task ids (`n(n+1)/2`), so a lost or doubled task shows.
+    TaskBurst {
+        /// Tasks spawned by the single producer.
+        ntasks: usize,
+        /// Busy-work iterations per task.
+        spin: u64,
+    },
+    /// Caller-supplied body returning its own digest (no verification).
+    Custom(CustomBody),
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn uts_tiny_params() -> uts::UtsParams {
+    uts::UtsParams { kind: uts::TreeKind::Geometric { b0: 3.0, gen_mx: 5 }, seed: 316, chunk: 8 }
+}
+
+fn cg_tiny_system() -> &'static (cg::Csr, Vec<f64>) {
+    static SYSTEM: OnceLock<(cg::Csr, Vec<f64>)> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let a = cg::Csr::synthetic_spd(64, 4, 7);
+        let b = cg::rhs_ones(&a);
+        (a, b)
+    })
+}
+
+fn clover_tiny_params() -> clover::CloverParams {
+    clover::CloverParams {
+        nx: 12,
+        ny: 12,
+        steps: 3,
+        schedule: omp::Schedule::Static { chunk: None },
+    }
+}
+
+fn run_task_burst(rt: &dyn OmpRuntime, ntasks: usize, spin: u64) -> u64 {
+    let sum = AtomicU64::new(0);
+    rt.parallel(|ctx| {
+        ctx.single(|| {
+            for i in 0..ntasks as u64 {
+                let sum = &sum;
+                ctx.task(move |_| {
+                    let mut x = i.wrapping_add(1);
+                    for _ in 0..spin {
+                        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    }
+                    std::hint::black_box(x);
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    sum.load(Ordering::Relaxed)
+}
+
+impl Workload {
+    /// Short name for labels and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::UtsTiny => "uts",
+            Workload::CgTiny => "cg",
+            Workload::CloverTiny => "clover",
+            Workload::TaskBurst { .. } => "tasks",
+            Workload::Custom(_) => "custom",
+        }
+    }
+
+    /// The default mixed-soak rotation.
+    #[must_use]
+    pub fn mix() -> [Workload; 4] {
+        [
+            Workload::UtsTiny,
+            Workload::CgTiny,
+            Workload::CloverTiny,
+            Workload::TaskBurst { ntasks: 32, spin: 64 },
+        ]
+    }
+
+    /// Execute on `rt`, returning the digest.
+    #[must_use]
+    pub fn run(&self, rt: &dyn OmpRuntime) -> u64 {
+        match self {
+            Workload::UtsTiny => uts::run_omp(rt, &uts_tiny_params()),
+            Workload::CgTiny => {
+                let (a, b) = cg_tiny_system();
+                cg::cg_tasks(rt, a, b, 16, 1e-10, 16).iterations as u64
+            }
+            Workload::CloverTiny => {
+                let mut c = clover::Clover::new(clover_tiny_params());
+                let _ = c.run(rt);
+                c.total_mass().to_bits()
+            }
+            Workload::TaskBurst { ntasks, spin } => run_task_burst(rt, *ntasks, *spin),
+            Workload::Custom(f) => f(rt),
+        }
+    }
+
+    /// The reference digest, if this workload is verifiable. Computed once
+    /// per process on the serialized baseline runtime; every workload here
+    /// is deterministic across team sizes (per-cell/per-row writes and
+    /// order-independent reductions), so one reference serves every lane.
+    #[must_use]
+    pub fn expected(&self) -> Option<u64> {
+        fn serial() -> SerialRuntime {
+            SerialRuntime::new(OmpConfig::with_threads(1))
+        }
+        match self {
+            Workload::UtsTiny => {
+                static REF: OnceLock<u64> = OnceLock::new();
+                Some(*REF.get_or_init(|| uts::count_sequential(&uts_tiny_params()).0))
+            }
+            Workload::CgTiny => {
+                static REF: OnceLock<u64> = OnceLock::new();
+                Some(*REF.get_or_init(|| Workload::CgTiny.run(&serial())))
+            }
+            Workload::CloverTiny => {
+                static REF: OnceLock<u64> = OnceLock::new();
+                Some(*REF.get_or_init(|| Workload::CloverTiny.run(&serial())))
+            }
+            Workload::TaskBurst { ntasks, .. } => {
+                let n = *ntasks as u64;
+                Some(n * (n + 1) / 2)
+            }
+            Workload::Custom(_) => None,
+        }
+    }
+}
+
+/// What a tenant submits for admission.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Tenant this job belongs to (`< ServiceConfig::tenants`).
+    pub tenant: usize,
+    /// What to run.
+    pub workload: Workload,
+    /// Requested team size, clamped to the leased domain's capacity.
+    pub threads: usize,
+    /// OpenMP implementation the tenant "linked against".
+    pub runtime: RuntimeKind,
+}
+
+/// Completion record delivered on the job's ticket.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Runtime the lane actually used (det mapping may substitute the
+    /// seeded backend for a GLTO kind).
+    pub runtime: RuntimeKind,
+    /// Workload digest.
+    pub digest: u64,
+    /// Digest matched the reference (always `true` for unverifiable jobs).
+    pub ok: bool,
+    /// Submit-to-completion time (queue wait included: the tail the
+    /// service bench reports is an *admission* tail, not a kernel tail).
+    pub latency: Duration,
+    /// This job's counter delta on its lane.
+    pub delta: CounterSnapshot,
+}

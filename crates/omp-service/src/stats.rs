@@ -1,0 +1,74 @@
+//! Latency statistics for service benchmarks.
+
+/// Summary of a latency sample set, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Compute [`LatencyStats`] over `samples` (sorted in place).
+#[must_use]
+pub fn latency_stats(samples: &mut [u64]) -> LatencyStats {
+    samples.sort_unstable();
+    let count = samples.len();
+    let mean_ns = if count == 0 {
+        0
+    } else {
+        (samples.iter().map(|&s| u128::from(s)).sum::<u128>() / count as u128) as u64
+    };
+    LatencyStats {
+        count,
+        mean_ns,
+        p50_ns: percentile(samples, 50.0),
+        p95_ns: percentile(samples, 95.0),
+        p99_ns: percentile(samples, 99.0),
+        max_ns: samples.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let st = latency_stats(&mut s);
+        assert_eq!(st.count, 100);
+        assert_eq!(st.p50_ns, 50);
+        assert_eq!(st.p95_ns, 95);
+        assert_eq!(st.p99_ns, 99);
+        assert_eq!(st.max_ns, 100);
+        assert_eq!(st.mean_ns, 50); // (5050 / 100) truncated
+    }
+
+    #[test]
+    fn degenerate_sample_sets() {
+        let mut empty: Vec<u64> = vec![];
+        let st = latency_stats(&mut empty);
+        assert_eq!((st.count, st.p99_ns, st.max_ns), (0, 0, 0));
+        let mut one = vec![7];
+        let st = latency_stats(&mut one);
+        assert_eq!((st.p50_ns, st.p95_ns, st.p99_ns, st.max_ns), (7, 7, 7, 7));
+    }
+}

@@ -1,0 +1,586 @@
+//! The substrate: one process-wide owner of execution resources, lending
+//! topology domains to tenants through an admission controller.
+//!
+//! # Admission state machine
+//!
+//! A submitted job is in exactly one of four states:
+//!
+//! 1. **rejected** — the submission queue is at `queue_cap` (or the
+//!    substrate is shutting down): `jobs_rejected` is charged and the
+//!    caller gets [`Rejected`]. A rejected job is never queued or admitted.
+//! 2. **queued** — accepted into the FIFO (`jobs_queued`), waiting for a
+//!    dispatcher *and* a free domain.
+//! 3. **running** — a dispatcher popped it (`jobs_admitted`), leased it a
+//!    domain, and is executing it on a runtime lane.
+//! 4. **completed** — outcome delivered on the job's [`JobTicket`], its
+//!    counter delta charged to its tenant's ledger slot, domain returned.
+//!
+//! The conservation laws follow: once drained, `jobs_queued ==
+//! jobs_admitted` and every admitted job is charged to exactly one tenant
+//! ([`glt::CounterSnapshot::invariant_violations`] checks the ≤ forms).
+//!
+//! # Lanes and the domain lease
+//!
+//! Execution happens on cached **lanes**: each dispatcher thread owns a
+//! private map of runtimes keyed by `(runtime kind, domain, team size)`,
+//! so the steady state builds no runtime and — load-bearing for the
+//! deterministic backend and the `glt::coop` waiter protocol — a cached
+//! runtime is only ever driven from its creating thread. Under
+//! [`LeaseMode::Exclusive`] a lane sees its leased domain as a whole
+//! machine (a one-socket topology of the domain's shape), which makes
+//! cross-domain stealing *structurally* impossible; the post-job audit
+//! charges any cross-domain steal observed during a lease to the
+//! `tenant_steals_leaked` tripwire. [`LeaseMode::Shared`] hands lanes the
+//! full substrate topology (the lease then only bounds concurrency), so
+//! tenants genuinely share workers and cross-domain traffic is policy,
+//! not a leak. Worker ranks are not OS-pinned in this reproduction (see
+//! DESIGN.md on affinity); the lease governs scheduling structure, not
+//! silicon.
+//!
+//! Deterministic lanes (`det_seed`) are built fresh per job and audited
+//! and torn down right after it: the seeded stepper's token stream is a
+//! per-run artifact, and replaying a tenant's failing seed must not
+//! depend on which jobs shared its lane.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use glt::{CounterSnapshot, Counters, Topology};
+use omp::{OmpConfig, OmpRuntime, ProcBind};
+use parking_lot::{Condvar, Mutex};
+use workloads::RuntimeKind;
+
+use crate::job::{JobOutcome, JobSpec};
+use crate::ledger::{TenantLedger, TenantTotals};
+
+/// How a leased domain is presented to the tenant's lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseMode {
+    /// The lane sees only its leased domain (single-socket sub-topology):
+    /// tenants cannot steal from each other by construction, and any
+    /// cross-domain steal observed during a lease is charged to the
+    /// `tenant_steals_leaked` tripwire.
+    Exclusive,
+    /// The lane sees the full substrate topology; the lease only bounds
+    /// concurrency. Tenants share workers (cheap oversubscription — the
+    /// LWT sales pitch), and cross-domain steals are policy, not leaks.
+    Shared,
+}
+
+/// Substrate configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Machine shape; one steal domain (= socket) is lent per running job,
+    /// so `topology.num_domains()` bounds effective concurrency.
+    pub topology: Topology,
+    /// Dispatcher threads (running jobs also need a free domain, so the
+    /// effective limit is `min(max_concurrent, num_domains)`).
+    pub max_concurrent: usize,
+    /// Pending jobs beyond which submissions are rejected.
+    pub queue_cap: usize,
+    /// Domain lease discipline.
+    pub lease: LeaseMode,
+    /// When set, every GLTO lane runs on the seeded deterministic backend
+    /// (`RuntimeKind::GltoDet`), so cross-tenant interference replays.
+    pub det_seed: Option<u64>,
+    /// Tenant slots in the ledger; `JobSpec::tenant` must be below this.
+    pub tenants: usize,
+}
+
+impl ServiceConfig {
+    /// Defaults sized for tests: a 2-domain machine (2×2×1), two
+    /// dispatchers, an unbounded queue, exclusive leases, no det mapping.
+    #[must_use]
+    pub fn new(tenants: usize) -> ServiceConfig {
+        ServiceConfig {
+            topology: Topology::new(2, 2, 1),
+            max_concurrent: 2,
+            queue_cap: usize::MAX,
+            lease: LeaseMode::Exclusive,
+            det_seed: None,
+            tenants,
+        }
+    }
+}
+
+/// Submission refused: the queue is at capacity (or shutdown has begun).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejected;
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("job rejected: submission queue at capacity")
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Handle to one accepted job; resolves to its [`JobOutcome`].
+pub struct JobTicket {
+    rx: Receiver<JobOutcome>,
+}
+
+impl JobTicket {
+    /// Block until the job completes.
+    ///
+    /// # Panics
+    /// If the substrate was torn down without running the job (a bug: every
+    /// accepted job is drained before dispatchers exit).
+    #[must_use]
+    pub fn wait(self) -> JobOutcome {
+        self.rx.recv().expect("substrate dropped an accepted job")
+    }
+}
+
+/// Final report from [`Substrate::shutdown`].
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// The service counter block (admission counters).
+    pub service: CounterSnapshot,
+    /// Per-tenant totals from the ledger.
+    pub per_tenant: Vec<TenantTotals>,
+    /// Sum of every job's counter delta across all lanes.
+    pub aggregate: CounterSnapshot,
+    /// Conservation-law violations found at lane retirement and on the
+    /// service block (empty = clean).
+    pub violations: Vec<String>,
+}
+
+impl ServiceReport {
+    /// No violation anywhere.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-tenant conservation. Only the *linear* laws are checked against
+    /// a tenant's accumulated deltas: lifetime-implication laws (e.g.
+    /// "slab reuse requires a prior fresh allocation") hold per runtime
+    /// block, not per delta — a tenant whose jobs all landed on warm lanes
+    /// legitimately sees reuse with zero fresh allocations. Linear
+    /// inequalities survive summation of per-job deltas (each delta is
+    /// taken at a job boundary, where the lane is quiescent).
+    #[must_use]
+    pub fn per_tenant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for (t, totals) in self.per_tenant.iter().enumerate() {
+            let c = &totals.counters;
+            if c.tenant_steals_leaked > c.steals_cross_domain {
+                v.push(format!(
+                    "tenant {t}: tenant_steals_leaked ({}) > steals_cross_domain ({})",
+                    c.tenant_steals_leaked, c.steals_cross_domain
+                ));
+            }
+            if c.steals_same_domain + c.steals_cross_domain > c.steals {
+                v.push(format!(
+                    "tenant {t}: domain-attributed steals ({} + {}) > steals ({})",
+                    c.steals_same_domain, c.steals_cross_domain, c.steals
+                ));
+            }
+            if c.lock_yields > c.lock_spins {
+                v.push(format!(
+                    "tenant {t}: lock_yields ({}) > lock_spins ({})",
+                    c.lock_yields, c.lock_spins
+                ));
+            }
+        }
+        v
+    }
+}
+
+type PendingJob = (JobSpec, Instant, Sender<JobOutcome>);
+type LaneKey = (RuntimeKind, usize, usize);
+
+struct State {
+    pending: VecDeque<PendingJob>,
+    free_domains: Vec<usize>,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    service: Arc<Counters>,
+    ledger: TenantLedger,
+    aggregate: Mutex<CounterSnapshot>,
+    lane_violations: Mutex<Vec<String>>,
+}
+
+/// The job server. See the module docs for the admission state machine.
+pub struct Substrate {
+    shared: Arc<Shared>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl Substrate {
+    /// Start the substrate: `max_concurrent` dispatcher threads over
+    /// `topology.num_domains()` lendable domains.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Substrate {
+        let domains = cfg.topology.num_domains();
+        let n_dispatchers = cfg.max_concurrent.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: VecDeque::new(),
+                free_domains: (0..domains).rev().collect(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            service: Arc::new(Counters::default()),
+            ledger: TenantLedger::new(cfg.tenants),
+            aggregate: Mutex::new(CounterSnapshot::default()),
+            lane_violations: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let dispatchers = (0..n_dispatchers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omp-service-{i}"))
+                    .spawn(move || dispatcher_loop(&shared))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        Substrate { shared, dispatchers }
+    }
+
+    /// Submit a job for admission.
+    ///
+    /// # Errors
+    /// [`Rejected`] when the queue is at `queue_cap` or shutdown has begun
+    /// (`jobs_rejected` is charged; the job was never queued).
+    ///
+    /// # Panics
+    /// If `spec.tenant` is outside the configured ledger.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, Rejected> {
+        assert!(
+            spec.tenant < self.shared.ledger.tenants(),
+            "tenant {} out of range (< {})",
+            spec.tenant,
+            self.shared.ledger.tenants()
+        );
+        let (tx, rx) = channel();
+        {
+            let mut st = self.shared.state.lock();
+            if st.shutdown || st.pending.len() >= self.shared.cfg.queue_cap {
+                drop(st);
+                Counters::bump(&self.shared.service.jobs_rejected, 1);
+                return Err(Rejected);
+            }
+            Counters::bump(&self.shared.service.jobs_queued, 1);
+            st.pending.push_back((spec, Instant::now(), tx));
+        }
+        self.shared.work_cv.notify_one();
+        Ok(JobTicket { rx })
+    }
+
+    /// The service counter block (admission counters; live view).
+    #[must_use]
+    pub fn service_counters(&self) -> &Counters {
+        &self.shared.service
+    }
+
+    /// The per-tenant ledger (live view).
+    #[must_use]
+    pub fn ledger(&self) -> &TenantLedger {
+        &self.shared.ledger
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Drain the queue, retire every lane (auditing its counters), and
+    /// return the final report.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.begin_shutdown();
+        for h in self.dispatchers.drain(..) {
+            h.join().expect("dispatcher panicked");
+        }
+        let shared = &self.shared;
+        let mut violations = std::mem::take(&mut *shared.lane_violations.lock());
+        let service = shared.service.snapshot();
+        violations.extend(
+            service.invariant_violations(true).into_iter().map(|m| format!("service: {m}")),
+        );
+        let charged = shared.ledger.jobs_charged();
+        if charged != service.jobs_admitted {
+            violations.push(format!(
+                "jobs charged to tenants ({charged}) != jobs_admitted ({}): \
+                 an admitted job was charged zero or multiple times",
+                service.jobs_admitted
+            ));
+        }
+        ServiceReport {
+            service,
+            per_tenant: shared.ledger.totals(),
+            aggregate: *shared.aggregate.lock(),
+            violations,
+        }
+    }
+}
+
+impl Drop for Substrate {
+    fn drop(&mut self) {
+        // shutdown() drains `dispatchers`; this path only runs when the
+        // substrate is dropped without a report.
+        self.begin_shutdown();
+        for h in self.dispatchers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The runtime kind a lane actually uses: with `det_seed`, every GLTO kind
+/// maps onto the seeded deterministic backend.
+fn effective_kind(kind: RuntimeKind, det_seed: Option<u64>) -> RuntimeKind {
+    match det_seed {
+        Some(seed) if kind.is_glto() => RuntimeKind::GltoDet { seed },
+        _ => kind,
+    }
+}
+
+/// Build the lane's OpenMP config for one leased domain; returns the
+/// clamped team size alongside.
+fn lane_config(cfg: &ServiceConfig, threads: usize) -> (OmpConfig, usize) {
+    let (topo, bind) = match cfg.lease {
+        // The lent domain, presented as a whole one-socket machine.
+        LeaseMode::Exclusive => {
+            (Topology::new(1, cfg.topology.cores(), cfg.topology.smt()), ProcBind::True)
+        }
+        // The whole machine; unbound so work may roam across domains.
+        LeaseMode::Shared => (cfg.topology, ProcBind::False),
+    };
+    let t = threads.clamp(1, topo.num_places());
+    (OmpConfig::with_threads(t).topology(topo).proc_bind(bind), t)
+}
+
+fn work_signature(s: &CounterSnapshot) -> [u64; 5] {
+    [s.forks, s.tasks_created, s.tasks_queued, s.tasks_direct, s.steals]
+}
+
+/// Wait until the lane's work counters stop moving (idle-probe counters
+/// excluded — spinning idle workers bump those forever).
+fn wait_quiescent(rt: &dyn OmpRuntime) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut prev = work_signature(&rt.counters().snapshot());
+    loop {
+        std::thread::sleep(Duration::from_micros(200));
+        let cur = work_signature(&rt.counters().snapshot());
+        if cur == prev || Instant::now() > deadline {
+            return;
+        }
+        prev = cur;
+    }
+}
+
+/// Retire one lane: drop cached execution resources, wait for quiescence,
+/// and record any drained-law violation against the substrate.
+fn retire_lane(shared: &Shared, desc: &str, lane: Arc<dyn OmpRuntime>) {
+    lane.retire_cached();
+    wait_quiescent(lane.as_ref());
+    let v = lane.counters().snapshot().invariant_violations(true);
+    if !v.is_empty() {
+        shared.lane_violations.lock().extend(v.into_iter().map(|m| format!("{desc}: {m}")));
+    }
+}
+
+fn next_job(shared: &Shared) -> Option<(JobSpec, Instant, Sender<JobOutcome>, usize)> {
+    let mut st = shared.state.lock();
+    loop {
+        if !st.pending.is_empty() && !st.free_domains.is_empty() {
+            let domain = st.free_domains.pop().expect("checked non-empty");
+            let (spec, submitted, tx) = st.pending.pop_front().expect("checked non-empty");
+            return Some((spec, submitted, tx, domain));
+        }
+        if st.shutdown && st.pending.is_empty() {
+            return None;
+        }
+        shared.work_cv.wait(&mut st);
+    }
+}
+
+fn run_one(
+    shared: &Shared,
+    lanes: &mut HashMap<LaneKey, Arc<dyn OmpRuntime>>,
+    spec: JobSpec,
+    submitted: Instant,
+    domain: usize,
+    tx: &Sender<JobOutcome>,
+) {
+    let kind = effective_kind(spec.runtime, shared.cfg.det_seed);
+    let (lane_cfg, threads) = lane_config(&shared.cfg, spec.threads);
+    // Deterministic lanes are never cached (see module docs).
+    let cacheable = !matches!(kind, RuntimeKind::GltoDet { .. });
+    let lane: Arc<dyn OmpRuntime> = if cacheable {
+        Arc::clone(lanes.entry((kind, domain, threads)).or_insert_with(|| kind.build(lane_cfg)))
+    } else {
+        kind.build(lane_cfg)
+    };
+    let before = lane.counters().snapshot();
+    let digest = spec.workload.run(lane.as_ref());
+    let ok = spec.workload.expected().is_none_or(|e| e == digest);
+    let mut delta = lane.counters().snapshot().delta_since(&before);
+    if shared.cfg.lease == LeaseMode::Exclusive && delta.steals_cross_domain > 0 {
+        // Work crossed the tenant's domain boundary during an exclusive
+        // lease: charge the tripwire on the lane's own block (keeping the
+        // `leaked <= cross-domain` law intra-block) and in the delta.
+        Counters::bump(&lane.counters().tenant_steals_leaked, delta.steals_cross_domain);
+        delta.tenant_steals_leaked = delta.steals_cross_domain;
+    }
+    shared.ledger.charge(spec.tenant, ok, &delta);
+    {
+        let mut agg = shared.aggregate.lock();
+        *agg = agg.accumulate(&delta);
+    }
+    // A dropped ticket is fine (fire-and-forget submission).
+    let _ = tx.send(JobOutcome {
+        tenant: spec.tenant,
+        runtime: kind,
+        digest,
+        ok,
+        latency: submitted.elapsed(),
+        delta,
+    });
+    if !cacheable {
+        retire_lane(shared, &format!("det lane d{domain}"), lane);
+    }
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let mut lanes: HashMap<LaneKey, Arc<dyn OmpRuntime>> = HashMap::new();
+    while let Some((spec, submitted, tx, domain)) = next_job(shared) {
+        Counters::bump(&shared.service.jobs_admitted, 1);
+        run_one(shared, &mut lanes, spec, submitted, domain, &tx);
+        shared.state.lock().free_domains.push(domain);
+        shared.work_cv.notify_all();
+    }
+    for ((kind, domain, threads), lane) in lanes.drain() {
+        retire_lane(shared, &format!("lane {}@d{domain}x{threads}", kind.name()), lane);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Workload;
+
+    fn spec(tenant: usize, workload: Workload, runtime: RuntimeKind) -> JobSpec {
+        JobSpec { tenant, workload, threads: 2, runtime }
+    }
+
+    #[test]
+    fn exclusive_tenants_complete_verified_and_isolated() {
+        let s = Substrate::start(ServiceConfig::new(2));
+        let mut tickets = Vec::new();
+        for i in 0..8 {
+            let w = Workload::mix()[i % 4].clone();
+            tickets.push(s.submit(spec(i % 2, w, RuntimeKind::GltoAbt)).expect("admitted"));
+        }
+        for t in tickets {
+            let out = t.wait();
+            assert!(out.ok, "digest mismatch for tenant {}", out.tenant);
+            assert_eq!(out.delta.tenant_steals_leaked, 0, "exclusive lease leaked a steal");
+        }
+        let report = s.shutdown();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.per_tenant_violations().is_empty(), "{:?}", report.per_tenant_violations());
+        assert_eq!(report.service.jobs_queued, 8);
+        assert_eq!(report.service.jobs_admitted, 8);
+        assert_eq!(report.service.jobs_rejected, 0);
+        assert_eq!(report.aggregate.tenant_steals_leaked, 0);
+        for t in &report.per_tenant {
+            assert_eq!((t.jobs_ok, t.jobs_bad), (4, 0));
+        }
+    }
+
+    #[test]
+    fn queue_cap_rejects_and_conserves() {
+        let mut cfg = ServiceConfig::new(1);
+        cfg.topology = Topology::flat(2);
+        cfg.max_concurrent = 1;
+        cfg.queue_cap = 1;
+        let s = Substrate::start(cfg);
+        let slow = Workload::Custom(Arc::new(|_| {
+            std::thread::sleep(Duration::from_millis(100));
+            7
+        }));
+        let first = s.submit(spec(0, slow.clone(), RuntimeKind::Gnu)).expect("first admitted");
+        // Let the dispatcher pop it so the queue is empty while it runs.
+        std::thread::sleep(Duration::from_millis(30));
+        let second = s.submit(spec(0, slow.clone(), RuntimeKind::Gnu)).expect("one queued slot");
+        let mut rejected = 0;
+        for _ in 0..3 {
+            if s.submit(spec(0, slow.clone(), RuntimeKind::Gnu)).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 2, "queue cap 1 must reject overflow submissions");
+        assert_eq!(first.wait().digest, 7);
+        let _ = second.wait();
+        let report = s.shutdown();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.service.jobs_rejected, rejected);
+        assert_eq!(report.service.jobs_queued, report.service.jobs_admitted, "drained");
+    }
+
+    #[test]
+    fn det_seed_maps_glto_lanes_onto_the_seeded_backend() {
+        let mut cfg = ServiceConfig::new(1);
+        cfg.det_seed = Some(5);
+        let s = Substrate::start(cfg);
+        let out = s
+            .submit(spec(0, Workload::TaskBurst { ntasks: 8, spin: 8 }, RuntimeKind::GltoMth))
+            .expect("admitted")
+            .wait();
+        assert_eq!(out.runtime, RuntimeKind::GltoDet { seed: 5 });
+        assert!(out.ok);
+        // Non-GLTO kinds are left alone.
+        let out = s
+            .submit(spec(0, Workload::TaskBurst { ntasks: 8, spin: 8 }, RuntimeKind::Intel))
+            .expect("admitted")
+            .wait();
+        assert_eq!(out.runtime, RuntimeKind::Intel);
+        let report = s.shutdown();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn shared_lease_mode_completes_clean() {
+        let mut cfg = ServiceConfig::new(2);
+        cfg.lease = LeaseMode::Shared;
+        let s = Substrate::start(cfg);
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                s.submit(spec(i % 2, Workload::mix()[i % 4].clone(), RuntimeKind::GltoMth))
+                    .expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().ok);
+        }
+        let report = s.shutdown();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        // Shared mode never charges the tripwire: cross-domain traffic is
+        // policy there, not a leak.
+        assert_eq!(report.aggregate.tenant_steals_leaked, 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let s = Substrate::start(ServiceConfig::new(1));
+        s.begin_shutdown();
+        assert!(s
+            .submit(spec(0, Workload::TaskBurst { ntasks: 1, spin: 1 }, RuntimeKind::Gnu))
+            .is_err());
+        let report = s.shutdown();
+        assert_eq!(report.service.jobs_rejected, 1);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+}

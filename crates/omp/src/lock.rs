@@ -92,25 +92,60 @@ impl LockKind {
 // victim, so it may simply proceed) and bumps a repair counter; the
 // conformance suite's planted case fails iff a repair happened, which is
 // what the 64-seed deterministic sweep must catch, replay, and shrink.
+//
+// The arming and repair state is **per runtime instance**, keyed by the
+// calling thread's innermost registered runtime
+// (`glt::coop::current_runtime_id`): under the multi-tenant service layer
+// N independent `OmpRuntime` instances coexist in one process, and a
+// process-global armed flag would let one tenant's fault arming fire — or
+// be consumed — inside another tenant's run.
 
 #[cfg(feature = "planted-lost-wakeup")]
 mod planted {
     use std::sync::atomic::{AtomicBool, AtomicU64};
-    pub static ARMED: AtomicBool = AtomicBool::new(false);
-    pub static REPAIRS: AtomicU64 = AtomicU64::new(0);
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// One runtime instance's fault-injection state.
+    #[derive(Default)]
+    pub struct Cell {
+        pub armed: AtomicBool,
+        pub repairs: AtomicU64,
+    }
+
+    fn registry() -> &'static Mutex<Vec<(Option<u64>, Arc<Cell>)>> {
+        static REGISTRY: OnceLock<Mutex<Vec<(Option<u64>, Arc<Cell>)>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// The fault cell of the calling thread's runtime instance (threads
+    /// registered with no runtime share one fallback cell), created on
+    /// first use.
+    pub fn current_cell() -> Arc<Cell> {
+        let rid = glt::coop::current_runtime_id();
+        let mut reg = registry().lock().expect("planted registry poisoned");
+        if let Some((_, cell)) = reg.iter().find(|(r, _)| *r == rid) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(Cell::default());
+        reg.push((rid, Arc::clone(&cell)));
+        cell
+    }
 }
 
-/// Arm the planted bug: the next contended MCS release drops its waiter.
+/// Arm the planted bug **for the calling thread's runtime instance**: the
+/// next contended MCS release by one of that runtime's threads drops its
+/// waiter. Arming never leaks into coexisting runtime instances.
 #[cfg(feature = "planted-lost-wakeup")]
 pub fn plant_drop_one() {
-    planted::ARMED.store(true, Ordering::SeqCst);
+    planted::current_cell().armed.store(true, Ordering::SeqCst);
 }
 
-/// Number of lost wakeups the victim backstop has repaired so far.
+/// Number of lost wakeups the victim backstop has repaired so far, scoped
+/// like [`plant_drop_one`] to the calling thread's runtime instance.
 #[cfg(feature = "planted-lost-wakeup")]
 #[must_use]
 pub fn planted_repairs() -> u64 {
-    planted::REPAIRS.load(Ordering::SeqCst)
+    planted::current_cell().repairs.load(Ordering::SeqCst)
 }
 
 /// One MCS waiter's wait word. Cache-line padded so neighbouring waiters'
@@ -258,7 +293,7 @@ impl OmpLock {
                         // repair and proceed as the holder.
                         g.dropped = None;
                         g.free.push(Arc::clone(&node));
-                        planted::REPAIRS.fetch_add(1, Ordering::SeqCst);
+                        planted::current_cell().repairs.fetch_add(1, Ordering::SeqCst);
                         drop(g);
                         coop::with_sync_counters(|c| {
                             Counters::bump(&c.lock_spins, spins);
@@ -289,7 +324,9 @@ impl OmpLock {
                 debug_assert!(g.held, "unset of an unheld omp lock");
                 if let Some(node) = g.queue.pop_front() {
                     #[cfg(feature = "planted-lost-wakeup")]
-                    if planted::ARMED.swap(false, Ordering::SeqCst) && g.dropped.is_none() {
+                    if planted::current_cell().armed.swap(false, Ordering::SeqCst)
+                        && g.dropped.is_none()
+                    {
                         // Planted bug: drop the waiter without granting.
                         g.dropped = Some(node);
                         return;
@@ -332,14 +369,52 @@ impl OmpLock {
     }
 }
 
-/// Monotonic nonzero per-OS-thread token for nest-lock ownership (0 is
-/// reserved for "unowned", so a plain atomic load can do the owner check).
+/// Nonzero owner token for nest-lock ownership (0 is reserved for
+/// "unowned", so a plain atomic load can do the owner check).
+///
+/// Tokens are allocated from **per-runtime namespaces** keyed by the
+/// calling thread's innermost registered runtime
+/// ([`glt::coop::current_runtime_id`]; threads registered with no runtime —
+/// external submitters, pthread-style pool members — share one fallback
+/// namespace). A process-global counter was the last piece of cross-tenant
+/// mutable lock state; scoping it means N coexisting `OmpRuntime` instances
+/// allocate independently, while the namespace-slot high bits keep tokens
+/// collision-free even for a nest lock shared across instances. Within one
+/// namespace a thread's token is stable for the namespace's lifetime, which
+/// preserves the per-OS-thread ownership model (help-first units never
+/// migrate mid-execution, so thread identity is stable across a hold).
 fn thread_token() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
+    use std::cell::RefCell;
+    use std::sync::Mutex;
+    /// Sequence bits per namespace; the slot index occupies the bits above.
+    const SEQ_BITS: u32 = 40;
+    /// `(runtime id, next sequence)` per namespace. The *slot index*, not
+    /// the raw runtime id, forms the token's high bits, so arbitrary ids
+    /// can never mint colliding tokens.
+    static NAMESPACES: Mutex<Vec<(Option<u64>, u64)>> = Mutex::new(Vec::new());
     thread_local! {
-        static TOKEN: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+        /// Tokens this thread already holds, per runtime namespace.
+        static TOKENS: RefCell<Vec<(Option<u64>, u64)>> = const { RefCell::new(Vec::new()) };
     }
-    TOKEN.with(|t| *t)
+    let rid = coop::current_runtime_id();
+    TOKENS.with(|t| {
+        if let Some(&(_, tok)) = t.borrow().iter().find(|(r, _)| *r == rid) {
+            return tok;
+        }
+        let mut ns = NAMESPACES.lock().expect("token namespaces poisoned");
+        let slot = match ns.iter().position(|(r, _)| *r == rid) {
+            Some(s) => s,
+            None => {
+                ns.push((rid, 1));
+                ns.len() - 1
+            }
+        };
+        let seq = ns[slot].1;
+        ns[slot].1 += 1;
+        let tok = ((slot as u64 + 1) << SEQ_BITS) | seq;
+        t.borrow_mut().push((rid, tok));
+        tok
+    })
 }
 
 /// A nestable OpenMP lock (`omp_nest_lock_t`): the owner may re-acquire;
@@ -594,6 +669,80 @@ mod tests {
         fn counters(&self) -> &Counters {
             &self.counters
         }
+    }
+
+    #[test]
+    fn nest_lock_tokens_are_scoped_per_runtime_namespace() {
+        // One OS thread working on behalf of different runtime instances
+        // must present a different (but stable) owner token under each, and
+        // tokens from distinct namespaces never collide.
+        let w: Arc<dyn coop::SyncWaiter> = Arc::new(TestWaiter { counters: Counters::new() });
+        let fallback = thread_token();
+        coop::install_waiter(9100, Arc::clone(&w));
+        let under_a = thread_token();
+        coop::uninstall_waiter(9100);
+        coop::install_waiter(9101, Arc::clone(&w));
+        let under_b = thread_token();
+        coop::uninstall_waiter(9101);
+        assert_ne!(fallback, 0, "tokens are nonzero (0 means unowned)");
+        assert_ne!(under_a, 0);
+        assert_ne!(under_b, 0);
+        assert_ne!(under_a, fallback, "runtime namespace differs from fallback");
+        assert_ne!(under_a, under_b, "distinct runtimes get distinct namespaces");
+        assert_eq!(fallback, thread_token(), "fallback token is stable");
+        coop::install_waiter(9100, Arc::clone(&w));
+        assert_eq!(under_a, thread_token(), "per-runtime token is stable");
+        coop::uninstall_waiter(9100);
+    }
+
+    #[cfg(feature = "planted-lost-wakeup")]
+    #[test]
+    fn planted_arming_is_scoped_per_runtime() {
+        // Arm the fault under runtime 9201, then run a fully contended MCS
+        // storm under runtime 9202: the foreign arming must neither fire
+        // nor be consumed there. Back under 9201, it is still pending and
+        // fires on the next contended release.
+        let w1: Arc<dyn coop::SyncWaiter> = Arc::new(TestWaiter { counters: Counters::new() });
+        let w2: Arc<dyn coop::SyncWaiter> = Arc::new(TestWaiter { counters: Counters::new() });
+        coop::install_waiter(9201, Arc::clone(&w1));
+        plant_drop_one();
+        coop::uninstall_waiter(9201);
+
+        coop::install_waiter(9202, Arc::clone(&w2));
+        let l = Arc::new(OmpLock::with_kind(LockKind::Mcs, 4));
+        l.set();
+        let l2 = l.clone();
+        let w2b = Arc::clone(&w2);
+        let t = std::thread::spawn(move || {
+            coop::install_waiter(9202, w2b);
+            l2.with(|| {});
+            coop::uninstall_waiter(9202);
+        });
+        while l.mcs.lock().queue.is_empty() {
+            std::thread::yield_now();
+        }
+        l.unset();
+        t.join().unwrap();
+        assert_eq!(planted_repairs(), 0, "runtime 9202 must not see 9201's arming");
+        coop::uninstall_waiter(9202);
+
+        coop::install_waiter(9201, Arc::clone(&w1));
+        let l = Arc::new(OmpLock::with_kind(LockKind::Mcs, 4));
+        l.set();
+        let l2 = l.clone();
+        let w1b = Arc::clone(&w1);
+        let t = std::thread::spawn(move || {
+            coop::install_waiter(9201, w1b);
+            l2.with(|| {});
+            coop::uninstall_waiter(9201);
+        });
+        while l.mcs.lock().queue.is_empty() {
+            std::thread::yield_now();
+        }
+        l.unset();
+        t.join().unwrap();
+        assert_eq!(planted_repairs(), 1, "arming fires in the runtime that armed it");
+        coop::uninstall_waiter(9201);
     }
 
     #[test]
